@@ -1,0 +1,357 @@
+// Package axiom is an independent axiomatic checker for executions produced
+// by the operational engine. Appendix A of the paper proves the operational
+// model equivalent to a restricted axiomatic model (the modified C++11 model
+// plus hb ∪ sc ∪ rf acyclicity); this package re-derives the axiomatic
+// relations from a recorded trace — with its own implementation of release
+// sequences and synchronizes-with, not the engine's clock rules — and
+// checks the consistency predicates. It serves as the test oracle for the
+// engine: every traced execution must validate.
+package axiom
+
+import (
+	"fmt"
+
+	"c11tester/internal/core"
+	"c11tester/internal/memmodel"
+)
+
+// Execution is a lifted execution: the recorded trace plus one concrete
+// modification order per location (a linear extension of the engine's
+// mo-graph, Section A.2).
+type Execution struct {
+	Trace []*core.Action
+	MO    map[memmodel.LocID][]*core.Action
+}
+
+// FromEngine lifts the engine's last traced execution.
+func FromEngine(e *core.Engine, m *core.C11Model) *Execution {
+	mo := map[memmodel.LocID][]*core.Action{}
+	for _, loc := range m.Locations() {
+		mo[loc] = m.TotalMO(loc)
+	}
+	return &Execution{Trace: e.Trace(), MO: mo}
+}
+
+// Violation describes one failed consistency predicate.
+type Violation struct {
+	Rule   string
+	Detail string
+}
+
+func (v Violation) String() string { return v.Rule + ": " + v.Detail }
+
+// checker carries the derived relations.
+type checker struct {
+	ex   *Execution
+	vs   []Violation
+	hb   map[*core.Action]*memmodel.ClockVector
+	moIx map[*core.Action]int // position in its location's modification order
+}
+
+// Check validates the execution and returns all violations found.
+func Check(ex *Execution) []Violation {
+	c := &checker{
+		ex:   ex,
+		hb:   map[*core.Action]*memmodel.ClockVector{},
+		moIx: map[*core.Action]int{},
+	}
+	for _, moList := range ex.MO {
+		for i, a := range moList {
+			c.moIx[a] = i
+		}
+	}
+	c.checkForwardEdges()
+	c.computeHB()
+	c.checkReadsFrom()
+	c.checkCoherence()
+	c.checkRMWAtomicity()
+	c.checkSeqCst()
+	return c.vs
+}
+
+func (c *checker) fail(rule, format string, args ...any) {
+	c.vs = append(c.vs, Violation{Rule: rule, Detail: fmt.Sprintf(format, args...)})
+}
+
+// hbBefore reports a hb→ b using the recomputed clocks.
+func (c *checker) hbBefore(a, b *core.Action) bool {
+	cv := c.hb[b]
+	return cv != nil && a != b && cv.Synchronized(a.TID, a.Seq)
+}
+
+// moBefore reports a mo→ b; both must be stores to the same location.
+func (c *checker) moBefore(a, b *core.Action) bool {
+	return a.Loc == b.Loc && c.moIx[a] < c.moIx[b]
+}
+
+// checkForwardEdges verifies hb ∪ sc ∪ rf acyclicity (Section 2.2 change 2)
+// structurally: the trace order must linearize sb, rf, and sc, i.e. every
+// such edge points backwards to an already-executed event.
+func (c *checker) checkForwardEdges() {
+	pos := map[*core.Action]int{}
+	lastSC := -1
+	for i, a := range c.ex.Trace {
+		pos[a] = i
+		if a.RF != nil {
+			if j, ok := pos[a.RF]; !ok || j >= i {
+				c.fail("acyclicity", "%v reads from a store not yet executed", a)
+			}
+		}
+		if a.IsSC() {
+			if a.SCIdx <= lastSC {
+				c.fail("sc-total", "%v has non-monotone SC index", a)
+			}
+			lastSC = a.SCIdx
+		}
+	}
+}
+
+// releaseHead returns the head of the release sequence a store belongs to
+// under the C++20 definition (Section 2.2 change 1): an RMW is part of the
+// release sequence of the store it reads from; walking rf links from an RMW
+// reaches the head, which contributes synchronization only if it is a
+// release operation.
+func releaseHead(s *core.Action) *core.Action {
+	for s.Kind == memmodel.KRMW && s.RF != nil {
+		s = s.RF
+	}
+	return s
+}
+
+// computeHB recomputes happens-before from scratch: hb is the transitive
+// closure of sequenced-before, additional-synchronizes-with (thread create
+// and join), and synchronizes-with (release/acquire pairs, including the
+// fence variants of Figure 9, over C++20 release sequences).
+func (c *checker) computeHB() {
+	type threadInfo struct {
+		clock *memmodel.ClockVector // clock after the thread's last action
+		// relFence is the clock at the thread's last release fence.
+		relFence *memmodel.ClockVector
+		// acqFence accumulates release clocks of stores read by relaxed
+		// loads, to be claimed by a later acquire fence.
+		acqFence *memmodel.ClockVector
+		started  bool
+	}
+	threads := map[memmodel.TID]*threadInfo{}
+	// pending child clocks: create actions whose child has not started yet.
+	pendingChild := map[memmodel.TID]*memmodel.ClockVector{}
+	finished := map[memmodel.TID]*memmodel.ClockVector{}
+	// relClock[s] is the clock transferred to readers of store s through
+	// its release sequence.
+	relClock := map[*core.Action]*memmodel.ClockVector{}
+
+	info := func(t memmodel.TID) *threadInfo {
+		ti := threads[t]
+		if ti == nil {
+			ti = &threadInfo{
+				clock:    memmodel.NewClockVector(int(t) + 1),
+				acqFence: memmodel.NewClockVector(0),
+			}
+			threads[t] = ti
+		}
+		return ti
+	}
+
+	for _, a := range c.ex.Trace {
+		ti := info(a.TID)
+		if !ti.started {
+			ti.started = true
+			if base, ok := pendingChild[a.TID]; ok {
+				ti.clock.Merge(base)
+			}
+		}
+		ti.clock.Set(a.TID, a.Seq)
+
+		switch a.Kind {
+		case memmodel.KThreadCreate:
+			pendingChild[memmodel.TID(a.Value)] = ti.clock.Clone()
+		case memmodel.KThreadJoin:
+			if fc := finished[memmodel.TID(a.Value)]; fc != nil {
+				ti.clock.Merge(fc)
+			}
+		case memmodel.KThreadFinish:
+			finished[a.TID] = ti.clock.Clone()
+		case memmodel.KStore, memmodel.KRMW, memmodel.KNAStore:
+			// The clock a reader synchronizes with: for a release store,
+			// the store's own clock; for a relaxed store, the clock of the
+			// thread's last release fence (fence-release rule); for an RMW,
+			// additionally everything transferred by the store it reads
+			// from (release-sequence continuation).
+			var rc *memmodel.ClockVector
+			if a.MO.IsRelease() {
+				rc = ti.clock.Clone()
+			} else if ti.relFence != nil {
+				rc = ti.relFence.Clone()
+			} else {
+				rc = memmodel.NewClockVector(0)
+			}
+			if a.Kind == memmodel.KRMW && a.RF != nil {
+				if prev := relClock[a.RF]; prev != nil {
+					rc.Merge(prev)
+				}
+			}
+			relClock[a] = rc
+			if a.Kind == memmodel.KRMW && a.RF != nil {
+				// The load half of the RMW acquires like a load.
+				if src := relClock[a.RF]; src != nil {
+					if a.MO.IsAcquire() {
+						ti.clock.Merge(src)
+					} else {
+						ti.acqFence.Merge(src)
+					}
+				}
+			}
+		case memmodel.KLoad:
+			if a.RF != nil {
+				if src := relClock[a.RF]; src != nil {
+					if a.MO.IsAcquire() {
+						ti.clock.Merge(src)
+					} else {
+						ti.acqFence.Merge(src)
+					}
+				}
+			}
+		case memmodel.KFence:
+			if a.MO.IsAcquire() {
+				ti.clock.Merge(ti.acqFence)
+			}
+			if a.MO.IsRelease() {
+				ti.relFence = ti.clock.Clone()
+			}
+		}
+		c.hb[a] = ti.clock.Clone()
+	}
+}
+
+// checkReadsFrom verifies every rf edge: same location, matching value, and
+// the store is not hidden by coherence (no intervening same-location store
+// between rf(b) and b in happens-before).
+func (c *checker) checkReadsFrom() {
+	for _, a := range c.ex.Trace {
+		if !a.Kind.IsRead() || a.RF == nil {
+			continue
+		}
+		s := a.RF
+		if s.Loc != a.Loc {
+			c.fail("rf-loc", "%v reads from %v at a different location", a, s)
+		}
+		if a.Kind == memmodel.KLoad && a.Value != s.Value {
+			c.fail("rf-value", "%v read %d but %v wrote %d", a, a.Value, s, s.Value)
+		}
+		if c.hbBefore(a, s) {
+			c.fail("rf-hb", "%v reads from hb-later store %v", a, s)
+		}
+	}
+}
+
+// checkCoherence verifies the four coherence shapes of Figure 5 against the
+// concrete modification order.
+func (c *checker) checkCoherence() {
+	byLoc := map[memmodel.LocID][]*core.Action{}
+	for _, a := range c.ex.Trace {
+		if a.Loc != memmodel.NoLoc && (a.Kind.IsWrite() || a.Kind.IsRead()) {
+			byLoc[a.Loc] = append(byLoc[a.Loc], a)
+		}
+	}
+	for _, acts := range byLoc {
+		for i, x := range acts {
+			for _, y := range acts[i+1:] {
+				if !c.hbBefore(x, y) {
+					continue
+				}
+				wx, wy := writeOf(x), writeOf(y)
+				if wx == nil || wy == nil {
+					continue
+				}
+				switch {
+				case x.Kind.IsWrite() && y.Kind.IsWrite():
+					if !c.moBefore(wx, wy) {
+						c.fail("CoWW", "%v hb %v but mo disagrees", x, y)
+					}
+				case x.Kind.IsWrite() && !y.Kind.IsWrite():
+					if wx != wy && c.moBefore(wy, wx) {
+						c.fail("CoWR", "%v hb %v but %v reads mo-earlier %v", x, y, y, wy)
+					}
+				case !x.Kind.IsWrite() && y.Kind.IsWrite():
+					if wx != wy && c.moBefore(wy, wx) {
+						c.fail("CoRW", "%v hb %v but store is mo-before the read's source", x, y)
+					}
+				default:
+					if wx != wy && c.moBefore(wy, wx) {
+						c.fail("CoRR", "%v hb %v but reads go backwards in mo", x, y)
+					}
+				}
+			}
+		}
+	}
+}
+
+// writeOf maps an access to the store whose mo position constrains it: the
+// action itself for writes, the store read from for reads.
+func writeOf(a *core.Action) *core.Action {
+	if a.Kind.IsWrite() {
+		return a
+	}
+	return a.RF
+}
+
+// checkRMWAtomicity verifies that every RMW immediately follows the store
+// it read from in modification order and that no store feeds two RMWs.
+func (c *checker) checkRMWAtomicity() {
+	readBy := map[*core.Action]*core.Action{}
+	for _, moList := range c.ex.MO {
+		for i, a := range moList {
+			if a.Kind != memmodel.KRMW || a.RF == nil {
+				continue
+			}
+			if prev := readBy[a.RF]; prev != nil {
+				c.fail("rmw-unique", "store %v read by RMWs %v and %v", a.RF, prev, a)
+			}
+			readBy[a.RF] = a
+			if i == 0 || moList[i-1] != a.RF {
+				c.fail("rmw-atomic", "%v does not immediately follow %v in mo", a, a.RF)
+			}
+		}
+	}
+}
+
+// checkSeqCst verifies the SC axioms the engine must enforce: the SC order
+// restricted to same-location stores is consistent with mo, and an SC load
+// reads either the last SC store sc-before it or a store that does not
+// happen before that store (C++11 29.3p3).
+func (c *checker) checkSeqCst() {
+	var scOps []*core.Action
+	for _, a := range c.ex.Trace {
+		if a.IsSC() {
+			scOps = append(scOps, a)
+		}
+	}
+	// SC ∪ mo consistency for same-location stores.
+	for i, x := range scOps {
+		if !x.Kind.IsWrite() {
+			continue
+		}
+		for _, y := range scOps[i+1:] {
+			if y.Kind.IsWrite() && y.Loc == x.Loc && c.moBefore(y, x) {
+				c.fail("sc-mo", "SC order %v before %v contradicts mo", x, y)
+			}
+		}
+	}
+	// SC read restriction.
+	lastSCStore := map[memmodel.LocID]*core.Action{}
+	for _, a := range scOps {
+		if a.Kind.IsRead() && a.RF != nil {
+			if last := lastSCStore[a.Loc]; last != nil && a.RF != last {
+				if a.RF.IsSC() && a.RF.SCIdx < last.SCIdx {
+					c.fail("sc-read", "%v reads SC store %v older than last SC store %v", a, a.RF, last)
+				}
+				if c.hbBefore(a.RF, last) {
+					c.fail("sc-read-hb", "%v reads %v which happens before last SC store %v", a, a.RF, last)
+				}
+			}
+		}
+		if a.Kind.IsWrite() {
+			lastSCStore[a.Loc] = a
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package axiom
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"c11tester/internal/capi"
+	"c11tester/internal/core"
+	"c11tester/internal/memmodel"
+)
+
+// opSpec is one pre-generated operation of a chaos program.
+type opSpec struct {
+	kind memmodel.Kind
+	loc  int
+	mo   memmodel.MemoryOrder
+	val  memmodel.Value
+	rmw  capi.RMWKind
+}
+
+var chaosOrders = []memmodel.MemoryOrder{
+	memmodel.Relaxed, memmodel.Acquire, memmodel.Release,
+	memmodel.AcqRel, memmodel.SeqCst,
+}
+
+// genChaosProgram builds a random well-formed atomics program: T threads
+// over L atomic locations performing loads, stores, RMWs, CASes, and fences
+// with random memory orders. The shape is fixed up front so the program is
+// deterministic given its spec.
+func genChaosProgram(r *rand.Rand) capi.Program {
+	nThreads := 2 + r.Intn(3)
+	nLocs := 1 + r.Intn(3)
+	specs := make([][]opSpec, nThreads)
+	val := memmodel.Value(1)
+	for ti := range specs {
+		nOps := 4 + r.Intn(10)
+		for k := 0; k < nOps; k++ {
+			s := opSpec{
+				loc: r.Intn(nLocs),
+				mo:  chaosOrders[r.Intn(len(chaosOrders))],
+			}
+			switch r.Intn(6) {
+			case 0, 1:
+				s.kind = memmodel.KLoad
+			case 2, 3:
+				s.kind = memmodel.KStore
+				s.val = val
+				val++
+			case 4:
+				s.kind = memmodel.KRMW
+				if r.Intn(2) == 0 {
+					s.rmw = capi.RMWAdd
+					s.val = 1
+				} else {
+					s.rmw = capi.RMWExchange
+					s.val = val
+					val++
+				}
+			case 5:
+				if r.Intn(2) == 0 {
+					s.kind = memmodel.KFence
+				} else {
+					s.kind = memmodel.KRMW
+					s.rmw = capi.RMWCas
+					s.val = val
+					val++
+				}
+			}
+			specs[ti] = append(specs[ti], s)
+		}
+	}
+	return capi.Program{
+		Name: "chaos",
+		Run: func(env capi.Env) {
+			locs := make([]capi.Loc, nLocs)
+			for i := range locs {
+				locs[i] = env.NewAtomic(fmt.Sprintf("x%d", i), 0)
+			}
+			var threads []capi.Thread
+			for _, spec := range specs {
+				spec := spec
+				threads = append(threads, env.Spawn("worker", func(env capi.Env) {
+					for _, s := range spec {
+						switch s.kind {
+						case memmodel.KLoad:
+							env.Load(locs[s.loc], s.mo)
+						case memmodel.KStore:
+							env.Store(locs[s.loc], s.val, s.mo)
+						case memmodel.KFence:
+							env.Fence(s.mo)
+						case memmodel.KRMW:
+							switch s.rmw {
+							case capi.RMWAdd:
+								env.FetchAdd(locs[s.loc], s.val, s.mo)
+							case capi.RMWExchange:
+								env.Exchange(locs[s.loc], s.val, s.mo)
+							case capi.RMWCas:
+								env.CompareExchange(locs[s.loc], 0, s.val, s.mo, memmodel.Relaxed)
+							}
+						}
+					}
+				}))
+			}
+			for _, th := range threads {
+				env.Join(th)
+			}
+		},
+	}
+}
+
+// TestChaosExecutionsValidate runs hundreds of random atomics programs
+// through the engine and validates every lifted execution against the
+// independent axiomatic checker (the equivalence of Appendix A).
+func TestChaosExecutionsValidate(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	for i := 0; i < 250; i++ {
+		prog := genChaosProgram(r)
+		model := core.NewC11Model()
+		tool := core.New("c11tester", model, core.Config{Trace: true, StoreBurst: true})
+		for seed := int64(0); seed < 4; seed++ {
+			res := tool.Execute(prog, seed)
+			if res.Truncated || res.Deadlocked {
+				t.Fatalf("program %d seed %d: truncated/deadlocked", i, seed)
+			}
+			ex := FromEngine(tool, model)
+			if vs := Check(ex); len(vs) > 0 {
+				for _, v := range vs {
+					t.Errorf("program %d seed %d: %v", i, seed, v)
+				}
+				t.Fatalf("program %d seed %d: %d axiom violations", i, seed, len(vs))
+			}
+		}
+	}
+}
+
+// TestChaosWithConservativePruning re-runs chaos programs with the
+// conservative pruner active on a tiny interval; behaviours must stay legal
+// (the validator only checks retained actions, but coherence among them
+// must hold).
+func TestChaosLongRunsUnderPruning(t *testing.T) {
+	// Long-running two-thread program with heavy traffic on one location,
+	// pruned conservatively; assertion-checked coherence.
+	prog := capi.Program{Name: "prune-chaos", Run: func(env capi.Env) {
+		x := env.NewAtomic("x", 0)
+		y := env.NewAtomic("y", 0)
+		a := env.Spawn("w", func(env capi.Env) {
+			for i := 1; i <= 1500; i++ {
+				env.Store(x, memmodel.Value(i), memmodel.Release)
+				if i%16 == 0 {
+					env.Store(y, memmodel.Value(i), memmodel.Release)
+				}
+			}
+		})
+		last := memmodel.Value(0)
+		for i := 0; i < 1500; i++ {
+			if env.Load(y, memmodel.Acquire) > 0 {
+				v := env.Load(x, memmodel.Acquire)
+				env.Assert(v >= last, "coherence: %d after %d", v, last)
+				last = v
+			}
+		}
+		env.Join(a)
+	}}
+	for _, mode := range []core.PruneMode{core.PruneConservative, core.PruneAggressive} {
+		tool := core.New("c11tester", core.NewC11Model(), core.Config{
+			Prune: mode, PruneInterval: 128, Window: 24, StoreBurst: true,
+		})
+		for seed := int64(0); seed < 10; seed++ {
+			res := tool.Execute(prog, seed)
+			if len(res.AssertFailures) > 0 {
+				t.Fatalf("mode %d seed %d: %v", mode, seed, res.AssertFailures[0])
+			}
+		}
+	}
+}
+
+// badExecution builds a hand-made execution with a CoWW violation to prove
+// the checker is not vacuous.
+func TestCheckerDetectsCoWWViolation(t *testing.T) {
+	s1 := &core.Action{Seq: 1, TID: 0, Kind: memmodel.KStore, MO: memmodel.Relaxed, Loc: 1, Value: 1, SCIdx: -1}
+	s2 := &core.Action{Seq: 2, TID: 0, Kind: memmodel.KStore, MO: memmodel.Relaxed, Loc: 1, Value: 2, SCIdx: -1}
+	ex := &Execution{
+		Trace: []*core.Action{s1, s2},
+		// mo contradicts sb: s2 before s1.
+		MO: map[memmodel.LocID][]*core.Action{1: {s2, s1}},
+	}
+	vs := Check(ex)
+	found := false
+	for _, v := range vs {
+		if v.Rule == "CoWW" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("checker missed the CoWW violation: %v", vs)
+	}
+}
+
+func TestCheckerDetectsRFValueViolation(t *testing.T) {
+	s := &core.Action{Seq: 1, TID: 0, Kind: memmodel.KStore, MO: memmodel.Relaxed, Loc: 1, Value: 1, SCIdx: -1}
+	l := &core.Action{Seq: 2, TID: 1, Kind: memmodel.KLoad, MO: memmodel.Relaxed, Loc: 1, Value: 99, RF: s, SCIdx: -1}
+	ex := &Execution{
+		Trace: []*core.Action{s, l},
+		MO:    map[memmodel.LocID][]*core.Action{1: {s}},
+	}
+	vs := Check(ex)
+	found := false
+	for _, v := range vs {
+		if v.Rule == "rf-value" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("checker missed the rf value violation: %v", vs)
+	}
+}
+
+func TestCheckerDetectsRMWAtomicityViolation(t *testing.T) {
+	s1 := &core.Action{Seq: 1, TID: 0, Kind: memmodel.KStore, MO: memmodel.Relaxed, Loc: 1, Value: 1, SCIdx: -1}
+	s2 := &core.Action{Seq: 2, TID: 1, Kind: memmodel.KStore, MO: memmodel.Relaxed, Loc: 1, Value: 2, SCIdx: -1}
+	rmw := &core.Action{Seq: 3, TID: 2, Kind: memmodel.KRMW, MO: memmodel.Relaxed, Loc: 1, Value: 3, RF: s1, SCIdx: -1}
+	ex := &Execution{
+		Trace: []*core.Action{s1, s2, rmw},
+		// s2 intervenes between the RMW and the store it read from.
+		MO: map[memmodel.LocID][]*core.Action{1: {s1, s2, rmw}},
+	}
+	vs := Check(ex)
+	found := false
+	for _, v := range vs {
+		if v.Rule == "rmw-atomic" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("checker missed the RMW atomicity violation: %v", vs)
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"c11tester/internal/memmodel"
+	"c11tester/internal/mograph"
+	"c11tester/internal/race"
+	"c11tester/internal/sched"
+)
+
+// Action is one dynamic event of an execution: an atomic load, store, RMW,
+// fence, promoted non-atomic store, or thread/synchronization event. It is
+// the operational counterpart of the elements in Figure 10 of the paper
+// (StoreElem, LoadElem, RMWElem, FenceElem).
+type Action struct {
+	Seq  memmodel.SeqNum
+	TID  memmodel.TID
+	Kind memmodel.Kind
+	MO   memmodel.MemoryOrder
+	Loc  memmodel.LocID
+
+	// Value is the stored value for stores/RMWs, the value read for loads,
+	// and the child/target thread id for thread events.
+	Value memmodel.Value
+
+	// RF is the store this load or RMW read from.
+	RF *Action
+
+	// RFCV is the reads-from clock vector RF_s of Figure 9, maintained for
+	// stores and RMWs to implement release sequences.
+	RFCV *memmodel.ClockVector
+
+	// CVSnap is the thread clock at the time of the action. It is recorded
+	// only for seq_cst stores (needed by the may-read-from SC restriction)
+	// and, in trace mode, for every action.
+	CVSnap *memmodel.ClockVector
+
+	// Node is the action's node in the modification order graph (stores and
+	// RMWs only).
+	Node *mograph.Node
+
+	// SCIdx is the action's position in the seq_cst total order, or -1.
+	SCIdx int
+
+	// RMWReader is the RMW that read from this store, if any; at most one
+	// RMW may read from a given store (RMW atomicity).
+	RMWReader *Action
+}
+
+func (a *Action) String() string {
+	return fmt.Sprintf("%v(loc=%d mo=%v tid=%d seq=%d val=%d)", a.Kind, a.Loc, a.MO, a.TID, a.Seq, a.Value)
+}
+
+// IsSC reports whether the action participates in the seq_cst total order.
+func (a *Action) IsSC() bool { return a.SCIdx >= 0 }
+
+// locState is the engine-level state of one shared memory location: its
+// plain-memory cell, race-detector shadow word, and promotion bookkeeping.
+// Atomic bookkeeping (per-thread access lists, mo-graph nodes) belongs to
+// the memory model.
+type locState struct {
+	id      memmodel.LocID
+	name    string
+	naValue memmodel.Value
+	shadow  race.Shadow
+	// promoted records that the latest non-atomic store has already been
+	// promoted into the modification order graph (Section 7.2), so repeated
+	// atomic accesses do not promote it again.
+	promoted bool
+}
+
+// mutexState models one pthread mutex: ownership, a wait set, and a release
+// clock that transfers happens-before from unlockers to the next locker.
+type mutexState struct {
+	id    memmodel.LocID
+	name  string
+	owner *ThreadState
+	cv    memmodel.ClockVector
+}
+
+// condState models one pthread condition variable.
+type condState struct {
+	id      memmodel.LocID
+	name    string
+	waiters []*ThreadState
+	cv      memmodel.ClockVector
+}
+
+// condPhase tracks where a thread is inside a cond-wait state machine.
+type condPhase uint8
+
+const (
+	condIdle      condPhase = iota
+	condWaiting             // parked on the condition variable
+	condReacquire           // signaled; re-acquiring the mutex
+)
+
+// ThreadState is the engine-side state of one model thread: the clock
+// vectors of Figure 9, the per-thread seq_cst fence list, and blocking
+// bookkeeping.
+type ThreadState struct {
+	ID   memmodel.TID
+	Name string
+
+	// C, Frel, and Facq are the thread clock vector and the release/acquire
+	// fence clock vectors of Figure 9.
+	C    *memmodel.ClockVector
+	Frel *memmodel.ClockVector
+	Facq *memmodel.ClockVector
+
+	// SCFences lists the thread's seq_cst fences in order (used by the
+	// prior-set procedures of Figure 13).
+	SCFences []*Action
+
+	thr      *sched.Thread
+	finished bool
+	// woken marks a blocked thread as schedulable again: its pending
+	// operation will be re-dispatched, and may block again.
+	woken bool
+	// opSeq is the sequence number assigned to the operation currently
+	// being dispatched.
+	opSeq memmodel.SeqNum
+
+	condPhase    condPhase
+	condSignaled bool
+
+	// burstable records that the thread's previous operation was a relaxed
+	// or release atomic store, enabling the store-burst scheduling rule of
+	// Section 3.
+	burstable bool
+}
+
+// LastSCFence returns the thread's most recent seq_cst fence, or nil.
+func (t *ThreadState) LastSCFence() *Action {
+	if n := len(t.SCFences); n > 0 {
+		return t.SCFences[n-1]
+	}
+	return nil
+}
+
+// OpSeq returns the sequence number of the operation currently being
+// dispatched for this thread (memory-model plugins use it to stamp the
+// actions they create).
+func (t *ThreadState) OpSeq() memmodel.SeqNum { return t.opSeq }

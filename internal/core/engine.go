@@ -1,0 +1,460 @@
+// Package core implements the C11Tester engine: the exploration loop of
+// Figure 3, the operational semantics of Figure 11, and the surrounding
+// runtime (race detection, scheduling, pruning, repeated execution).
+//
+// The engine is shared infrastructure: the memory-model-specific part — how
+// an atomic operation picks the store it reads from and what bookkeeping it
+// maintains — is behind the MemModel interface, so the tsan11/tsan11rec
+// baselines (internal/baseline) reuse the same scheduler, clock machinery,
+// race detector, and instrumentation plumbing, and differ only in the
+// fragment of the memory model they admit. That mirrors the paper's framing:
+// the tools are comparable because they test the same programs and differ in
+// memory model and scheduling control.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"c11tester/internal/capi"
+	"c11tester/internal/memmodel"
+	"c11tester/internal/sched"
+)
+
+// PruneMode selects the execution-graph memory limiter of Section 7.1.
+type PruneMode uint8
+
+const (
+	// PruneOff never frees execution-graph state.
+	PruneOff PruneMode = iota
+	// PruneConservative frees only state that provably cannot influence any
+	// future behaviour, preserving the full set of executions.
+	PruneConservative
+	// PruneAggressive keeps a bounded window of stores per location and may
+	// reduce the set of producible executions.
+	PruneAggressive
+)
+
+// Config configures an engine.
+type Config struct {
+	// Sched selects the handoff regime (see internal/sched).
+	Sched sched.Config
+	// Strategy plugs in the exploration strategy (Section 3's pluggable
+	// framework). Nil means the default random strategy.
+	Strategy Strategy
+	// MaxSteps aborts executions that exceed this many visible operations
+	// (livelock guard). 0 means the default of 4M.
+	MaxSteps uint64
+	// VolatileAcqRel maps volatile loads to acquire and volatile stores to
+	// release instead of relaxed (the Silo experiment of Section 8.2).
+	VolatileAcqRel bool
+	// Prune selects the memory limiter mode.
+	Prune PruneMode
+	// PruneInterval is the number of visible operations between limiter
+	// runs (default 4096).
+	PruneInterval uint64
+	// Window is the aggressive-mode per-location store window (default 64).
+	Window int
+	// Trace records the full execution for the axiomatic validator.
+	Trace bool
+	// StoreBurst enables the consecutive-store scheduling rule of Section 3
+	// (on for C11Tester; the baselines do not have it).
+	StoreBurst bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 4 << 20
+	}
+	if c.PruneInterval == 0 {
+		c.PruneInterval = 4096
+	}
+	if c.Window == 0 {
+		c.Window = 64
+	}
+	if c.Strategy == nil {
+		c.Strategy = NewRandomStrategy()
+	}
+	return c
+}
+
+// Strategy is the exploration plugin: it picks the next thread to run and
+// makes the random choices of the memory model (which candidate store a load
+// reads from). The default implements the paper's random strategy.
+type Strategy interface {
+	// Seed re-seeds the strategy for a new execution.
+	Seed(seed int64)
+	// PickThread selects the next thread among the schedulable ones.
+	PickThread(ready []*ThreadState) *ThreadState
+	// PickIndex selects an index in [0, n).
+	PickIndex(n int) int
+}
+
+// RandomStrategy is the paper's default plugin: uniform random choices.
+type RandomStrategy struct{ rng *rand.Rand }
+
+// NewRandomStrategy returns a RandomStrategy.
+func NewRandomStrategy() *RandomStrategy {
+	return &RandomStrategy{rng: rand.New(rand.NewSource(1))}
+}
+
+// Seed implements Strategy.
+func (s *RandomStrategy) Seed(seed int64) { s.rng = rand.New(rand.NewSource(seed)) }
+
+// PickThread implements Strategy.
+func (s *RandomStrategy) PickThread(ready []*ThreadState) *ThreadState {
+	return ready[s.rng.Intn(len(ready))]
+}
+
+// PickIndex implements Strategy.
+func (s *RandomStrategy) PickIndex(n int) int { return s.rng.Intn(n) }
+
+// QuantumStrategy models an uncontrolled OS scheduler: it keeps running the
+// same thread for a geometrically distributed quantum of visible operations
+// before preempting to a random other thread. This is how the tsan11
+// baseline, which does not control scheduling, is represented on the
+// engine's sequentialized substrate (Section 8's single-core configuration).
+type QuantumStrategy struct {
+	rng       *rand.Rand
+	mean      int
+	remaining int
+	current   *ThreadState
+}
+
+// NewQuantumStrategy returns a QuantumStrategy with the given mean quantum.
+func NewQuantumStrategy(mean int) *QuantumStrategy {
+	if mean < 1 {
+		mean = 1
+	}
+	return &QuantumStrategy{rng: rand.New(rand.NewSource(1)), mean: mean}
+}
+
+// Seed implements Strategy.
+func (s *QuantumStrategy) Seed(seed int64) {
+	s.rng = rand.New(rand.NewSource(seed))
+	s.current = nil
+	s.remaining = 0
+}
+
+// PickThread implements Strategy.
+func (s *QuantumStrategy) PickThread(ready []*ThreadState) *ThreadState {
+	if s.current != nil && s.remaining > 0 {
+		for _, t := range ready {
+			if t == s.current {
+				s.remaining--
+				return t
+			}
+		}
+	}
+	s.current = ready[s.rng.Intn(len(ready))]
+	// Geometric quantum with the configured mean.
+	s.remaining = 1
+	for s.rng.Intn(s.mean) != 0 {
+		s.remaining++
+	}
+	return s.current
+}
+
+// PickIndex implements Strategy.
+func (s *QuantumStrategy) PickIndex(n int) int { return s.rng.Intn(n) }
+
+// MemModel is the memory-model plugin point: the C11Tester model
+// (constraint-based modification order, full hb∪sc∪rf-acyclic fragment)
+// and the baseline commit-order models implement it.
+type MemModel interface {
+	// Begin resets the model's per-execution state.
+	Begin(e *Engine)
+	// AtomicLoad executes an atomic load and returns the value read.
+	AtomicLoad(t *ThreadState, op *capi.Op) memmodel.Value
+	// AtomicStore executes an atomic store.
+	AtomicStore(t *ThreadState, op *capi.Op)
+	// AtomicRMW executes a fetch-add, exchange, or compare-exchange. It
+	// returns the value read and whether the write part happened (false for
+	// a failed CAS).
+	AtomicRMW(t *ThreadState, op *capi.Op) (old memmodel.Value, stored bool)
+	// Fence executes an atomic fence.
+	Fence(t *ThreadState, op *capi.Op)
+	// PromoteNAStore informs the model that the most recent write to loc
+	// was a non-atomic store by writer at the given epoch; the model must
+	// make it visible to atomics (Section 7.2).
+	PromoteNAStore(t *ThreadState, loc memmodel.LocID, writer memmodel.TID, epoch memmodel.SeqNum, v memmodel.Value)
+	// Maintain runs periodic upkeep (the Section 7.1 memory limiter).
+	Maintain(e *Engine)
+}
+
+// Engine runs programs under a MemModel with controlled scheduling. One
+// Engine instance is one "tool" in the paper's sense: it persists state
+// (race deduplication) across repeated executions (Section 7.6).
+type Engine struct {
+	cfg   Config
+	name  string
+	model MemModel
+
+	// Persistent tool state across executions.
+	seenRaces map[string]struct{}
+	execIndex int
+
+	// Per-execution state.
+	sch     *sched.Scheduler
+	threads []*ThreadState
+	locs    []*locState
+	mutexes []*mutexState
+	conds   []*condState
+	nextSeq memmodel.SeqNum
+	scCount int
+	rng     *rand.Rand
+	result  *capi.Result
+	steps   uint64
+	trace   []*Action
+	burstT  *ThreadState // thread eligible for a store burst
+
+	readyBuf []*ThreadState
+}
+
+// New returns an engine running the given memory model.
+func New(name string, model MemModel, cfg Config) *Engine {
+	return &Engine{
+		cfg:       cfg.withDefaults(),
+		name:      name,
+		model:     model,
+		seenRaces: map[string]struct{}{},
+	}
+}
+
+// Name implements capi.Tool.
+func (e *Engine) Name() string { return e.name }
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Threads returns the threads of the current (or last) execution.
+func (e *Engine) Threads() []*ThreadState { return e.threads }
+
+// Trace returns the recorded execution when Config.Trace is set.
+func (e *Engine) Trace() []*Action { return e.trace }
+
+// Rand returns the engine's per-execution random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Strategy returns the engine's exploration strategy.
+func (e *Engine) Strategy() Strategy { return e.cfg.Strategy }
+
+// Execute implements capi.Tool: it runs one execution of p.
+func (e *Engine) Execute(p capi.Program, seed int64) *capi.Result {
+	e.sch = sched.New(e.cfg.Sched)
+	e.threads = e.threads[:0]
+	e.locs = e.locs[:0]
+	e.locs = append(e.locs, nil) // LocID 0 is NoLoc
+	e.mutexes = e.mutexes[:0]
+	e.mutexes = append(e.mutexes, nil)
+	e.conds = e.conds[:0]
+	e.conds = append(e.conds, nil)
+	e.nextSeq = 0
+	e.scCount = 0
+	e.steps = 0
+	e.trace = e.trace[:0]
+	e.burstT = nil
+	e.rng = rand.New(rand.NewSource(seed))
+	e.cfg.Strategy.Seed(seed)
+	e.result = &capi.Result{}
+	e.model.Begin(e)
+
+	e.spawnThread("main", p.Run, nil)
+	e.loop()
+
+	e.execIndex++
+	return e.result
+}
+
+// spawnThread creates a model thread. parent is nil for the main thread;
+// otherwise the child inherits the parent's clock (the asw edge of the
+// paper's lifting, Section A.2).
+func (e *Engine) spawnThread(name string, fn func(capi.Env), parent *ThreadState) *ThreadState {
+	ts := &ThreadState{
+		Name: name,
+		C:    memmodel.NewClockVector(len(e.threads) + 1),
+		Frel: memmodel.NewClockVector(0),
+		Facq: memmodel.NewClockVector(0),
+	}
+	if parent != nil {
+		ts.C.Merge(parent.C)
+	}
+	// The handle must be wired up inside the body: the thread runs to its
+	// first operation before NewThread returns.
+	e.sch.NewThread(name, func(t *sched.Thread) {
+		ts.thr = t
+		ts.ID = t.ID
+		fn(&env{e: e, ts: ts})
+	})
+	ts.thr = e.sch.Threads()[len(e.sch.Threads())-1]
+	ts.ID = ts.thr.ID
+	e.threads = append(e.threads, ts)
+	if ts.thr.State() == sched.Finished {
+		e.finishThread(ts)
+	}
+	return ts
+}
+
+// loop is the Explore procedure of Figure 3: while threads are enabled,
+// select one, select its operation's behaviour, and execute it.
+func (e *Engine) loop() {
+	for {
+		// Store-burst rule (Section 3): consecutive relaxed/release stores
+		// by the same thread execute without a scheduling decision.
+		var t *ThreadState
+		if e.cfg.StoreBurst && e.burstT != nil && e.schedulable(e.burstT) && isBurstableStore(e.burstT.thr.Pending()) {
+			t = e.burstT
+		} else {
+			ready := e.readyBuf[:0]
+			for _, ts := range e.threads {
+				if e.schedulable(ts) {
+					ready = append(ready, ts)
+				}
+			}
+			e.readyBuf = ready
+			if len(ready) == 0 {
+				if e.sch.AliveCount() == 0 {
+					return
+				}
+				e.result.Deadlocked = true
+				e.sch.Abort()
+				return
+			}
+			t = e.cfg.Strategy.PickThread(ready)
+		}
+		e.dispatch(t)
+		e.steps++
+		if e.steps >= e.cfg.MaxSteps {
+			e.result.Truncated = true
+			e.sch.Abort()
+			return
+		}
+		if e.cfg.Prune != PruneOff && e.steps%e.cfg.PruneInterval == 0 {
+			e.model.Maintain(e)
+		}
+	}
+}
+
+func (e *Engine) schedulable(ts *ThreadState) bool {
+	if ts.finished {
+		return false
+	}
+	switch ts.thr.State() {
+	case sched.Ready:
+		return true
+	case sched.Blocked:
+		return ts.woken
+	}
+	return false
+}
+
+func isBurstableStore(op *capi.Op) bool {
+	return op != nil && op.Kind == memmodel.KStore &&
+		(op.MO == memmodel.Relaxed || op.MO == memmodel.Release)
+}
+
+// assignSeq gives the current operation of ts its event sequence number and
+// advances the thread's clock (a thread's own clock entry is the sequence
+// number of its latest event, Section 4.2).
+func (e *Engine) assignSeq(ts *ThreadState) memmodel.SeqNum {
+	e.nextSeq++
+	ts.opSeq = e.nextSeq
+	ts.C.Set(ts.ID, e.nextSeq)
+	return e.nextSeq
+}
+
+// nextSCIndex allocates the next position in the seq_cst total order.
+func (e *Engine) nextSCIndex() int {
+	e.scCount++
+	return e.scCount - 1
+}
+
+// complete replies to ts, letting it run to its next operation, and handles
+// thread termination.
+func (e *Engine) complete(ts *ThreadState) {
+	ts.woken = false
+	if e.sch.Reply(ts.thr) == sched.Finished {
+		e.finishThread(ts)
+	}
+}
+
+// block suspends ts on its current operation; it stays suspended until a
+// wake marks it schedulable again, at which point the operation is
+// re-dispatched.
+func (e *Engine) block(ts *ThreadState) {
+	if ts.thr.State() == sched.Ready {
+		e.sch.Block(ts.thr)
+	}
+	ts.woken = false
+	e.burstT = nil
+}
+
+func (e *Engine) finishThread(ts *ThreadState) {
+	ts.finished = true
+	if ts.thr.PanicValue != nil {
+		e.result.AssertFailures = append(e.result.AssertFailures, capi.AssertFailure{
+			TID:       ts.ID,
+			Message:   fmt.Sprintf("panic in thread %q: %v", ts.Name, ts.thr.PanicValue),
+			Execution: e.execIndex,
+		})
+	}
+	// Wake joiners; their join ops re-dispatch and now succeed.
+	for _, w := range e.threads {
+		if !w.finished && w.thr.State() == sched.Blocked {
+			if op := w.thr.Pending(); op != nil && op.Kind == memmodel.KThreadJoin && op.Target == ts.ID {
+				w.woken = true
+			}
+		}
+	}
+	if e.cfg.Trace {
+		e.trace = append(e.trace, &Action{
+			Seq: e.nextSeqPeek(), TID: ts.ID, Kind: memmodel.KThreadFinish, SCIdx: -1,
+		})
+	}
+}
+
+func (e *Engine) nextSeqPeek() memmodel.SeqNum {
+	e.nextSeq++
+	return e.nextSeq
+}
+
+// loc returns the location state for id.
+func (e *Engine) loc(id memmodel.LocID) *locState { return e.locs[id] }
+
+// LocName returns the name a location was created with.
+func (e *Engine) LocName(id memmodel.LocID) string {
+	if int(id) < len(e.locs) && e.locs[id] != nil {
+		return e.locs[id].name
+	}
+	return fmt.Sprintf("loc#%d", id)
+}
+
+// reportConflicts converts race-detector conflicts on loc into reports,
+// deduplicating across executions (Section 7.6: races are reported once).
+func (e *Engine) reportConflicts(ts *ThreadState, l *locState, kind memmodel.Kind, conflicts []raceConflict) {
+	for _, c := range conflicts {
+		priorKind := memmodel.KNALoad
+		if c.PriorWrite {
+			priorKind = memmodel.KNAStore
+		}
+		if !c.PriorNA {
+			priorKind = memmodel.KLoad
+			if c.PriorWrite {
+				priorKind = memmodel.KStore
+			}
+		}
+		r := capi.RaceReport{
+			LocName:   l.name,
+			PriorKind: priorKind,
+			Kind:      kind,
+			PriorTID:  c.PriorTID,
+			TID:       ts.ID,
+			Execution: e.execIndex,
+		}
+		e.result.Races = append(e.result.Races, r)
+		if _, seen := e.seenRaces[r.Key()]; !seen {
+			e.seenRaces[r.Key()] = struct{}{}
+			e.result.NewRaces = append(e.result.NewRaces, r)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"c11tester/internal/capi"
+	"c11tester/internal/memmodel"
+)
+
+// env implements capi.Env for one thread: every method packages the request
+// as an Op and parks the thread until the engine has executed it. This is
+// the runtime half of the instrumentation boundary (Figure 1).
+type env struct {
+	e  *Engine
+	ts *ThreadState
+}
+
+var _ capi.Env = (*env)(nil)
+
+func (v *env) call(op *capi.Op) *capi.Op {
+	v.ts.thr.Call(op)
+	return op
+}
+
+func (v *env) TID() memmodel.TID { return v.ts.ID }
+
+func (v *env) NewLoc(name string, init memmodel.Value) capi.Loc {
+	op := v.call(&capi.Op{Kind: memmodel.KAlloc, NewName: name, Operand: init})
+	return capi.Loc{ID: memmodel.LocID(op.Val)}
+}
+
+func (v *env) NewAtomic(name string, init memmodel.Value) capi.Loc {
+	op := v.call(&capi.Op{Kind: memmodel.KAlloc, NewName: name, Operand: init, NewAtomic: true})
+	return capi.Loc{ID: memmodel.LocID(op.Val)}
+}
+
+func (v *env) Load(l capi.Loc, mo memmodel.MemoryOrder) memmodel.Value {
+	return v.call(&capi.Op{Kind: memmodel.KLoad, MO: mo, Loc: l.ID}).Val
+}
+
+func (v *env) Store(l capi.Loc, val memmodel.Value, mo memmodel.MemoryOrder) {
+	v.call(&capi.Op{Kind: memmodel.KStore, MO: mo, Loc: l.ID, Operand: val})
+}
+
+func (v *env) FetchAdd(l capi.Loc, delta memmodel.Value, mo memmodel.MemoryOrder) memmodel.Value {
+	return v.call(&capi.Op{Kind: memmodel.KRMW, MO: mo, Loc: l.ID, RMW: capi.RMWAdd, Operand: delta}).Val
+}
+
+func (v *env) Exchange(l capi.Loc, val memmodel.Value, mo memmodel.MemoryOrder) memmodel.Value {
+	return v.call(&capi.Op{Kind: memmodel.KRMW, MO: mo, Loc: l.ID, RMW: capi.RMWExchange, Operand: val}).Val
+}
+
+func (v *env) CompareExchange(l capi.Loc, expected, desired memmodel.Value, succ, fail memmodel.MemoryOrder) (memmodel.Value, bool) {
+	op := v.call(&capi.Op{
+		Kind: memmodel.KRMW, MO: succ, FailMO: fail, Loc: l.ID,
+		RMW: capi.RMWCas, Operand: desired, Expected: expected,
+	})
+	return op.Val, op.OK
+}
+
+func (v *env) Fence(mo memmodel.MemoryOrder) {
+	v.call(&capi.Op{Kind: memmodel.KFence, MO: mo})
+}
+
+func (v *env) Read(l capi.Loc) memmodel.Value {
+	return v.call(&capi.Op{Kind: memmodel.KNALoad, Loc: l.ID}).Val
+}
+
+func (v *env) Write(l capi.Loc, val memmodel.Value) {
+	v.call(&capi.Op{Kind: memmodel.KNAStore, Loc: l.ID, Operand: val})
+}
+
+// VolatileLoad and VolatileStore model legacy pre-C11 atomics: C11Tester
+// converts them to atomic accesses with a configurable memory order
+// (Sections 7.2 and 8.2). Because they become atomics, volatile/volatile and
+// volatile/atomic pairs are never reported as races — only volatile/plain
+// conflicts are.
+func (v *env) VolatileLoad(l capi.Loc) memmodel.Value {
+	mo := memmodel.Relaxed
+	if v.e.cfg.VolatileAcqRel {
+		mo = memmodel.Acquire
+	}
+	return v.call(&capi.Op{Kind: memmodel.KLoad, MO: mo, Loc: l.ID, Volatile: true}).Val
+}
+
+func (v *env) VolatileStore(l capi.Loc, val memmodel.Value) {
+	mo := memmodel.Relaxed
+	if v.e.cfg.VolatileAcqRel {
+		mo = memmodel.Release
+	}
+	v.call(&capi.Op{Kind: memmodel.KStore, MO: mo, Loc: l.ID, Operand: val, Volatile: true})
+}
+
+func (v *env) Spawn(name string, fn func(capi.Env)) capi.Thread {
+	op := v.call(&capi.Op{Kind: memmodel.KThreadCreate, SpawnName: name, SpawnFn: fn})
+	return capi.Thread{TID: memmodel.TID(op.Val)}
+}
+
+func (v *env) Join(t capi.Thread) {
+	v.call(&capi.Op{Kind: memmodel.KThreadJoin, Target: t.TID})
+}
+
+func (v *env) Yield() {
+	v.call(&capi.Op{Kind: memmodel.KYield})
+}
+
+func (v *env) NewMutex(name string) capi.Mutex {
+	op := v.call(&capi.Op{Kind: memmodel.KAllocMutex, NewName: name})
+	return capi.Mutex{ID: memmodel.LocID(op.Val)}
+}
+
+func (v *env) Lock(m capi.Mutex) {
+	v.call(&capi.Op{Kind: memmodel.KMutexLock, Loc: m.ID})
+}
+
+func (v *env) TryLock(m capi.Mutex) bool {
+	return v.call(&capi.Op{Kind: memmodel.KMutexTryLock, Loc: m.ID}).OK
+}
+
+func (v *env) Unlock(m capi.Mutex) {
+	v.call(&capi.Op{Kind: memmodel.KMutexUnlock, Loc: m.ID})
+}
+
+func (v *env) NewCond(name string) capi.Cond {
+	op := v.call(&capi.Op{Kind: memmodel.KAllocCond, NewName: name})
+	return capi.Cond{ID: memmodel.LocID(op.Val)}
+}
+
+func (v *env) Wait(c capi.Cond, m capi.Mutex) {
+	v.call(&capi.Op{Kind: memmodel.KCondWait, Loc: c.ID, Loc2: m.ID})
+}
+
+func (v *env) Signal(c capi.Cond) {
+	v.call(&capi.Op{Kind: memmodel.KCondSignal, Loc: c.ID})
+}
+
+func (v *env) Broadcast(c capi.Cond) {
+	v.call(&capi.Op{Kind: memmodel.KCondBroadcast, Loc: c.ID})
+}
+
+func (v *env) Assert(cond bool, format string, args ...any) {
+	if cond {
+		return
+	}
+	v.call(&capi.Op{Kind: memmodel.KAssert, AssertMsg: fmt.Sprintf(format, args...)})
+}
+
+// RandUint64 draws from the engine's per-execution source. Threads run one
+// at a time and are totally ordered by the handoff channels, so the shared
+// source is safe to use here without additional synchronization.
+func (v *env) RandUint64() uint64 { return v.e.rng.Uint64() }

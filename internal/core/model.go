@@ -1,0 +1,633 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"c11tester/internal/capi"
+	"c11tester/internal/memmodel"
+	"c11tester/internal/mograph"
+)
+
+// aloc is the memory model's bookkeeping for one atomic location: the
+// per-thread lists of memory accesses the paper maintains to evaluate the
+// modification-order implications (Section 4.1) and the prior-set
+// procedures (Figure 13).
+type aloc struct {
+	id memmodel.LocID
+	// storesBy[t] lists the stores/RMWs (and promoted non-atomic stores) by
+	// thread t in sequenced-before order.
+	storesBy [][]*Action
+	// accessesBy[t] lists loads and stores by thread t (loads_stores).
+	accessesBy [][]*Action
+	// scStoresBy[t] lists thread t's seq_cst stores (sc_stores).
+	scStoresBy  [][]*Action
+	lastSCStore *Action
+	storeCount  int
+}
+
+func (al *aloc) stores(t memmodel.TID) []*Action {
+	if int(t) < len(al.storesBy) {
+		return al.storesBy[t]
+	}
+	return nil
+}
+
+func (al *aloc) accesses(t memmodel.TID) []*Action {
+	if int(t) < len(al.accessesBy) {
+		return al.accessesBy[t]
+	}
+	return nil
+}
+
+func (al *aloc) scStores(t memmodel.TID) []*Action {
+	if int(t) < len(al.scStoresBy) {
+		return al.scStoresBy[t]
+	}
+	return nil
+}
+
+func grow(lists [][]*Action, t memmodel.TID) [][]*Action {
+	for len(lists) <= int(t) {
+		lists = append(lists, nil)
+	}
+	return lists
+}
+
+func (al *aloc) appendStore(a *Action) {
+	al.storesBy = grow(al.storesBy, a.TID)
+	al.storesBy[a.TID] = append(al.storesBy[a.TID], a)
+	al.accessesBy = grow(al.accessesBy, a.TID)
+	al.accessesBy[a.TID] = append(al.accessesBy[a.TID], a)
+	if a.IsSC() {
+		al.scStoresBy = grow(al.scStoresBy, a.TID)
+		al.scStoresBy[a.TID] = append(al.scStoresBy[a.TID], a)
+		al.lastSCStore = a
+	}
+	al.storeCount++
+}
+
+func (al *aloc) appendLoad(a *Action) {
+	al.accessesBy = grow(al.accessesBy, a.TID)
+	al.accessesBy[a.TID] = append(al.accessesBy[a.TID], a)
+}
+
+// C11Model is the paper's memory model: the fragment of C/C++11 with the
+// C++20 release-sequence definition, consume strengthened to acquire, and
+// hb ∪ sc ∪ rf acyclic (Section 2.2), with modification order maintained as
+// a constraint graph (Section 4).
+type C11Model struct {
+	e     *Engine
+	g     *mograph.Graph
+	alocs []*aloc
+}
+
+// NewC11Model returns the C11Tester memory model.
+func NewC11Model() *C11Model { return &C11Model{} }
+
+// Graph exposes the modification order graph (stats, validation, ablation).
+func (m *C11Model) Graph() *mograph.Graph { return m.g }
+
+// Begin implements MemModel.
+func (m *C11Model) Begin(e *Engine) {
+	m.e = e
+	m.g = mograph.New()
+	m.alocs = m.alocs[:0]
+}
+
+func (m *C11Model) aloc(id memmodel.LocID) *aloc {
+	for len(m.alocs) <= int(id) {
+		m.alocs = append(m.alocs, nil)
+	}
+	if m.alocs[id] == nil {
+		m.alocs[id] = &aloc{id: id}
+	}
+	return m.alocs[id]
+}
+
+// ApplyLoadClocks implements the [ACQUIRE LOAD] and [RELAXED LOAD] rules of
+// Figure 9: an acquire load merges the store's reads-from clock into the
+// thread clock; a relaxed load banks it in the acquire-fence clock. It is
+// exported because the baseline memory models use the same happens-before
+// machinery (both tsan11 variants implement C11 release/acquire clocks).
+func ApplyLoadClocks(t *ThreadState, mo memmodel.MemoryOrder, rf *Action) {
+	if rf.RFCV == nil {
+		return // promoted non-atomic store: carries no release sequence
+	}
+	if mo.IsAcquire() {
+		t.C.Merge(rf.RFCV)
+	} else {
+		t.Facq.Merge(rf.RFCV)
+	}
+}
+
+// StoreRFCV implements [RELEASE STORE] / [RELAXED STORE]: a release store's
+// reads-from clock is the thread clock; a relaxed store inherits the
+// release-fence clock (fences turn later relaxed stores into releases).
+func StoreRFCV(t *ThreadState, mo memmodel.MemoryOrder) *memmodel.ClockVector {
+	if mo.IsRelease() {
+		return t.C.Clone()
+	}
+	return t.Frel.Clone()
+}
+
+// chainEnd follows rmw edges to the end of a node's RMW chain; edges added
+// "to" a store land after its RMW chain (Figure 6), so feasibility checks
+// must test reachability of the chain end.
+func chainEnd(n *mograph.Node) *mograph.Node {
+	for n.RMW() != nil {
+		n = n.RMW()
+	}
+	return n
+}
+
+// AtomicStore implements MemModel ([ATOMIC STORE] of Figure 11).
+func (m *C11Model) AtomicStore(t *ThreadState, op *capi.Op) {
+	al := m.aloc(op.Loc)
+	act := &Action{
+		Seq: t.opSeq, TID: t.ID, Kind: memmodel.KStore, MO: op.MO,
+		Loc: op.Loc, Value: op.Operand, SCIdx: -1,
+	}
+	if op.MO.IsSeqCst() {
+		act.SCIdx = m.e.nextSCIndex()
+		act.CVSnap = t.C.Clone()
+	}
+	pset := m.writePriorSet(t, al, act.MO.IsSeqCst())
+	act.RFCV = StoreRFCV(t, op.MO)
+	act.Node = m.g.NewNode(t.ID, act.Seq, op.Loc)
+	m.addEdges(pset, act.Node)
+	al.appendStore(act)
+	m.e.TraceAppend(act)
+}
+
+// AtomicLoad implements MemModel ([ATOMIC LOAD] of Figure 11): build the
+// may-read-from set, pick candidates until one passes the modification-order
+// feasibility check, then commit the reads-from edge.
+func (m *C11Model) AtomicLoad(t *ThreadState, op *capi.Op) memmodel.Value {
+	al := m.aloc(op.Loc)
+	cands := m.mayReadFrom(t, al, op.MO, false)
+	for len(cands) > 0 {
+		i := m.e.cfg.Strategy.PickIndex(len(cands))
+		s := cands[i]
+		pset, ok := m.readPriorSet(t, al, op.MO.IsSeqCst(), s)
+		if !ok {
+			cands[i] = cands[len(cands)-1]
+			cands = cands[:len(cands)-1]
+			continue
+		}
+		act := &Action{
+			Seq: t.opSeq, TID: t.ID, Kind: memmodel.KLoad, MO: op.MO,
+			Loc: op.Loc, Value: s.Value, RF: s, SCIdx: -1,
+		}
+		if op.MO.IsSeqCst() {
+			act.SCIdx = m.e.nextSCIndex()
+		}
+		m.addEdges(pset, s.Node)
+		ApplyLoadClocks(t, op.MO, s)
+		al.appendLoad(act)
+		m.e.TraceAppend(act)
+		return s.Value
+	}
+	panic(fmt.Sprintf("c11model: no feasible store for load of loc %d", op.Loc))
+}
+
+// AtomicRMW implements MemModel ([ATOMIC RMW] of Figure 11). A failed
+// compare-exchange degrades to a load with the failure memory order.
+func (m *C11Model) AtomicRMW(t *ThreadState, op *capi.Op) (memmodel.Value, bool) {
+	al := m.aloc(op.Loc)
+	isCAS := op.RMW == capi.RMWCas
+	cands := m.mayReadFrom(t, al, op.MO, !isCAS)
+	for len(cands) > 0 {
+		i := m.e.cfg.Strategy.PickIndex(len(cands))
+		s := cands[i]
+		matches := !isCAS || s.Value == op.Expected
+		drop := func() {
+			cands[i] = cands[len(cands)-1]
+			cands = cands[:len(cands)-1]
+		}
+		if isCAS && matches && s.RMWReader != nil {
+			// A store already consumed by an RMW cannot be read by a
+			// successful strong CAS, and reading it with the matching value
+			// and failing would be a spurious failure.
+			drop()
+			continue
+		}
+		mo := op.MO
+		if isCAS && !matches {
+			mo = op.FailMO
+		}
+		pset, ok := m.readPriorSet(t, al, mo.IsSeqCst(), s)
+		if !ok {
+			drop()
+			continue
+		}
+		if isCAS && !matches {
+			// Failure path: a pure load.
+			act := &Action{
+				Seq: t.opSeq, TID: t.ID, Kind: memmodel.KLoad, MO: mo,
+				Loc: op.Loc, Value: s.Value, RF: s, SCIdx: -1,
+			}
+			if mo.IsSeqCst() {
+				act.SCIdx = m.e.nextSCIndex()
+			}
+			m.addEdges(pset, s.Node)
+			ApplyLoadClocks(t, mo, s)
+			al.appendLoad(act)
+			m.e.TraceAppend(act)
+			return s.Value, false
+		}
+		// Defensive feasibility check for the write part: the store rule
+		// will add edges from the write prior set into the RMW node, which
+		// after migration also carries the read store's outgoing edges.
+		// Reject the candidate if such an edge would close a cycle (the
+		// paper's pseudocode only checks the read prior set).
+		if !m.rmwWriteFeasible(t, al, op.MO.IsSeqCst(), s) {
+			drop()
+			continue
+		}
+		newVal := rmwNewValue(op, s.Value)
+		act := &Action{
+			Seq: t.opSeq, TID: t.ID, Kind: memmodel.KRMW, MO: op.MO,
+			Loc: op.Loc, Value: newVal, RF: s, SCIdx: -1,
+		}
+		ApplyLoadClocks(t, op.MO, s)
+		if op.MO.IsSeqCst() {
+			act.SCIdx = m.e.nextSCIndex()
+			act.CVSnap = t.C.Clone()
+		}
+		// [RELEASE RMW] / [RELAXED RMW]: the RMW continues every release
+		// sequence the store it reads from is part of.
+		act.RFCV = StoreRFCV(t, op.MO)
+		act.RFCV.Merge(s.RFCV)
+		act.Node = m.g.NewNode(t.ID, act.Seq, op.Loc)
+		m.addEdges(pset, s.Node)
+		m.g.AddRMWEdge(s.Node, act.Node)
+		wpset := m.writePriorSet(t, al, op.MO.IsSeqCst())
+		m.addEdges(wpset, act.Node)
+		s.RMWReader = act
+		al.appendStore(act)
+		m.e.TraceAppend(act)
+		return s.Value, true
+	}
+	panic(fmt.Sprintf("c11model: no feasible store for RMW of loc %d", op.Loc))
+}
+
+// Fence implements MemModel ([ACQUIRE FENCE] / [RELEASE FENCE] of Figure 9;
+// seq_cst fences additionally enter the SC order and the per-thread fence
+// lists consumed by the Figure 13 prior-set procedures).
+func (m *C11Model) Fence(t *ThreadState, op *capi.Op) {
+	if op.MO.IsAcquire() {
+		t.C.Merge(t.Facq)
+	}
+	if op.MO.IsRelease() {
+		t.Frel = t.C.Clone()
+	}
+	if op.MO.IsSeqCst() {
+		act := &Action{
+			Seq: t.opSeq, TID: t.ID, Kind: memmodel.KFence, MO: op.MO,
+			SCIdx: m.e.nextSCIndex(),
+		}
+		t.SCFences = append(t.SCFences, act)
+		m.e.TraceAppend(act)
+	}
+}
+
+// PromoteNAStore implements MemModel (Section 7.2): the latest non-atomic
+// store to loc becomes visible to the atomic machinery as a relaxed store by
+// its original writer at its original epoch. Only the writer's intra-thread
+// coherence edges are added; cross-thread ordering against a historical
+// plain store cannot be reconstructed (the racing accesses themselves are
+// reported by the race detector).
+func (m *C11Model) PromoteNAStore(t *ThreadState, loc memmodel.LocID, writer memmodel.TID, epoch memmodel.SeqNum, v memmodel.Value) {
+	al := m.aloc(loc)
+	act := &Action{
+		Seq: epoch, TID: writer, Kind: memmodel.KNAStore, MO: memmodel.Relaxed,
+		Loc: loc, Value: v, SCIdx: -1,
+	}
+	act.Node = m.g.NewNode(writer, epoch, loc)
+	al.storesBy = grow(al.storesBy, writer)
+	al.accessesBy = grow(al.accessesBy, writer)
+	insertSorted := func(list []*Action) ([]*Action, int) {
+		i := sort.Search(len(list), func(k int) bool { return list[k].Seq > epoch })
+		list = append(list, nil)
+		copy(list[i+1:], list[i:])
+		list[i] = act
+		return list, i
+	}
+	var i int
+	al.storesBy[writer], i = insertSorted(al.storesBy[writer])
+	if i > 0 {
+		m.g.AddEdge(al.storesBy[writer][i-1].Node, act.Node)
+	}
+	if i+1 < len(al.storesBy[writer]) {
+		m.g.AddEdge(act.Node, chainStart(al.storesBy[writer][i+1]).Node)
+	}
+	al.accessesBy[writer], _ = insertSorted(al.accessesBy[writer])
+	al.storeCount++
+	m.e.TraceAppend(act)
+}
+
+// chainStart is the identity today but documents that the successor edge of
+// a promoted store targets the store itself; AddEdge handles any RMW chain.
+func chainStart(a *Action) *Action { return a }
+
+// addEdges adds modification-order edges from each prior action's node to
+// dst (Figure 7's AddEdges).
+func (m *C11Model) addEdges(pset []*Action, dst *mograph.Node) {
+	for _, a := range pset {
+		if a.Node != dst {
+			m.g.AddEdge(a.Node, dst)
+		}
+	}
+}
+
+// mayReadFrom builds the may-read-from set of Figure 12 for the current
+// operation of thread t at al.
+func (m *C11Model) mayReadFrom(t *ThreadState, al *aloc, mo memmodel.MemoryOrder, forRMW bool) []*Action {
+	isSC := mo.IsSeqCst()
+	var lastSC *Action
+	if isSC {
+		lastSC = al.lastSCStore
+	}
+	var ret []*Action
+	for tid := range al.storesBy {
+		stores := al.storesBy[tid]
+		if len(stores) == 0 {
+			continue
+		}
+		// Stores that happen before the load form a prefix of the thread's
+		// list; only the last of them remains readable (line 8).
+		start := -1
+		for i := len(stores) - 1; i >= 0; i-- {
+			if t.C.Synchronized(stores[i].TID, stores[i].Seq) {
+				start = i
+				break
+			}
+		}
+		if start < 0 {
+			start = 0
+		}
+		for i := start; i < len(stores); i++ {
+			x := stores[i]
+			if forRMW && x.RMWReader != nil {
+				continue // no two RMWs read the same store (line 15)
+			}
+			if isSC && lastSC != nil && x != lastSC {
+				// A seq_cst load reads the last seq_cst store or a store
+				// neither sc- nor hb-before it (lines 9–11).
+				if x.SCIdx >= 0 && x.SCIdx < lastSC.SCIdx {
+					continue
+				}
+				if lastSC.CVSnap != nil && lastSC.CVSnap.Synchronized(x.TID, x.Seq) {
+					continue
+				}
+			}
+			ret = append(ret, x)
+		}
+	}
+	return ret
+}
+
+// lastStoreBefore returns the last store in list sequenced before seq.
+func lastStoreBefore(list []*Action, seq memmodel.SeqNum) *Action {
+	for i := len(list) - 1; i >= 0; i-- {
+		if list[i].Seq < seq {
+			return list[i]
+		}
+	}
+	return nil
+}
+
+// lastSCStoreBefore returns the last store in list that is sc-ordered
+// before scIdx.
+func lastSCStoreBefore(list []*Action, scIdx int) *Action {
+	for i := len(list) - 1; i >= 0; i-- {
+		if list[i].SCIdx >= 0 && list[i].SCIdx < scIdx {
+			return list[i]
+		}
+	}
+	return nil
+}
+
+// lastFenceBefore returns the last fence in fences sc-ordered before scIdx.
+func lastFenceBefore(fences []*Action, scIdx int) *Action {
+	for i := len(fences) - 1; i >= 0; i-- {
+		if fences[i].SCIdx < scIdx {
+			return fences[i]
+		}
+	}
+	return nil
+}
+
+// lastHBAccess returns the last access in list that happens before the
+// current point described by clock cv (first hit from the end, since
+// hb-before accesses form a prefix).
+func lastHBAccess(list []*Action, cv *memmodel.ClockVector) *Action {
+	for i := len(list) - 1; i >= 0; i-- {
+		if cv.Synchronized(list[i].TID, list[i].Seq) {
+			return list[i]
+		}
+	}
+	return nil
+}
+
+func getWrite(a *Action) *Action {
+	if a == nil || a.Kind.IsWrite() {
+		return a
+	}
+	return a.RF
+}
+
+func maxSeq(actions ...*Action) *Action {
+	var best *Action
+	for _, a := range actions {
+		if a != nil && (best == nil || a.Seq > best.Seq) {
+			best = a
+		}
+	}
+	return best
+}
+
+// priorWrite computes get_write(last{S1,S2,S3,S4}) of Figure 13 for thread
+// u, shared by ReadPriorSet and WritePriorSet: Fcur is the current thread's
+// last seq_cst fence, isSC whether the current operation is seq_cst.
+func (m *C11Model) priorWrite(t *ThreadState, al *aloc, u *ThreadState, fCur *Action, isSC bool) *Action {
+	stores := al.stores(u.ID)
+	var s1, s2, s3 *Action
+	if isSC {
+		if fu := u.LastSCFence(); fu != nil {
+			s1 = lastStoreBefore(stores, fu.Seq)
+		}
+	}
+	if fCur != nil {
+		s2 = lastSCStoreBefore(al.scStores(u.ID), fCur.SCIdx)
+		if fb := lastFenceBefore(u.SCFences, fCur.SCIdx); fb != nil {
+			s3 = lastStoreBefore(stores, fb.Seq)
+		}
+	}
+	s4 := lastHBAccess(al.accesses(u.ID), t.C)
+	return getWrite(maxSeq(s1, s2, s3, s4))
+}
+
+// readPriorSet implements ReadPriorSet of Figure 13: the set of stores that
+// must be modification-ordered before s if the current load reads from s,
+// and whether establishing the rf edge keeps the constraints satisfiable.
+func (m *C11Model) readPriorSet(t *ThreadState, al *aloc, isSCLoad bool, s *Action) ([]*Action, bool) {
+	fl := t.LastSCFence()
+	var pri []*Action
+	for _, u := range m.e.threads {
+		if a := m.priorWrite(t, al, u, fl, isSCLoad); a != nil && a != s {
+			pri = append(pri, a)
+		}
+	}
+	for _, a := range pri {
+		end := chainEnd(a.Node)
+		if end == s.Node {
+			continue
+		}
+		if m.g.Reachable(s.Node, end) {
+			return nil, false
+		}
+	}
+	return pri, true
+}
+
+// writePriorSet implements WritePriorSet of Figure 13 for a store that is
+// about to be appended (it is not in the location lists yet).
+func (m *C11Model) writePriorSet(t *ThreadState, al *aloc, isSC bool) []*Action {
+	fs := t.LastSCFence()
+	var pri []*Action
+	if isSC && al.lastSCStore != nil {
+		pri = append(pri, al.lastSCStore)
+	}
+	for _, u := range m.e.threads {
+		if a := m.priorWrite(t, al, u, fs, isSC); a != nil {
+			pri = append(pri, a)
+		}
+	}
+	return pri
+}
+
+// rmwWriteFeasible rejects an RMW read candidate whose write-part edges
+// would close a cycle through the RMW's migrated successors (see AtomicRMW).
+func (m *C11Model) rmwWriteFeasible(t *ThreadState, al *aloc, isSC bool, s *Action) bool {
+	for _, a := range m.writePriorSet(t, al, isSC) {
+		if a == s {
+			continue
+		}
+		if m.g.Reachable(s.Node, chainEnd(a.Node)) {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalMO returns one modification order for loc consistent with the
+// constraint graph: a linear extension of the mo edges in which every RMW
+// immediately follows the store it read from (Section A.2's lifting). To
+// honour the adjacency constraint, each store and its chain of RMW readers
+// is contracted into one group before the topological sort; groups are
+// emitted head-first with ties broken by head sequence number. It is used
+// by the axiomatic validator.
+func (m *C11Model) TotalMO(loc memmodel.LocID) []*Action {
+	if int(loc) >= len(m.alocs) || m.alocs[loc] == nil {
+		return nil
+	}
+	al := m.alocs[loc]
+	var stores []*Action
+	byNode := map[*mograph.Node]*Action{}
+	for _, list := range al.storesBy {
+		for _, a := range list {
+			stores = append(stores, a)
+			byNode[a.Node] = a
+		}
+	}
+	// rep maps each action to the head of its store/RMW chain.
+	rep := map[*Action]*Action{}
+	var headOf func(a *Action) *Action
+	headOf = func(a *Action) *Action {
+		if h, ok := rep[a]; ok {
+			return h
+		}
+		h := a
+		if a.Kind == memmodel.KRMW && a.RF != nil && a.RF.RMWReader == a {
+			if _, inGraph := byNode[a.RF.Node]; inGraph {
+				h = headOf(a.RF)
+			}
+		}
+		rep[a] = h
+		return h
+	}
+	indeg := map[*Action]int{}
+	for _, a := range stores {
+		ha := headOf(a)
+		for _, e := range a.Node.Edges() {
+			if dst, ok := byNode[e]; ok {
+				if hd := headOf(dst); hd != ha {
+					indeg[hd]++
+				}
+			}
+		}
+	}
+	var frontier []*Action
+	for _, a := range stores {
+		if headOf(a) == a && indeg[a] == 0 {
+			frontier = append(frontier, a)
+		}
+	}
+	var out []*Action
+	emitted := 0
+	for len(frontier) > 0 {
+		best := 0
+		for i := 1; i < len(frontier); i++ {
+			if frontier[i].Seq < frontier[best].Seq {
+				best = i
+			}
+		}
+		head := frontier[best]
+		frontier = append(frontier[:best], frontier[best+1:]...)
+		// Emit the whole chain, then release the edges of all its members.
+		for a := head; a != nil; a = chainNext(a, byNode) {
+			out = append(out, a)
+			emitted++
+			for _, e := range a.Node.Edges() {
+				if dst, ok := byNode[e]; ok {
+					if hd := headOf(dst); hd != head {
+						indeg[hd]--
+						if indeg[hd] == 0 {
+							frontier = append(frontier, hd)
+						}
+					}
+				}
+			}
+		}
+	}
+	if emitted != len(stores) {
+		panic(fmt.Sprintf("c11model: modification order of loc %d contains a cycle", loc))
+	}
+	return out
+}
+
+// chainNext returns the RMW that extends a's chain, if it is part of this
+// location's graph.
+func chainNext(a *Action, byNode map[*mograph.Node]*Action) *Action {
+	r := a.RMWReader
+	if r == nil {
+		return nil
+	}
+	if _, ok := byNode[r.Node]; !ok {
+		return nil
+	}
+	return r
+}
+
+// Locations returns the ids of all atomic locations the model has seen.
+func (m *C11Model) Locations() []memmodel.LocID {
+	var ids []memmodel.LocID
+	for id, al := range m.alocs {
+		if al != nil {
+			ids = append(ids, memmodel.LocID(id))
+		}
+	}
+	return ids
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"c11tester/internal/memmodel"
+)
+
+// Execution-graph pruning (Section 7.1). Naively dropping old actions is
+// unsound: an old store can be modification-ordered *after* a newer one, so
+// removing it could let a thread read a store it must no longer observe.
+// Both modes below therefore prune sets of stores that are downward-closed
+// under the modification order — everything mo-before an anchor goes — plus
+// every load that read a pruned store.
+//
+//   - Conservative: anchors are stores that happen before the current point
+//     of every live thread (computed from CVmin, the ∩ of live thread
+//     clocks). Anything mo-before such an anchor is unreadable by any
+//     future load (write-read coherence), so pruning preserves the full set
+//     of executions.
+//
+//   - Aggressive: anchors are the stores W positions from the end of each
+//     per-thread list. Stores mo-before them may still have been readable,
+//     so this mode can reduce the set of producible executions — but never
+//     admits an illegal one: because the pruned set is mo-downward-closed,
+//     no retained store is mo-before any pruned coherence floor.
+
+// Maintain implements MemModel.
+func (m *C11Model) Maintain(e *Engine) {
+	switch e.cfg.Prune {
+	case PruneConservative:
+		cvmin := m.cvMin()
+		if cvmin == nil {
+			return
+		}
+		for _, al := range m.alocs {
+			if al != nil {
+				m.pruneLoc(al, m.coveredAnchors(al, cvmin))
+			}
+		}
+		m.pruneFences(cvmin)
+	case PruneAggressive:
+		for _, al := range m.alocs {
+			if al != nil {
+				m.pruneLoc(al, m.windowAnchors(al, e.cfg.Window))
+			}
+		}
+	}
+}
+
+// cvMin intersects the clock vectors of all live threads (Section 7.1's ∩
+// operator); a store (t, s) with s ≤ CVmin[t] happens before every live
+// thread's current point.
+func (m *C11Model) cvMin() *memmodel.ClockVector {
+	var cvmin *memmodel.ClockVector
+	for _, t := range m.e.threads {
+		if t.finished {
+			continue
+		}
+		if cvmin == nil {
+			cvmin = t.C.Clone()
+		} else {
+			cvmin.Intersect(t.C)
+		}
+	}
+	return cvmin
+}
+
+// coveredAnchors returns, per thread list, the latest store known to every
+// live thread.
+func (m *C11Model) coveredAnchors(al *aloc, cvmin *memmodel.ClockVector) []*Action {
+	var anchors []*Action
+	for _, list := range al.storesBy {
+		for i := len(list) - 1; i >= 0; i-- {
+			if cvmin.Synchronized(list[i].TID, list[i].Seq) {
+				anchors = append(anchors, list[i])
+				break
+			}
+		}
+	}
+	return anchors
+}
+
+// windowAnchors returns, per thread list longer than the window, the store
+// at the window boundary.
+func (m *C11Model) windowAnchors(al *aloc, window int) []*Action {
+	var anchors []*Action
+	for _, list := range al.storesBy {
+		if len(list) > window {
+			anchors = append(anchors, list[len(list)-window])
+		}
+	}
+	return anchors
+}
+
+// pruneLoc retires every store strictly mo-before one of the anchors, plus
+// the loads that read them. The last seq_cst store is always retained (the
+// may-read-from SC restriction needs it to stay readable).
+func (m *C11Model) pruneLoc(al *aloc, anchors []*Action) {
+	if len(anchors) == 0 {
+		return
+	}
+	var pruned map[*Action]bool
+	for ti, list := range al.storesBy {
+		kept := list[:0]
+		for _, x := range list {
+			dead := false
+			if x != al.lastSCStore {
+				for _, anc := range anchors {
+					if x != anc && m.g.Reachable(x.Node, anc.Node) {
+						dead = true
+						break
+					}
+				}
+			}
+			if dead {
+				if pruned == nil {
+					pruned = map[*Action]bool{}
+				}
+				pruned[x] = true
+				m.g.Retire(x.Node)
+				al.storeCount--
+			} else {
+				kept = append(kept, x)
+			}
+		}
+		clearTail(list, len(kept))
+		al.storesBy[ti] = kept
+	}
+	if pruned == nil {
+		return
+	}
+	for ti, list := range al.accessesBy {
+		kept := list[:0]
+		for _, x := range list {
+			if pruned[x] {
+				continue
+			}
+			if x.Kind == memmodel.KLoad && x.RF != nil && pruned[x.RF] {
+				continue
+			}
+			kept = append(kept, x)
+		}
+		clearTail(list, len(kept))
+		al.accessesBy[ti] = kept
+	}
+	for ti, list := range al.scStoresBy {
+		kept := list[:0]
+		for _, x := range list {
+			if !pruned[x] {
+				kept = append(kept, x)
+			}
+		}
+		clearTail(list, len(kept))
+		al.scStoresBy[ti] = kept
+	}
+}
+
+// clearTail nils the now-unused tail of a filtered slice so pruned actions
+// become collectable.
+func clearTail(list []*Action, from int) {
+	for i := from; i < len(list); i++ {
+		list[i] = nil
+	}
+}
+
+// pruneFences drops seq_cst fences that happen before every live thread's
+// current point: the happens-before relation already enforces the orderings
+// they would contribute (Section 7.1, Fences).
+func (m *C11Model) pruneFences(cvmin *memmodel.ClockVector) {
+	for _, t := range m.e.threads {
+		fences := t.SCFences
+		cut := 0
+		for cut < len(fences) && cvmin.Synchronized(fences[cut].TID, fences[cut].Seq) {
+			cut++
+		}
+		if cut > 0 {
+			t.SCFences = append([]*Action(nil), fences[cut:]...)
+		}
+	}
+}
+
+// StoreCount returns the number of retained stores at loc (memory-bound
+// tests and the pruning ablation).
+func (m *C11Model) StoreCount(loc memmodel.LocID) int {
+	if int(loc) >= len(m.alocs) || m.alocs[loc] == nil {
+		return 0
+	}
+	return m.alocs[loc].storeCount
+}

@@ -1,0 +1,254 @@
+// Package harness runs programs under tools and aggregates the metrics the
+// paper reports: bug/race detection rates over repeated executions
+// (Section 8.1, Table 2), execution time and throughput statistics with
+// relative standard deviations (Table 1, Table 4), operation counts
+// (Table 3), and the geometric-mean speedups of Figure 15.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"c11tester/internal/capi"
+)
+
+// Signal selects which bug signal counts as a detection.
+type Signal int
+
+const (
+	// SignalRace counts executions that reported a data race.
+	SignalRace Signal = iota
+	// SignalAssert counts executions with assertion violations.
+	SignalAssert
+	// SignalAny counts races, assertion violations, and deadlocks.
+	SignalAny
+)
+
+func (s Signal) hit(r *capi.Result) bool {
+	switch s {
+	case SignalRace:
+		return len(r.Races) > 0
+	case SignalAssert:
+		return len(r.AssertFailures) > 0
+	default:
+		return r.Buggy()
+	}
+}
+
+// Detection aggregates a detection-rate experiment.
+type Detection struct {
+	Runs     int
+	Detected int
+	// Time is the mean wall-clock time per execution.
+	Time time.Duration
+	// Ops accumulates the operation counts over all executions.
+	Ops capi.OpStats
+}
+
+// Rate returns the detection rate in percent.
+func (d Detection) Rate() float64 {
+	if d.Runs == 0 {
+		return 0
+	}
+	return 100 * float64(d.Detected) / float64(d.Runs)
+}
+
+// MeasureDetection executes prog runs times under tool and counts
+// executions exhibiting the signal.
+func MeasureDetection(tool capi.Tool, prog capi.Program, runs int, seedBase int64, signal Signal) Detection {
+	d := Detection{Runs: runs}
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		res := tool.Execute(prog, seedBase+int64(i))
+		if signal.hit(res) {
+			d.Detected++
+		}
+		d.Ops.Add(res.Stats)
+	}
+	if runs > 0 {
+		d.Time = time.Since(start) / time.Duration(runs)
+	}
+	return d
+}
+
+// Perf aggregates a timed experiment.
+type Perf struct {
+	Times []time.Duration
+	// Ops are the operation counts of the last execution.
+	Ops capi.OpStats
+	// Work is the application-reported work metric per run (throughput
+	// numerator), when the workload provides one.
+	Work []float64
+}
+
+// MeasurePerf executes prog runs times under tool, timing each execution.
+// work, if non-nil, extracts the run's application-level work metric.
+func MeasurePerf(tool capi.Tool, prog capi.Program, runs int, seedBase int64, work func() float64) Perf {
+	var p Perf
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		res := tool.Execute(prog, seedBase+int64(i))
+		p.Times = append(p.Times, time.Since(start))
+		p.Ops = res.Stats
+		if work != nil {
+			p.Work = append(p.Work, work())
+		}
+	}
+	return p
+}
+
+// MeanTime returns the mean execution time.
+func (p Perf) MeanTime() time.Duration {
+	if len(p.Times) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, t := range p.Times {
+		sum += t
+	}
+	return sum / time.Duration(len(p.Times))
+}
+
+// RSDTime returns the relative standard deviation of execution times in
+// percent (the parenthesised numbers of Table 1).
+func (p Perf) RSDTime() float64 {
+	return rsd(durationsToFloats(p.Times))
+}
+
+// MeanWork and RSDWork aggregate the throughput metric.
+func (p Perf) MeanWork() float64 { return mean(p.Work) }
+func (p Perf) RSDWork() float64  { return rsd(p.Work) }
+
+func durationsToFloats(ts []time.Duration) []float64 {
+	out := make([]float64, len(ts))
+	for i, t := range ts {
+		out[i] = float64(t)
+	}
+	return out
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+func rsd(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := mean(xs)
+	if m == 0 {
+		return 0
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - m) * (x - m)
+	}
+	return 100 * math.Sqrt(ss/float64(len(xs)-1)) / m
+}
+
+// Geomean returns the geometric mean of positive values (Figure 15's
+// cross-benchmark aggregation).
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Table is a simple fixed-width text table for experiment output.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// FmtDuration renders a duration in the unit the paper's tables use.
+func FmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	}
+}
+
+// FmtOps renders an operation count the way Table 3 does (e.g. "63.7M").
+func FmtOps(n uint64) string {
+	switch {
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.1fK", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// SortedKeys returns the sorted keys of a string-keyed map (deterministic
+// experiment output).
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

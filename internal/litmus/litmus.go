@@ -1,0 +1,356 @@
+// Package litmus provides the classic weak-memory litmus tests as programs
+// for the capi instrumentation boundary, each with an oracle classifying
+// outcomes as forbidden or as weak (allowed but not sequentially
+// consistent) under the C11Tester memory-model fragment (Section 2.2).
+// They validate the engine, differentiate the baselines, and drive
+// cmd/litmus.
+package litmus
+
+import (
+	"fmt"
+
+	"c11tester/internal/capi"
+	"c11tester/internal/memmodel"
+)
+
+const (
+	rlx = memmodel.Relaxed
+	acq = memmodel.Acquire
+	rel = memmodel.Release
+	sc  = memmodel.SeqCst
+)
+
+// Test is one litmus test.
+type Test struct {
+	Name string
+	Doc  string
+	// Forbidden outcomes under the C11Tester fragment (hb ∪ sc ∪ rf
+	// acyclic). Observing one is a model soundness bug.
+	Forbidden map[string]bool
+	// Weak outcomes are allowed but not sequentially consistent; a complete
+	// exploration should eventually produce them.
+	Weak map[string]bool
+	// BaselineForbidden marks outcomes additionally forbidden under the
+	// tsan11/tsan11rec fragment (hb ∪ sc ∪ rf ∪ mo acyclic): the fragment
+	// gap of Section 1.1.
+	BaselineForbidden map[string]bool
+	// Make builds the program; each execution writes its outcome to *out
+	// ("" means the run was skipped, e.g. a bounded spin starved).
+	Make func(out *string) capi.Program
+}
+
+// spin waits (boundedly) for l to become nonzero; it returns false if the
+// scheduler starved the producer.
+func spin(env capi.Env, l capi.Loc, mo memmodel.MemoryOrder) bool {
+	for i := 0; i < 300; i++ {
+		if env.Load(l, mo) != 0 {
+			return true
+		}
+		env.Yield()
+	}
+	return false
+}
+
+// Tests returns the litmus suite.
+func Tests() []*Test {
+	return []*Test{
+		{
+			Name: "MP+rlx",
+			Doc:  "message passing, all relaxed: the stale read r1=1,r2=0 is allowed (Figure 2)",
+			Weak: map[string]bool{"r1=1 r2=0": true},
+			Make: func(out *string) capi.Program {
+				return prog2(out, func(env capi.Env, x, y capi.Loc) {
+					env.Store(x, 1, rlx)
+					env.Store(y, 1, rlx)
+				}, func(env capi.Env, x, y capi.Loc) string {
+					r1 := env.Load(y, rlx)
+					r2 := env.Load(x, rlx)
+					return fmt.Sprintf("r1=%d r2=%d", r1, r2)
+				})
+			},
+		},
+		{
+			Name:      "MP+rel+acq",
+			Doc:       "message passing with release/acquire: the stale read is forbidden",
+			Forbidden: map[string]bool{"r1=1 r2=0": true},
+			Make: func(out *string) capi.Program {
+				return prog2(out, func(env capi.Env, x, y capi.Loc) {
+					env.Store(x, 1, rlx)
+					env.Store(y, 1, rel)
+				}, func(env capi.Env, x, y capi.Loc) string {
+					r1 := env.Load(y, acq)
+					r2 := env.Load(x, rlx)
+					return fmt.Sprintf("r1=%d r2=%d", r1, r2)
+				})
+			},
+		},
+		{
+			Name: "SB+rlx",
+			Doc:  "store buffering, relaxed: r1=r2=0 allowed",
+			Weak: map[string]bool{"r1=0 r2=0": true},
+			Make: sbProgram(rlx),
+		},
+		{
+			Name:      "SB+sc",
+			Doc:       "store buffering, seq_cst: r1=r2=0 forbidden",
+			Forbidden: map[string]bool{"r1=0 r2=0": true},
+			Make:      sbProgram(sc),
+		},
+		{
+			Name:      "LB+rlx",
+			Doc:       "load buffering: r1=r2=1 forbidden by hb ∪ sc ∪ rf acyclicity (no OOTA)",
+			Forbidden: map[string]bool{"r1=1 r2=1": true},
+			Make: func(out *string) capi.Program {
+				return capi.Program{Name: "LB+rlx", Run: func(env capi.Env) {
+					x := env.NewAtomic("x", 0)
+					y := env.NewAtomic("y", 0)
+					var r1, r2 memmodel.Value
+					a := env.Spawn("A", func(env capi.Env) {
+						r1 = env.Load(y, rlx)
+						env.Store(x, 1, rlx)
+					})
+					b := env.Spawn("B", func(env capi.Env) {
+						r2 = env.Load(x, rlx)
+						env.Store(y, 1, rlx)
+					})
+					env.Join(a)
+					env.Join(b)
+					*out = fmt.Sprintf("r1=%d r2=%d", r1, r2)
+				}}
+			},
+		},
+		{
+			Name:      "CoRR",
+			Doc:       "read-read coherence: same-thread writes 1 then 2 can never be read 2 then 1",
+			Forbidden: map[string]bool{"21": true, "10": true, "20": true},
+			Weak:      map[string]bool{"01": true, "02": true},
+			Make: func(out *string) capi.Program {
+				return capi.Program{Name: "CoRR", Run: func(env capi.Env) {
+					x := env.NewAtomic("x", 0)
+					a := env.Spawn("A", func(env capi.Env) {
+						env.Store(x, 1, rlx)
+						env.Store(x, 2, rlx)
+					})
+					b := env.Spawn("B", func(env capi.Env) {
+						r1 := env.Load(x, rlx)
+						r2 := env.Load(x, rlx)
+						*out = fmt.Sprintf("%d%d", r1, r2)
+					})
+					env.Join(a)
+					env.Join(b)
+				}}
+			},
+		},
+		{
+			Name:      "IRIW+sc",
+			Doc:       "independent reads of independent writes, seq_cst: readers must agree",
+			Forbidden: map[string]bool{"1010": true},
+			Make:      iriwProgram(sc, sc),
+		},
+		{
+			Name: "IRIW+acq",
+			Doc:  "IRIW with release/acquire: disagreeing readers allowed (ARM-observable)",
+			Weak: map[string]bool{"1010": true},
+			Make: iriwProgram(rel, acq),
+		},
+		{
+			Name:      "RelSeq+rmw",
+			Doc:       "C++20 release sequence: relaxed RMW passes synchronization through",
+			Forbidden: map[string]bool{"sync-miss": true},
+			Weak:      map[string]bool{"synced": true},
+			Make: func(out *string) capi.Program {
+				return capi.Program{Name: "RelSeq+rmw", Run: func(env capi.Env) {
+					d := env.NewAtomic("d", 0)
+					f := env.NewAtomic("f", 0)
+					a := env.Spawn("A", func(env capi.Env) {
+						env.Store(d, 7, rlx)
+						env.Store(f, 1, rel)
+					})
+					b := env.Spawn("B", func(env capi.Env) {
+						env.FetchAdd(f, 1, rlx)
+					})
+					c := env.Spawn("C", func(env capi.Env) {
+						if env.Load(f, acq) == 2 {
+							if env.Load(d, rlx) == 7 {
+								*out = "synced"
+							} else {
+								*out = "sync-miss"
+							}
+						}
+					})
+					env.Join(a)
+					env.Join(b)
+					env.Join(c)
+				}}
+			},
+		},
+		{
+			Name:      "MP+fences",
+			Doc:       "message passing through release/acquire fences",
+			Forbidden: map[string]bool{"r1=1 r2=0": true},
+			Make: func(out *string) capi.Program {
+				return prog2(out, func(env capi.Env, x, y capi.Loc) {
+					env.Store(x, 1, rlx)
+					env.Fence(rel)
+					env.Store(y, 1, rlx)
+				}, func(env capi.Env, x, y capi.Loc) string {
+					r1 := env.Load(y, rlx)
+					env.Fence(acq)
+					r2 := env.Load(x, rlx)
+					return fmt.Sprintf("r1=%d r2=%d", r1, r2)
+				})
+			},
+		},
+		{
+			Name: "CoRR+opposed",
+			Doc: "fresh-then-stale reads of two commit-ordered but hb-unordered stores: " +
+				"allowed by C/C++11, impossible when mo must extend the commit order (Section 1.1)",
+			Weak:              map[string]bool{"21": true},
+			BaselineForbidden: map[string]bool{"21": true},
+			Make: func(out *string) capi.Program {
+				return capi.Program{Name: "CoRR+opposed", Run: func(env capi.Env) {
+					x := env.NewAtomic("x", 0)
+					f := env.NewAtomic("f", 0)
+					g := env.NewAtomic("g", 0)
+					w1 := env.Spawn("w1", func(env capi.Env) {
+						env.Store(x, 1, rlx)
+						env.Store(f, 1, rlx)
+					})
+					w2 := env.Spawn("w2", func(env capi.Env) {
+						if !spin(env, f, rlx) {
+							return
+						}
+						env.Store(x, 2, rlx)
+						env.Store(g, 1, rlx)
+					})
+					r := env.Spawn("r", func(env capi.Env) {
+						if !spin(env, g, rlx) {
+							return
+						}
+						a := env.Load(x, rlx)
+						b := env.Load(x, rlx)
+						*out = fmt.Sprintf("%d%d", a, b)
+					})
+					env.Join(w1)
+					env.Join(w2)
+					env.Join(r)
+				}}
+			},
+		},
+		{
+			Name:      "W+RWC",
+			Doc:       "write-to-read causality with seq_cst accesses: the non-SC outcome is forbidden",
+			Forbidden: map[string]bool{"100": true},
+			Make: func(out *string) capi.Program {
+				return capi.Program{Name: "W+RWC", Run: func(env capi.Env) {
+					x := env.NewAtomic("x", 0)
+					y := env.NewAtomic("y", 0)
+					var a1, b1, c1 memmodel.Value
+					ta := env.Spawn("a", func(env capi.Env) { env.Store(x, 1, sc) })
+					tb := env.Spawn("b", func(env capi.Env) {
+						a1 = env.Load(x, sc)
+						b1 = env.Load(y, sc)
+					})
+					tc := env.Spawn("c", func(env capi.Env) {
+						env.Store(y, 1, sc)
+						c1 = env.Load(x, sc)
+					})
+					env.Join(ta)
+					env.Join(tb)
+					env.Join(tc)
+					*out = fmt.Sprintf("%d%d%d", a1, b1, c1)
+				}}
+			},
+		},
+		{
+			Name:      "CAS+winner",
+			Doc:       "a strong CAS from the initial value has exactly one winner",
+			Forbidden: map[string]bool{"wins=0": true, "wins=2": true, "wins=3": true},
+			Make: func(out *string) capi.Program {
+				return capi.Program{Name: "CAS+winner", Run: func(env capi.Env) {
+					x := env.NewAtomic("x", 0)
+					wins := 0
+					var threads []capi.Thread
+					for i := 0; i < 3; i++ {
+						threads = append(threads, env.Spawn("t", func(env capi.Env) {
+							if _, ok := env.CompareExchange(x, 0, 1, sc, sc); ok {
+								wins++
+							}
+						}))
+					}
+					for _, th := range threads {
+						env.Join(th)
+					}
+					*out = fmt.Sprintf("wins=%d", wins)
+				}}
+			},
+		},
+	}
+}
+
+// prog2 builds a two-location, two-thread program whose reader thread
+// produces the outcome.
+func prog2(out *string, writer func(capi.Env, capi.Loc, capi.Loc), reader func(capi.Env, capi.Loc, capi.Loc) string) capi.Program {
+	return capi.Program{Name: "litmus", Run: func(env capi.Env) {
+		x := env.NewAtomic("x", 0)
+		y := env.NewAtomic("y", 0)
+		a := env.Spawn("A", func(env capi.Env) { writer(env, x, y) })
+		b := env.Spawn("B", func(env capi.Env) { *out = reader(env, x, y) })
+		env.Join(a)
+		env.Join(b)
+	}}
+}
+
+func sbProgram(mo memmodel.MemoryOrder) func(out *string) capi.Program {
+	return func(out *string) capi.Program {
+		return capi.Program{Name: "SB", Run: func(env capi.Env) {
+			x := env.NewAtomic("x", 0)
+			y := env.NewAtomic("y", 0)
+			var r1, r2 memmodel.Value
+			a := env.Spawn("A", func(env capi.Env) {
+				env.Store(x, 1, mo)
+				r1 = env.Load(y, mo)
+			})
+			b := env.Spawn("B", func(env capi.Env) {
+				env.Store(y, 1, mo)
+				r2 = env.Load(x, mo)
+			})
+			env.Join(a)
+			env.Join(b)
+			*out = fmt.Sprintf("r1=%d r2=%d", r1, r2)
+		}}
+	}
+}
+
+func iriwProgram(w, r memmodel.MemoryOrder) func(out *string) capi.Program {
+	return func(out *string) capi.Program {
+		return capi.Program{Name: "IRIW", Run: func(env capi.Env) {
+			x := env.NewAtomic("x", 0)
+			y := env.NewAtomic("y", 0)
+			var a1, a2, b1, b2 memmodel.Value
+			w1 := env.Spawn("w1", func(env capi.Env) { env.Store(x, 1, w) })
+			w2 := env.Spawn("w2", func(env capi.Env) { env.Store(y, 1, w) })
+			r1 := env.Spawn("r1", func(env capi.Env) { a1 = env.Load(x, r); a2 = env.Load(y, r) })
+			r2 := env.Spawn("r2", func(env capi.Env) { b1 = env.Load(y, r); b2 = env.Load(x, r) })
+			for _, th := range []capi.Thread{w1, w2, r1, r2} {
+				env.Join(th)
+			}
+			*out = fmt.Sprintf("%d%d%d%d", a1, a2, b1, b2)
+		}}
+	}
+}
+
+// Run executes test under tool for runs executions and histograms outcomes.
+func Run(tool capi.Tool, test *Test, runs int, seedBase int64) map[string]int {
+	hist := map[string]int{}
+	var out string
+	prog := test.Make(&out)
+	for i := 0; i < runs; i++ {
+		out = ""
+		tool.Execute(prog, seedBase+int64(i))
+		if out != "" {
+			hist[out]++
+		}
+	}
+	return hist
+}

@@ -1,0 +1,125 @@
+package memmodel
+
+// ClockVector maps thread ids to sequence numbers. The engine uses clock
+// vectors in two distinct roles that the paper is careful to separate:
+//
+//   - happens-before clocks (C_t, Frel_t, Facq_t, RF_s of Figure 9), and
+//   - mo-graph clocks that encode reachability between same-location store
+//     nodes (Section 4.2, Theorem 1).
+//
+// The zero value is the empty (all-zero) clock vector and is ready to use.
+// Vectors grow on demand as threads are created; absent entries read as 0.
+type ClockVector struct {
+	clock []SeqNum
+}
+
+// NewClockVector returns an empty clock vector with capacity for n threads.
+func NewClockVector(n int) *ClockVector {
+	return &ClockVector{clock: make([]SeqNum, n)}
+}
+
+// UnitClockVector returns the vector ⊥CV_A for a store A by thread t with
+// sequence number s: s at position t, zero elsewhere (Section 4.2).
+func UnitClockVector(t TID, s SeqNum) *ClockVector {
+	cv := NewClockVector(int(t) + 1)
+	cv.clock[t] = s
+	return cv
+}
+
+// Clone returns an independent copy of cv.
+func (cv *ClockVector) Clone() *ClockVector {
+	out := &ClockVector{clock: make([]SeqNum, len(cv.clock))}
+	copy(out.clock, cv.clock)
+	return out
+}
+
+// Len returns the number of thread slots currently held.
+func (cv *ClockVector) Len() int { return len(cv.clock) }
+
+func (cv *ClockVector) grow(n int) {
+	if n <= len(cv.clock) {
+		return
+	}
+	grown := make([]SeqNum, n)
+	copy(grown, cv.clock)
+	cv.clock = grown
+}
+
+// Get returns the clock entry for thread t (0 if t is beyond the vector).
+func (cv *ClockVector) Get(t TID) SeqNum {
+	if int(t) < len(cv.clock) {
+		return cv.clock[t]
+	}
+	return 0
+}
+
+// Set assigns the clock entry for thread t.
+func (cv *ClockVector) Set(t TID, s SeqNum) {
+	cv.grow(int(t) + 1)
+	cv.clock[t] = s
+}
+
+// Merge sets cv to the pointwise maximum of cv and other (the ∪ operator)
+// and reports whether cv changed. A nil other is a no-op.
+func (cv *ClockVector) Merge(other *ClockVector) bool {
+	if other == nil {
+		return false
+	}
+	cv.grow(len(other.clock))
+	changed := false
+	for i, s := range other.clock {
+		if s > cv.clock[i] {
+			cv.clock[i] = s
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Intersect sets cv to the pointwise minimum of cv and other (the ∩ operator
+// used to compute CVmin for conservative pruning, Section 7.1). Slots beyond
+// either vector's length are treated as 0.
+func (cv *ClockVector) Intersect(other *ClockVector) {
+	n := len(cv.clock)
+	if other == nil {
+		for i := range cv.clock {
+			cv.clock[i] = 0
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		var o SeqNum
+		if i < len(other.clock) {
+			o = other.clock[i]
+		}
+		if o < cv.clock[i] {
+			cv.clock[i] = o
+		}
+	}
+}
+
+// Leq reports cv ≤ other: every entry of cv is ≤ the corresponding entry of
+// other (Section 4.2). Entries beyond a vector's length are 0.
+func (cv *ClockVector) Leq(other *ClockVector) bool {
+	for i, s := range cv.clock {
+		if s == 0 {
+			continue
+		}
+		if other == nil || i >= len(other.clock) || s > other.clock[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Synchronized reports whether the event (t, s) is contained in this clock
+// vector, i.e. whether that event happens before the point the vector
+// describes: cv.Get(t) ≥ s.
+func (cv *ClockVector) Synchronized(t TID, s SeqNum) bool {
+	return cv.Get(t) >= s
+}
+
+// Equal reports pointwise equality (absent slots read as zero).
+func (cv *ClockVector) Equal(other *ClockVector) bool {
+	return cv.Leq(other) && other.Leq(cv)
+}

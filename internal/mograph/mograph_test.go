@@ -1,0 +1,272 @@
+package mograph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"c11tester/internal/memmodel"
+)
+
+func TestAddEdgeBasicReachability(t *testing.T) {
+	g := New()
+	a := g.NewNode(0, 1, 1)
+	b := g.NewNode(1, 2, 1)
+	c := g.NewNode(2, 3, 1)
+	g.AddEdge(a, b)
+	g.AddEdge(b, c)
+	if !g.Reachable(a, b) || !g.Reachable(b, c) || !g.Reachable(a, c) {
+		t.Fatal("transitive reachability expected")
+	}
+	if g.Reachable(c, a) || g.Reachable(b, a) {
+		t.Fatal("reverse reachability unexpected")
+	}
+	if g.Reachable(a, a) {
+		t.Fatal("a node must not be reachable from itself in an acyclic graph")
+	}
+}
+
+func TestAddEdgeDropsRedundantCrossThreadEdge(t *testing.T) {
+	g := New()
+	a := g.NewNode(0, 1, 1)
+	b := g.NewNode(1, 2, 1)
+	c := g.NewNode(2, 3, 1)
+	g.AddEdge(a, b)
+	g.AddEdge(b, c)
+	edges := g.EdgeCount()
+	g.AddEdge(a, c) // implied by a→b→c and cross-thread: dropped
+	if g.EdgeCount() != edges {
+		t.Fatalf("redundant cross-thread edge should be dropped, edges %d → %d", edges, g.EdgeCount())
+	}
+}
+
+func TestAddEdgeKeepsSameThreadEdge(t *testing.T) {
+	g := New()
+	a := g.NewNode(0, 1, 1)
+	b := g.NewNode(1, 2, 1)
+	c := g.NewNode(0, 3, 1)
+	g.AddEdge(a, b)
+	g.AddEdge(b, c)
+	edges := g.EdgeCount()
+	// a and c belong to the same thread: mustAddEdge forces the edge even
+	// though reachability already implies it (Figure 6, line 2).
+	g.AddEdge(a, c)
+	if g.EdgeCount() != edges+1 {
+		t.Fatalf("same-thread edge must be added, edges %d → %d", edges, g.EdgeCount())
+	}
+}
+
+func TestAddEdgeIsIdempotent(t *testing.T) {
+	g := New()
+	a := g.NewNode(0, 1, 1)
+	b := g.NewNode(0, 2, 1)
+	g.AddEdge(a, b)
+	edges := g.EdgeCount()
+	g.AddEdge(a, b)
+	if g.EdgeCount() != edges {
+		t.Fatal("duplicate edge must not be stored twice")
+	}
+}
+
+func TestAddRMWEdgeMigratesOutgoingEdges(t *testing.T) {
+	g := New()
+	s := g.NewNode(0, 1, 1)  // store the RMW reads from
+	x := g.NewNode(1, 2, 1)  // store already mo-after s
+	g.AddEdge(s, x)
+	r := g.NewNode(2, 3, 1) // the RMW
+	g.AddRMWEdge(s, r)
+
+	if s.RMW() != r {
+		t.Fatal("rmw pointer not installed")
+	}
+	if len(s.Edges()) != 1 || s.Edges()[0] != r {
+		t.Fatalf("store must keep only the edge to its RMW, got %v", s.Edges())
+	}
+	if !r.hasEdge(x) {
+		t.Fatal("outgoing edge s→x must migrate to r→x")
+	}
+	if !g.Reachable(s, r) || !g.Reachable(s, x) || !g.Reachable(r, x) {
+		t.Fatal("reachability after migration wrong")
+	}
+}
+
+func TestAddEdgeFollowsRMWChain(t *testing.T) {
+	g := New()
+	s := g.NewNode(0, 1, 1)
+	r1 := g.NewNode(1, 2, 1)
+	r2 := g.NewNode(2, 3, 1)
+	g.AddRMWEdge(s, r1)
+	g.AddRMWEdge(r1, r2)
+	// A later constraint "s mo→ w" must order w after the whole RMW chain,
+	// because RMWs immediately follow the store they read from.
+	w := g.NewNode(3, 4, 1)
+	g.AddEdge(s, w)
+	if !g.Reachable(r2, w) {
+		t.Fatal("edge must be redirected past the RMW chain")
+	}
+	if s.hasEdge(w) {
+		t.Fatal("edge must not be attached to the store that heads an rmw chain")
+	}
+}
+
+func TestRetireAndCompact(t *testing.T) {
+	g := New()
+	a := g.NewNode(0, 1, 1)
+	b := g.NewNode(1, 2, 1)
+	g.AddEdge(a, b)
+	nodes, edges := g.NodeCount(), g.EdgeCount()
+	g.Retire(b)
+	if g.NodeCount() != nodes-1 {
+		t.Fatal("retire must decrement node count")
+	}
+	g.Retire(b) // idempotent
+	if g.NodeCount() != nodes-1 {
+		t.Fatal("double retire must be a no-op")
+	}
+	g.CompactEdges(a)
+	if len(a.Edges()) != 0 || g.EdgeCount() != edges-1 {
+		t.Fatalf("compact must drop edges to pruned nodes, edges=%v count=%d", a.Edges(), g.EdgeCount())
+	}
+}
+
+// chainEnd follows a node's rmw chain to its end, mirroring the redirection
+// AddEdge performs (Figure 6 lines 6–12): a constraint from→to really lands
+// on the last RMW glued after from.
+func chainEnd(n *Node) *Node {
+	for n.RMW() != nil {
+		n = n.RMW()
+	}
+	return n
+}
+
+// edgeWouldCycle reports whether committing the constraint from mo→ to would
+// close a cycle, accounting for rmw-chain redirection. This is the engine's
+// pre-commit check (§4.3): the edge actually lands at chainEnd(from), so the
+// cycle test is "is chainEnd(from) reachable from to".
+func edgeWouldCycle(g *Graph, from, to *Node) bool {
+	end := chainEnd(from)
+	if end == to {
+		return false // degenerate: edge collapses onto the rmw pair
+	}
+	return g.Reachable(to, end)
+}
+
+// buildRandomGraph grows a graph the way the engine does: every new node of
+// a thread is mo-ordered after that thread's previous store to the location
+// (write-write coherence), occasional nodes are RMWs glued to an unread
+// store, and random extra constraints are added only when the pre-commit
+// cycle check admits them — exactly the no-rollback discipline of §4.3.
+func buildRandomGraph(r *rand.Rand, nodes int) (*Graph, []*Node) {
+	g := New()
+	var all []*Node
+	lastByThread := map[memmodel.TID]*Node{}
+	seq := memmodel.SeqNum(1)
+	for i := 0; i < nodes; i++ {
+		tid := memmodel.TID(r.Intn(4))
+		n := g.NewNode(tid, seq, 1)
+		seq++
+		prev := lastByThread[tid]
+		if r.Intn(4) == 0 && len(all) > 0 {
+			// Make n an RMW reading from a random store no RMW has read
+			// from, provided the read passes the prior-set check: the
+			// reader's thread-prior store must be orderable before the
+			// store read from (edge prev→c must not close a cycle).
+			cands := make([]*Node, 0, len(all))
+			for _, c := range all {
+				if c.RMW() != nil {
+					continue
+				}
+				if prev != nil && prev != c && edgeWouldCycle(g, prev, c) {
+					continue
+				}
+				cands = append(cands, c)
+			}
+			if len(cands) > 0 {
+				c := cands[r.Intn(len(cands))]
+				if prev != nil && prev != c {
+					g.AddEdge(prev, c) // the ReadPriorSet edge (CoWR)
+				}
+				g.AddRMWEdge(c, n)
+			}
+		}
+		if prev != nil {
+			g.AddEdge(prev, n)
+		}
+		lastByThread[tid] = n
+		all = append(all, n)
+		// A few random extra constraints, subject to the pre-commit check.
+		for k := 0; k < 2; k++ {
+			if len(all) < 2 {
+				break
+			}
+			from := all[r.Intn(len(all))]
+			to := all[r.Intn(len(all))]
+			if from == to || edgeWouldCycle(g, from, to) {
+				continue
+			}
+			g.AddEdge(from, to)
+		}
+	}
+	return g, all
+}
+
+// TestQuickTheorem1 checks Theorem 1 of the paper: on graphs built with the
+// engine's discipline, clock-vector comparison agrees with DFS reachability
+// for every ordered pair of nodes.
+func TestQuickTheorem1(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, all := buildRandomGraph(r, 3+r.Intn(30))
+		for _, a := range all {
+			for _, b := range all {
+				if a == b {
+					continue
+				}
+				if g.Reachable(a, b) != g.ReachableDFS(a, b) {
+					t.Logf("mismatch: %v → %v cv=%v dfs=%v", a, b, g.Reachable(a, b), g.ReachableDFS(a, b))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAcyclicity checks that the no-rollback discipline keeps the graph
+// acyclic: no node ever reaches itself through edges.
+func TestQuickAcyclicity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, all := buildRandomGraph(r, 3+r.Intn(40))
+		for _, n := range all {
+			if g.ReachableDFS(n, n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLemma2 checks Lemma 2: a store's own clock-vector slot stays
+// exactly its sequence number, no matter what edges are added.
+func TestQuickLemma2(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		_, all := buildRandomGraph(r, 3+r.Intn(40))
+		for _, n := range all {
+			if n.CV().Get(n.TID) != n.Seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

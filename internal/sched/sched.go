@@ -1,0 +1,252 @@
+// Package sched implements the controlled scheduler that stands in for
+// C11Tester's fibers (Sections 7.3–7.4 of the paper).
+//
+// Every thread of the program under test runs in its own goroutine, but at
+// most one of them executes at a time: a thread runs until its next visible
+// operation, parks itself while handing the operation to the tool, and
+// resumes only when the tool replies. The tool (engine) therefore has full
+// control of the interleaving, exactly like C11Tester's fiber scheduler.
+//
+// The handoff mechanism is configurable, mirroring the design space the
+// paper measures in Figure 14:
+//
+//   - channel handoff between ordinary goroutines (the default) is the
+//     analogue of swapcontext fibers — a cheap user-level switch;
+//   - condition-variable handoff between goroutines pinned to kernel threads
+//     (LockOSThread) is the analogue of sequentializing kernel threads with
+//     pthread condition variables, the regime tsan11rec operates in.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"c11tester/internal/capi"
+	"c11tester/internal/memmodel"
+)
+
+// State is a thread's scheduling state.
+type State uint8
+
+const (
+	// Ready means the thread has parked with a pending operation and can be
+	// scheduled.
+	Ready State = iota
+	// Blocked means the tool has suspended the thread (mutex, cond, join);
+	// it must be woken with Reply after the tool completes its operation.
+	Blocked
+	// Finished means the thread's function has returned.
+	Finished
+)
+
+func (s State) String() string {
+	switch s {
+	case Ready:
+		return "ready"
+	case Blocked:
+		return "blocked"
+	case Finished:
+		return "finished"
+	}
+	return "invalid"
+}
+
+// abortSignal is panicked through a program thread to unwind it when the
+// scheduler aborts the execution (step-limit hit or deadlock).
+type abortSignal struct{}
+
+// Config selects the handoff regime.
+type Config struct {
+	// LockOSThread pins every program thread to its own kernel thread, so
+	// each handoff costs a real OS context switch (the kernel-thread regime
+	// of tsan11rec).
+	LockOSThread bool
+	// CondHandoff switches the resume path from an unbuffered channel to a
+	// sync.Cond, the analogue of pthread condition-variable sequencing.
+	CondHandoff bool
+}
+
+// Thread is one managed thread of the program under test.
+type Thread struct {
+	ID   memmodel.TID
+	Name string
+
+	sched   *Scheduler
+	state   State
+	pending *capi.Op
+
+	// Channel handoff.
+	replyCh chan struct{}
+	// Cond handoff.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	replied bool
+
+	// PanicValue records a non-abort panic that escaped the thread's
+	// function, so the tool can surface it instead of crashing the host.
+	PanicValue any
+}
+
+// State returns the thread's scheduling state. Only the tool goroutine may
+// call it.
+func (t *Thread) State() State { return t.state }
+
+// Pending returns the operation the thread is parked on (nil unless Ready).
+func (t *Thread) Pending() *capi.Op { return t.pending }
+
+// Call hands op to the tool and parks until the tool replies. It must be
+// called from t's own goroutine. If the execution is aborting, Call unwinds
+// the thread instead of returning.
+func (t *Thread) Call(op *capi.Op) {
+	if t.sched.aborting {
+		panic(abortSignal{})
+	}
+	t.pending = op
+	t.state = Ready
+	t.sched.events <- t
+	t.awaitReply()
+	if t.sched.aborting {
+		panic(abortSignal{})
+	}
+}
+
+func (t *Thread) awaitReply() {
+	if t.sched.cfg.CondHandoff {
+		t.mu.Lock()
+		for !t.replied {
+			t.cond.Wait()
+		}
+		t.replied = false
+		t.mu.Unlock()
+		return
+	}
+	<-t.replyCh
+}
+
+func (t *Thread) signalReply() {
+	if t.sched.cfg.CondHandoff {
+		t.mu.Lock()
+		t.replied = true
+		t.cond.Signal()
+		t.mu.Unlock()
+		return
+	}
+	t.replyCh <- struct{}{}
+}
+
+// Scheduler sequences the threads of one execution.
+type Scheduler struct {
+	cfg      Config
+	threads  []*Thread
+	events   chan *Thread
+	aborting bool
+}
+
+// New returns a scheduler for one execution.
+func New(cfg Config) *Scheduler {
+	return &Scheduler{cfg: cfg, events: make(chan *Thread)}
+}
+
+// Threads returns all threads created so far, indexed by TID.
+func (s *Scheduler) Threads() []*Thread { return s.threads }
+
+// Ready appends to dst the threads that are parked with a pending operation.
+func (s *Scheduler) Ready(dst []*Thread) []*Thread {
+	for _, t := range s.threads {
+		if t.state == Ready {
+			dst = append(dst, t)
+		}
+	}
+	return dst
+}
+
+// AliveCount returns the number of unfinished threads.
+func (s *Scheduler) AliveCount() int {
+	n := 0
+	for _, t := range s.threads {
+		if t.state != Finished {
+			n++
+		}
+	}
+	return n
+}
+
+// NewThread creates a managed thread running body and blocks until it
+// settles (parks on its first operation, or finishes). body receives the
+// thread handle so the tool can wire up its Env.
+func (s *Scheduler) NewThread(name string, body func(*Thread)) *Thread {
+	t := &Thread{
+		ID:    memmodel.TID(len(s.threads)),
+		Name:  name,
+		sched: s,
+	}
+	if s.cfg.CondHandoff {
+		t.cond = sync.NewCond(&t.mu)
+	} else {
+		t.replyCh = make(chan struct{})
+	}
+	s.threads = append(s.threads, t)
+	go func() {
+		if s.cfg.LockOSThread {
+			runtime.LockOSThread()
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(abortSignal); !ok {
+					t.PanicValue = r
+				}
+			}
+			t.state = Finished
+			t.pending = nil
+			s.events <- t
+		}()
+		body(t)
+	}()
+	s.waitSettle(t)
+	return t
+}
+
+// Block marks t suspended. The tool must not reply to a blocked thread until
+// it completes the thread's pending operation; Reply wakes it.
+func (s *Scheduler) Block(t *Thread) {
+	if t.state != Ready {
+		panic(fmt.Sprintf("sched: blocking %s thread %d", t.state, t.ID))
+	}
+	t.state = Blocked
+}
+
+// Reply resumes t after its pending operation was processed and blocks until
+// t settles again. It returns t's new state (Ready or Finished).
+func (s *Scheduler) Reply(t *Thread) State {
+	if t.state == Finished {
+		panic(fmt.Sprintf("sched: replying to finished thread %d", t.ID))
+	}
+	t.pending = nil
+	t.state = Blocked // transient until the thread settles
+	t.signalReply()
+	s.waitSettle(t)
+	return t.state
+}
+
+// waitSettle consumes the next settle event, which must come from t: only
+// one program thread runs at a time, so no other thread can settle.
+func (s *Scheduler) waitSettle(t *Thread) {
+	ev := <-s.events
+	if ev != t {
+		panic(fmt.Sprintf("sched: thread %d settled while waiting for %d", ev.ID, t.ID))
+	}
+}
+
+// Abort unwinds every unfinished thread. After Abort returns, all threads
+// have finished and the scheduler must not be used again.
+func (s *Scheduler) Abort() {
+	s.aborting = true
+	for _, t := range s.threads {
+		if t.state == Finished {
+			continue
+		}
+		t.signalReply()
+		s.waitSettle(t)
+	}
+}

@@ -1,0 +1,151 @@
+package sched
+
+import (
+	"testing"
+
+	"c11tester/internal/capi"
+	"c11tester/internal/memmodel"
+)
+
+// drive runs a trivial tool loop over the scheduler: process pending ops in
+// the order pick() dictates until all threads finish. Each op's Val result
+// is set to its own sequence in processing order.
+func drive(t *testing.T, cfg Config, body func(*Thread), pick func([]*Thread) *Thread) []memmodel.Kind {
+	t.Helper()
+	s := New(cfg)
+	var processed []memmodel.Kind
+	s.NewThread("main", body)
+	for {
+		ready := s.Ready(nil)
+		if len(ready) == 0 {
+			if s.AliveCount() == 0 {
+				return processed
+			}
+			t.Fatal("deadlock: threads alive but none ready")
+		}
+		th := pick(ready)
+		op := th.Pending()
+		processed = append(processed, op.Kind)
+		op.Val = memmodel.Value(len(processed))
+		s.Reply(th)
+	}
+}
+
+func first(ready []*Thread) *Thread { return ready[0] }
+
+func TestSingleThreadOpsInOrder(t *testing.T) {
+	kinds := []memmodel.Kind{memmodel.KLoad, memmodel.KStore, memmodel.KFence}
+	got := drive(t, Config{}, func(th *Thread) {
+		for _, k := range kinds {
+			op := &capi.Op{Kind: k}
+			th.Call(op)
+			if op.Val == 0 {
+				t.Error("result not delivered")
+			}
+		}
+	}, first)
+	if len(got) != len(kinds) {
+		t.Fatalf("processed %d ops, want %d", len(got), len(kinds))
+	}
+	for i, k := range kinds {
+		if got[i] != k {
+			t.Fatalf("op %d = %v, want %v", i, got[i], k)
+		}
+	}
+}
+
+func TestCondHandoffAndOSThreads(t *testing.T) {
+	for _, cfg := range []Config{{CondHandoff: true}, {LockOSThread: true}, {CondHandoff: true, LockOSThread: true}} {
+		got := drive(t, cfg, func(th *Thread) {
+			th.Call(&capi.Op{Kind: memmodel.KLoad})
+			th.Call(&capi.Op{Kind: memmodel.KStore})
+		}, first)
+		if len(got) != 2 {
+			t.Fatalf("cfg %+v: processed %d ops", cfg, len(got))
+		}
+	}
+}
+
+func TestBlockAndWake(t *testing.T) {
+	s := New(Config{})
+	order := []string{}
+	main := s.NewThread("main", func(th *Thread) {
+		th.Call(&capi.Op{Kind: memmodel.KMutexLock})
+		order = append(order, "main-after-lock")
+	})
+	// Main parks on the lock op; block it, then wake it.
+	if main.State() != Ready {
+		t.Fatal("main must be ready")
+	}
+	s.Block(main)
+	if main.State() != Blocked {
+		t.Fatal("main must be blocked")
+	}
+	if got := s.Ready(nil); len(got) != 0 {
+		t.Fatal("blocked thread must not be ready")
+	}
+	if st := s.Reply(main); st != Finished {
+		t.Fatalf("main should have finished, state %v", st)
+	}
+	if len(order) != 1 {
+		t.Fatal("main body did not resume")
+	}
+}
+
+func TestNestedSpawn(t *testing.T) {
+	s := New(Config{})
+	var childSeen bool
+	main := s.NewThread("main", func(th *Thread) {
+		op := &capi.Op{Kind: memmodel.KThreadCreate}
+		th.Call(op)
+	})
+	// Process main's spawn op by creating the child; the child runs to its
+	// first op before NewThread returns.
+	child := s.NewThread("child", func(th *Thread) {
+		childSeen = true
+		th.Call(&capi.Op{Kind: memmodel.KLoad})
+	})
+	if !childSeen {
+		t.Fatal("child must run to its first op during NewThread")
+	}
+	if child.State() != Ready || child.ID != 1 {
+		t.Fatalf("child state %v id %d", child.State(), child.ID)
+	}
+	if st := s.Reply(main); st != Finished {
+		t.Fatalf("main state %v", st)
+	}
+	if st := s.Reply(child); st != Finished {
+		t.Fatalf("child state %v", st)
+	}
+}
+
+func TestAbortUnwindsThreads(t *testing.T) {
+	s := New(Config{})
+	cleanedUp := false
+	s.NewThread("main", func(th *Thread) {
+		defer func() { cleanedUp = true }()
+		for {
+			th.Call(&capi.Op{Kind: memmodel.KLoad})
+		}
+	})
+	s.Abort()
+	if s.AliveCount() != 0 {
+		t.Fatal("all threads must be finished after abort")
+	}
+	if !cleanedUp {
+		t.Fatal("thread defers must run during abort")
+	}
+}
+
+func TestPanicCaptured(t *testing.T) {
+	s := New(Config{})
+	th := s.NewThread("main", func(th *Thread) {
+		panic("boom")
+	})
+	if th.State() != Finished {
+		t.Fatal("panicking thread must settle as finished")
+	}
+	if th.PanicValue != "boom" {
+		t.Fatalf("panic value %v", th.PanicValue)
+	}
+}

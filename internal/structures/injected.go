@@ -1,0 +1,143 @@
+package structures
+
+import (
+	"fmt"
+
+	"c11tester/internal/capi"
+	"c11tester/internal/memmodel"
+)
+
+// BuggySeqlock is the Section 8.1 seqlock benchmark: following the paper,
+// the writer correctly uses release atomics for the data field stores, and
+// the injected bug weakens the counter increments to relaxed RMWs. The
+// readers use the standard seqlock protocol — read the counter, read the
+// data (relaxed, as the protocol's whole point is to avoid ordering the
+// data reads), re-read the counter, and accept the snapshot if the counter
+// is even and unchanged.
+//
+// Under the full C/C++11 fragment, a reader can accept a snapshot whose two
+// halves come from different writer sessions: nothing orders the relaxed
+// counter reads against the release data stores, so the validation passes
+// while the data is torn — the assertion fires. Under the baselines'
+// fragment the buggy executions correspond to hb ∪ rf ∪ mo ∪ sc cycles
+// (the relaxed chains still transfer clocks), so the torn snapshot is never
+// produced — exactly the paper's observation that tsan11 and tsan11rec miss
+// these bugs.
+func BuggySeqlock() Benchmark {
+	const sessions = 6
+	const attempts = 10
+	return Benchmark{
+		Name: "seqlock",
+		Doc:  "seqlock with relaxed counter increments; detection = torn snapshot assertion",
+		Prog: capi.Program{Name: "seqlock", Run: func(env capi.Env) {
+			seq := env.NewAtomic("seqlock.seq", 0)
+			dataA := env.NewAtomic("seqlock.dataA", 0)
+			dataB := env.NewAtomic("seqlock.dataB", 0)
+			writer := env.Spawn("writer", func(env capi.Env) {
+				for s := 1; s <= sessions; s++ {
+					env.FetchAdd(seq, 1, rlx) // bug: must be release/acquire
+					env.Store(dataA, memmodel.Value(s), rel)
+					env.Store(dataB, memmodel.Value(s), rel)
+					env.FetchAdd(seq, 1, rlx) // bug: must be release
+				}
+			})
+			reader := func(env capi.Env) {
+				for i := 0; i < attempts; i++ {
+					c1 := env.Load(seq, acq)
+					if c1%2 != 0 {
+						env.Yield()
+						continue
+					}
+					a := env.Load(dataA, rlx)
+					b := env.Load(dataB, rlx)
+					c2 := env.Load(seq, rlx)
+					if c1 == c2 {
+						env.Assert(a == b, "torn seqlock read: dataA=%d dataB=%d at seq=%d", a, b, c1)
+					}
+				}
+			}
+			r2 := env.Spawn("reader2", reader)
+			reader(env)
+			env.Join(writer)
+			env.Join(r2)
+		}},
+	}
+}
+
+// BuggyRWLock is the Section 8.1 reader-writer lock benchmark: the
+// write-lock operation incorrectly uses relaxed atomics. The test uses the
+// read lock to protect reads from atomic variables and the write lock to
+// protect writes to them, as in the paper. With the write-side ordering
+// gone, a reader holding the read lock can observe the two protected
+// fields from different writer critical sections; the invariant assertion
+// fires. The baselines' stronger fragment cannot produce the behaviour.
+func BuggyRWLock() Benchmark {
+	const bias = 0x1000
+	const rounds = 6
+	return Benchmark{
+		Name: "rwlock",
+		Doc:  "reader-writer lock with relaxed write-lock ops; detection = invariant assertion",
+		Prog: capi.Program{Name: "rwlock", Run: func(env capi.Env) {
+			lock := env.NewAtomic("rwlock.lock", bias)
+			fieldA := env.NewAtomic("rwlock.fieldA", 0)
+			fieldB := env.NewAtomic("rwlock.fieldB", 0)
+			readLock := func(env capi.Env) bool {
+				return spinUntil(env, 200, func() bool {
+					if env.FetchAdd(lock, ^memmodel.Value(0), acq) > 0 {
+						return true
+					}
+					env.FetchAdd(lock, 1, rlx)
+					return false
+				})
+			}
+			readUnlock := func(env capi.Env) { env.FetchAdd(lock, 1, rel) }
+			writeLock := func(env capi.Env) bool {
+				return spinUntil(env, 200, func() bool {
+					_, ok := env.CompareExchange(lock, bias, 0, rlx, rlx) // bug: must be acquire
+					return ok
+				})
+			}
+			writeUnlock := func(env capi.Env) { env.Store(lock, bias, rlx) } // bug: must be release
+			writer := env.Spawn("writer", func(env capi.Env) {
+				for s := 1; s <= rounds; s++ {
+					if !writeLock(env) {
+						return
+					}
+					env.Store(fieldA, memmodel.Value(s), rlx)
+					env.Store(fieldB, memmodel.Value(s), rlx)
+					writeUnlock(env)
+				}
+			})
+			reader := func(env capi.Env) {
+				for i := 0; i < rounds; i++ {
+					if !readLock(env) {
+						return
+					}
+					a := env.Load(fieldA, rlx)
+					b := env.Load(fieldB, rlx)
+					env.Assert(a == b, "rwlock invariant broken: fieldA=%d fieldB=%d", a, b)
+					readUnlock(env)
+				}
+			}
+			r2 := env.Spawn("reader2", reader)
+			reader(env)
+			env.Join(writer)
+			env.Join(r2)
+		}},
+	}
+}
+
+// ByName returns a named benchmark from either set.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range DataStructures() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	for _, b := range InjectedBugs() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("structures: unknown benchmark %q", name)
+}

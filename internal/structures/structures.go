@@ -1,0 +1,495 @@
+// Package structures contains the concurrent data-structure benchmarks of
+// the paper's evaluation: the seven CDSChecker benchmarks used in Table 2
+// (barrier, chase-lev-deque, dekker-fences, linuxrwlocks, mcs-lock,
+// mpmc-queue, ms-queue) and the two injected-bug benchmarks of Section 8.1
+// (seqlock and reader-writer lock).
+//
+// Each data-structure benchmark carries the seeded data race of the
+// original suite. The races fall into two classes, which is what produces
+// the cross-tool detection-rate differences of Table 2:
+//
+//   - weak-memory races: an access pair whose happens-before edge was
+//     removed by weakening an ordering to relaxed; reaching them requires
+//     precise relaxed-atomic semantics and a wide reads-from choice, so the
+//     baselines (conservative clocks, commit-order mo) rarely or never see
+//     them;
+//
+//   - overlap races: accesses with no synchronization chain at all, whose
+//     detection only requires the scheduler to interleave the right
+//     operations; controlled schedulers find them often, the uncontrolled
+//     quantum scheduler rarely.
+//
+// The injected-bug benchmarks manifest as assertion violations (torn
+// seqlock snapshots, reader-writer lock inconsistency) rather than data
+// races, exactly as in the paper.
+package structures
+
+import (
+	"fmt"
+
+	"c11tester/internal/capi"
+	"c11tester/internal/memmodel"
+)
+
+const (
+	rlx = memmodel.Relaxed
+	acq = memmodel.Acquire
+	rel = memmodel.Release
+	arl = memmodel.AcqRel
+	sc  = memmodel.SeqCst
+)
+
+// Benchmark is one named program under test.
+type Benchmark struct {
+	Name string
+	Doc  string
+	Prog capi.Program
+}
+
+// DataStructures returns the Table 2 benchmark set.
+func DataStructures() []Benchmark {
+	return []Benchmark{
+		Barrier(),
+		ChaseLevDeque(),
+		DekkerFences(),
+		LinuxRWLocks(),
+		MCSLock(),
+		MPMCQueue(),
+		MSQueue(),
+	}
+}
+
+// InjectedBugs returns the Section 8.1 benchmark set.
+func InjectedBugs() []Benchmark {
+	return []Benchmark{BuggySeqlock(), BuggyRWLock()}
+}
+
+// spinUntil repeatedly evaluates cond with scheduling yields, giving up
+// after limit attempts; it reports whether cond became true. Bounded spins
+// keep benchmark executions finite under every scheduler.
+func spinUntil(env capi.Env, limit int, cond func() bool) bool {
+	for i := 0; i < limit; i++ {
+		if cond() {
+			return true
+		}
+		env.Yield()
+	}
+	return false
+}
+
+// Barrier is a sense-reversing spinning barrier for three threads with the
+// seeded bug of the original suite: the arriving threads synchronize on the
+// sense flag with relaxed ordering (release/acquire was required), so the
+// pre-barrier writes of other threads are not ordered before the
+// post-barrier reads — a weak-memory race.
+func Barrier() Benchmark {
+	const n = 3
+	return Benchmark{
+		Name: "barrier",
+		Doc:  "sense-reversing spinning barrier; relaxed sense flag (weak-memory race)",
+		Prog: capi.Program{Name: "barrier", Run: func(env capi.Env) {
+			count := env.NewAtomic("barrier.count", 0)
+			sense := env.NewAtomic("barrier.sense", 0)
+			slots := make([]capi.Loc, n)
+			for i := range slots {
+				slots[i] = env.NewLoc(fmt.Sprintf("barrier.slot%d", i), 0)
+			}
+			worker := func(id int) func(capi.Env) {
+				return func(env capi.Env) {
+					env.Write(slots[id], memmodel.Value(id+1))
+					if env.FetchAdd(count, 1, arl) == n-1 {
+						env.Store(count, 0, rlx)
+						env.Store(sense, 1, rlx) // bug: must be release
+					} else if !spinUntil(env, 400, func() bool {
+						return env.Load(sense, rlx) == 1 // bug: must be acquire
+					}) {
+						return
+					}
+					env.Read(slots[(id+1)%n])
+				}
+			}
+			var threads []capi.Thread
+			for i := 1; i < n; i++ {
+				threads = append(threads, env.Spawn(fmt.Sprintf("w%d", i), worker(i)))
+			}
+			worker(0)(env)
+			for _, th := range threads {
+				env.Join(th)
+			}
+		}},
+	}
+}
+
+// ChaseLevDeque is a work-stealing deque with one owner and one thief. The
+// seeded bug removes the release ordering on the owner's bottom updates, so
+// a thief can observe a bottom value without the matching buffer write — a
+// weak-memory race on the buffer slot, the race only C11Tester detected in
+// the paper's Table 2.
+func ChaseLevDeque() Benchmark {
+	const capacity = 8
+	return Benchmark{
+		Name: "chase-lev-deque",
+		Doc:  "work-stealing deque; relaxed bottom publication (weak-memory race)",
+		Prog: capi.Program{Name: "chase-lev-deque", Run: func(env capi.Env) {
+			top := env.NewAtomic("deque.top", 0)
+			bottom := env.NewAtomic("deque.bottom", 0)
+			buf := make([]capi.Loc, capacity)
+			for i := range buf {
+				buf[i] = env.NewLoc(fmt.Sprintf("deque.buf%d", i), 0)
+			}
+			push := func(env capi.Env, v memmodel.Value) {
+				b := env.Load(bottom, rlx)
+				env.Write(buf[b%capacity], v)
+				env.Store(bottom, b+1, rlx) // bug: must be release
+			}
+			takeOwner := func(env capi.Env) {
+				b := env.Load(bottom, rlx)
+				if b == 0 {
+					return
+				}
+				b--
+				env.Store(bottom, b, rlx)
+				env.Fence(sc)
+				tp := env.Load(top, rlx)
+				if tp <= b {
+					env.Read(buf[b%capacity])
+					if tp == b {
+						env.CompareExchange(top, tp, tp+1, sc, rlx)
+						env.Store(bottom, b+1, rlx)
+					}
+				} else {
+					env.Store(bottom, b+1, rlx)
+				}
+			}
+			steal := func(env capi.Env) {
+				tp := env.Load(top, acq)
+				env.Fence(sc)
+				b := env.Load(bottom, acq)
+				if tp < b {
+					v := env.Read(buf[tp%capacity]) // races with push's write
+					if _, ok := env.CompareExchange(top, tp, tp+1, sc, rlx); ok {
+						_ = v
+					}
+				}
+			}
+			thief := env.Spawn("thief", func(env capi.Env) {
+				for i := 0; i < 6; i++ {
+					steal(env)
+				}
+			})
+			for i := 1; i <= 6; i++ {
+				push(env, memmodel.Value(i))
+				if i%3 == 0 {
+					takeOwner(env)
+				}
+			}
+			env.Join(thief)
+		}},
+	}
+}
+
+// DekkerFences is Dekker's mutual exclusion with seq_cst fences. The seeded
+// bug weakens the second thread's fence to acq_rel, so both threads can
+// enter the critical section when their flag loads read the stale initial
+// value — the shared variable access in the critical section races.
+func DekkerFences() Benchmark {
+	return Benchmark{
+		Name: "dekker-fences",
+		Doc:  "Dekker mutual exclusion; one fence weakened to acq_rel (both-enter race)",
+		Prog: capi.Program{Name: "dekker-fences", Run: func(env capi.Env) {
+			flag0 := env.NewAtomic("dekker.flag0", 0)
+			flag1 := env.NewAtomic("dekker.flag1", 0)
+			data := env.NewLoc("dekker.data", 0)
+			enter := func(env capi.Env, mine, theirs capi.Loc, fence memmodel.MemoryOrder) bool {
+				env.Store(mine, 1, rlx)
+				env.Fence(fence)
+				if env.Load(theirs, rlx) != 0 {
+					env.Store(mine, 0, rlx)
+					return false
+				}
+				return true
+			}
+			critical := func(env capi.Env) {
+				env.Write(data, env.Read(data)+1)
+			}
+			t1 := env.Spawn("t1", func(env capi.Env) {
+				for i := 0; i < 4; i++ {
+					if enter(env, flag1, flag0, arl) { // bug: must be seq_cst
+						critical(env)
+						env.Store(flag1, 0, rel)
+					}
+				}
+			})
+			for i := 0; i < 4; i++ {
+				if enter(env, flag0, flag1, sc) {
+					critical(env)
+					env.Store(flag0, 0, rel)
+				}
+			}
+			env.Join(t1)
+		}},
+	}
+}
+
+// LinuxRWLocks is the Linux-kernel-style reader-writer lock benchmark. The
+// seeded bugs: the write unlock is relaxed (weak-memory race on the
+// protected data) and the readers keep an unprotected shared statistic
+// (overlap race between concurrent readers, which legitimately hold the
+// lock together).
+func LinuxRWLocks() Benchmark {
+	const bias = 0x1000
+	return Benchmark{
+		Name: "linuxrwlocks",
+		Doc:  "reader-writer lock; relaxed write unlock + unprotected reader statistic",
+		Prog: capi.Program{Name: "linuxrwlocks", Run: func(env capi.Env) {
+			lock := env.NewAtomic("rwlock.counter", bias)
+			data := env.NewLoc("rwlock.data", 0)
+			stat := env.NewLoc("rwlock.stat", 0)
+			readLock := func(env capi.Env) bool {
+				return spinUntil(env, 200, func() bool {
+					if env.FetchAdd(lock, ^memmodel.Value(0), acq) > 0 { // -1
+						return true
+					}
+					env.FetchAdd(lock, 1, rlx)
+					return false
+				})
+			}
+			readUnlock := func(env capi.Env) { env.FetchAdd(lock, 1, rel) }
+			writeLock := func(env capi.Env) bool {
+				return spinUntil(env, 200, func() bool {
+					_, ok := env.CompareExchange(lock, bias, 0, acq, rlx)
+					return ok
+				})
+			}
+			writeUnlock := func(env capi.Env) { env.Store(lock, bias, rlx) } // bug: must be release
+			reader := func(env capi.Env) {
+				for i := 0; i < 3; i++ {
+					if !readLock(env) {
+						return
+					}
+					env.Read(data)
+					env.Write(stat, env.Read(stat)+1) // overlap race: readers share the lock
+					readUnlock(env)
+				}
+			}
+			r1 := env.Spawn("r1", reader)
+			r2 := env.Spawn("r2", reader)
+			for i := 1; i <= 3; i++ {
+				if writeLock(env) {
+					env.Write(data, memmodel.Value(i))
+					writeUnlock(env)
+				}
+			}
+			env.Join(r1)
+			env.Join(r2)
+		}},
+	}
+}
+
+// MCSLock is an MCS queue lock. Seeded bugs: the unlock handoff store is
+// relaxed (weak-memory race on the protected counter) and contenders stamp
+// an unprotected "last contender" variable before queueing (overlap race).
+func MCSLock() Benchmark {
+	const n = 3
+	return Benchmark{
+		Name: "mcs-lock",
+		Doc:  "MCS queue lock; relaxed handoff + unprotected contender stamp",
+		Prog: capi.Program{Name: "mcs-lock", Run: func(env capi.Env) {
+			// Node i state: flag[i] spins until the predecessor hands off.
+			tail := env.NewAtomic("mcs.tail", 0) // 0 = empty, else owner id+1
+			flags := make([]capi.Loc, n)
+			next := make([]capi.Loc, n)
+			for i := 0; i < n; i++ {
+				flags[i] = env.NewAtomic(fmt.Sprintf("mcs.flag%d", i), 0)
+				next[i] = env.NewAtomic(fmt.Sprintf("mcs.next%d", i), 0)
+			}
+			counter := env.NewLoc("mcs.counter", 0)
+			stamp := env.NewLoc("mcs.stamp", 0)
+			acquire := func(env capi.Env, id int) bool {
+				env.Write(stamp, memmodel.Value(id+1)) // overlap race among contenders
+				env.Store(next[id], 0, rlx)
+				env.Store(flags[id], 0, rlx)
+				pred := env.Exchange(tail, memmodel.Value(id+1), arl)
+				if pred == 0 {
+					return true
+				}
+				env.Store(next[pred-1], memmodel.Value(id+1), rel)
+				return spinUntil(env, 300, func() bool {
+					return env.Load(flags[id], acq) == 1
+				})
+			}
+			release := func(env capi.Env, id int) {
+				if _, ok := env.CompareExchange(tail, memmodel.Value(id+1), 0, arl, rlx); ok {
+					return
+				}
+				if !spinUntil(env, 300, func() bool { return env.Load(next[id], acq) != 0 }) {
+					return
+				}
+				succ := env.Load(next[id], acq)
+				env.Store(flags[succ-1], 1, rlx) // bug: must be release
+			}
+			worker := func(id int) func(capi.Env) {
+				return func(env capi.Env) {
+					for i := 0; i < 2; i++ {
+						if !acquire(env, id) {
+							return
+						}
+						env.Write(counter, env.Read(counter)+1)
+						release(env, id)
+					}
+				}
+			}
+			var threads []capi.Thread
+			for i := 1; i < n; i++ {
+				threads = append(threads, env.Spawn(fmt.Sprintf("t%d", i), worker(i)))
+			}
+			worker(0)(env)
+			for _, th := range threads {
+				env.Join(th)
+			}
+		}},
+	}
+}
+
+// MPMCQueue is a bounded multi-producer multi-consumer ring. Seeded bugs:
+// the per-slot ready flag is relaxed (weak-memory race between the
+// producer's slot write and the consumer's slot read) and consumers share
+// an unprotected dequeue counter (overlap race).
+func MPMCQueue() Benchmark {
+	const capacity = 4
+	return Benchmark{
+		Name: "mpmc-queue",
+		Doc:  "bounded MPMC ring; relaxed ready flags + unprotected dequeue count",
+		Prog: capi.Program{Name: "mpmc-queue", Run: func(env capi.Env) {
+			head := env.NewAtomic("mpmc.head", 0)
+			tailLoc := env.NewAtomic("mpmc.tail", 0)
+			ready := make([]capi.Loc, capacity)
+			slots := make([]capi.Loc, capacity)
+			for i := 0; i < capacity; i++ {
+				ready[i] = env.NewAtomic(fmt.Sprintf("mpmc.ready%d", i), 0)
+				slots[i] = env.NewLoc(fmt.Sprintf("mpmc.slot%d", i), 0)
+			}
+			deqCount := env.NewLoc("mpmc.dequeued", 0)
+			produce := func(env capi.Env, v memmodel.Value) {
+				t := env.FetchAdd(tailLoc, 1, arl)
+				idx := t % capacity
+				env.Write(slots[idx], v)
+				env.Store(ready[idx], 1, rlx) // bug: must be release
+			}
+			consume := func(env capi.Env) {
+				h := env.FetchAdd(head, 1, arl)
+				idx := h % capacity
+				if !spinUntil(env, 200, func() bool {
+					return env.Load(ready[idx], rlx) == 1 // bug: must be acquire
+				}) {
+					return
+				}
+				env.Read(slots[idx])
+				env.Store(ready[idx], 0, rlx)
+				env.Write(deqCount, env.Read(deqCount)+1) // overlap race: consumers
+			}
+			p2 := env.Spawn("p2", func(env capi.Env) {
+				for i := 0; i < 3; i++ {
+					produce(env, memmodel.Value(100+i))
+				}
+			})
+			c1 := env.Spawn("c1", func(env capi.Env) {
+				for i := 0; i < 3; i++ {
+					consume(env)
+				}
+			})
+			c2 := env.Spawn("c2", func(env capi.Env) {
+				for i := 0; i < 3; i++ {
+					consume(env)
+				}
+			})
+			for i := 0; i < 3; i++ {
+				produce(env, memmodel.Value(i))
+			}
+			env.Join(p2)
+			env.Join(c1)
+			env.Join(c2)
+		}},
+	}
+}
+
+// MSQueue is a Michael-Scott queue (array-backed node pool). Its seeded
+// race is unconditional: enqueuers maintain a shared non-atomic length
+// counter with no synchronization at all, so every tool detects it in every
+// execution — the 100%/100%/100% row of Table 2.
+func MSQueue() Benchmark {
+	const pool = 16
+	return Benchmark{
+		Name: "ms-queue",
+		Doc:  "Michael-Scott queue; unconditional race on a shared length counter",
+		Prog: capi.Program{Name: "ms-queue", Run: func(env capi.Env) {
+			// nodes[i]: value slot + next pointer (0 = nil, else index+1).
+			values := make([]capi.Loc, pool)
+			nexts := make([]capi.Loc, pool)
+			for i := 0; i < pool; i++ {
+				values[i] = env.NewLoc(fmt.Sprintf("msq.val%d", i), 0)
+				nexts[i] = env.NewAtomic(fmt.Sprintf("msq.next%d", i), 0)
+			}
+			alloc := env.NewAtomic("msq.alloc", 1) // node 0 is the dummy
+			headPtr := env.NewAtomic("msq.head", 1)
+			tailPtr := env.NewAtomic("msq.tail", 1)
+			length := env.NewLoc("msq.len", 0)
+			enqueue := func(env capi.Env, v memmodel.Value) {
+				n := env.FetchAdd(alloc, 1, rlx)
+				if int(n) >= pool {
+					return
+				}
+				env.Write(values[n], v)
+				env.Store(nexts[n], 0, rlx)
+				for i := 0; i < 100; i++ {
+					t := env.Load(tailPtr, acq)
+					nx := env.Load(nexts[t-1], acq)
+					if nx == 0 {
+						if _, ok := env.CompareExchange(nexts[t-1], 0, n+1, rel, rlx); ok {
+							env.CompareExchange(tailPtr, t, n+1, rel, rlx)
+							break
+						}
+					} else {
+						env.CompareExchange(tailPtr, t, nx, rel, rlx)
+					}
+					env.Yield()
+				}
+				env.Write(length, env.Read(length)+1) // unconditional race
+			}
+			dequeue := func(env capi.Env) {
+				for i := 0; i < 100; i++ {
+					h := env.Load(headPtr, acq)
+					t := env.Load(tailPtr, acq)
+					nx := env.Load(nexts[h-1], acq)
+					if h == t {
+						if nx == 0 {
+							return
+						}
+						env.CompareExchange(tailPtr, t, nx, rel, rlx)
+					} else if nx != 0 {
+						env.Read(values[nx-1])
+						if _, ok := env.CompareExchange(headPtr, h, nx, rel, rlx); ok {
+							return
+						}
+					}
+					env.Yield()
+				}
+			}
+			e2 := env.Spawn("enq2", func(env capi.Env) {
+				for i := 0; i < 3; i++ {
+					enqueue(env, memmodel.Value(100+i))
+				}
+			})
+			d1 := env.Spawn("deq1", func(env capi.Env) {
+				for i := 0; i < 3; i++ {
+					dequeue(env)
+				}
+			})
+			for i := 0; i < 3; i++ {
+				enqueue(env, memmodel.Value(i))
+			}
+			env.Join(e2)
+			env.Join(d1)
+		}},
+	}
+}
