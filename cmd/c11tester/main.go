@@ -1,0 +1,170 @@
+// Command c11tester runs exploration campaigns: (tool × program × N
+// executions) matrices over the paper's benchmark and litmus suites,
+// sharded across worker goroutines (internal/campaign), and writes the
+// versioned BENCH_campaign.json artifact.
+//
+// Examples:
+//
+//	go run ./cmd/c11tester -runs 200                          # full matrix
+//	go run ./cmd/c11tester -tools c11tester -bench ms-queue \
+//	    -runs 1 -seed 1042                                    # replay one execution
+//	go run ./cmd/c11tester -list                              # show selectable names
+//
+// The command exits 2 when the campaign observed a memory-model soundness
+// problem: a forbidden litmus outcome, or a data race reported inside a
+// litmus program (which only performs atomic accesses).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"c11tester/internal/campaign"
+	"c11tester/internal/harness"
+	"c11tester/internal/litmus"
+	"c11tester/internal/structures"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out *os.File) int {
+	fs := flag.NewFlagSet("c11tester", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		tools    = fs.String("tools", strings.Join(campaign.StandardToolNames(), ","), "comma-separated tools to run")
+		bench    = fs.String("bench", "all", "comma-separated benchmarks, 'all', or 'none'")
+		lit      = fs.String("litmus", "all", "comma-separated litmus tests, 'all', or 'none'")
+		runs     = fs.Int("runs", 100, "executions per (tool, program) cell")
+		workers  = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		shard    = fs.Int("shard", 0, "executions per shard (0 = default)")
+		seed     = fs.Int64("seed", 1, "seed base; execution i runs with seed+i")
+		prune    = fs.String("prune", "off", "c11tester prune mode: off, conservative, or aggressive")
+		sched    = fs.String("sched", "random", "c11tester scheduler strategy: random or quantum")
+		quantum  = fs.Int("quantum", 0, "mean scheduling quantum for quantum strategies (0 = default)")
+		maxSteps = fs.Uint64("max-steps", 0, "per-execution visible-operation cap (0 = default)")
+		faithful = fs.Bool("faithful-handoff", false, "run tsan11rec on kernel-thread handoff (Figure 14 regime)")
+		jsonPath = fs.String("json", "BENCH_campaign.json", "campaign artifact path ('' disables)")
+		quiet    = fs.Bool("q", false, "suppress the human-readable report")
+		list     = fs.Bool("list", false, "list selectable tools, benchmarks, and litmus tests")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *list {
+		fmt.Fprintf(out, "tools:      %s\n", strings.Join(campaign.StandardToolNames(), " "))
+		fmt.Fprintf(out, "benchmarks: %s\n", strings.Join(structures.Names(), " "))
+		fmt.Fprintf(out, "litmus:     %s\n", strings.Join(litmus.Names(), " "))
+		return 0
+	}
+
+	pruneMode, err := campaign.ParsePrune(*prune)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c11tester:", err)
+		return 1
+	}
+	opts := campaign.ToolOptions{
+		Prune:           pruneMode,
+		Strategy:        *sched,
+		QuantumMean:     *quantum,
+		MaxSteps:        *maxSteps,
+		FaithfulHandoff: *faithful,
+	}
+
+	spec := campaign.Spec{
+		Runs: *runs, SeedBase: *seed,
+		Workers: *workers, ShardSize: *shard,
+	}
+	for _, name := range campaign.SplitList(*tools) {
+		ts, err := campaign.StandardTool(name, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "c11tester:", err)
+			return 1
+		}
+		spec.Tools = append(spec.Tools, ts)
+	}
+	spec.Benchmarks, err = selectBenchmarks(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c11tester:", err)
+		return 1
+	}
+	spec.Litmus, err = selectLitmus(*lit)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c11tester:", err)
+		return 1
+	}
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "c11tester:", err)
+		return 1
+	}
+
+	sum := campaign.Run(spec)
+
+	if !*quiet {
+		fmt.Fprint(out, sum.String())
+	}
+	if *jsonPath != "" {
+		if err := sum.WriteJSON(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "c11tester:", err)
+			return 1
+		}
+		if !*quiet {
+			fmt.Fprintf(out, "\nwrote %s\n", *jsonPath)
+		}
+	}
+	if sum.Failed() {
+		fmt.Fprintf(os.Stderr, "c11tester: FAILED: %d forbidden outcome(s), %d unexpected race(s)\n",
+			len(sum.Forbidden()), len(sum.UnexpectedRaces()))
+		return 2
+	}
+	return 0
+}
+
+func selectBenchmarks(sel string) ([]campaign.BenchmarkSpec, error) {
+	var specs []campaign.BenchmarkSpec
+	add := func(b structures.Benchmark) {
+		sig := harness.SignalRace
+		if structures.IsInjected(b.Name) {
+			sig = harness.SignalAssert
+		}
+		specs = append(specs, campaign.BenchmarkSpec{Name: b.Name, Prog: b.Prog, Signal: sig})
+	}
+	switch sel {
+	case "none", "":
+		return nil, nil
+	case "all":
+		for _, b := range structures.All() {
+			add(b)
+		}
+	default:
+		for _, name := range campaign.SplitList(sel) {
+			b, err := structures.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			add(b)
+		}
+	}
+	return specs, nil
+}
+
+func selectLitmus(sel string) ([]*litmus.Test, error) {
+	switch sel {
+	case "none", "":
+		return nil, nil
+	case "all":
+		return litmus.Tests(), nil
+	}
+	var tests []*litmus.Test
+	for _, name := range campaign.SplitList(sel) {
+		t, ok := litmus.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown litmus test %q (see -list)", name)
+		}
+		tests = append(tests, t)
+	}
+	return tests, nil
+}

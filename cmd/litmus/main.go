@@ -1,0 +1,118 @@
+// Command litmus runs the weak-memory litmus suite (internal/litmus) under
+// one or more tools and prints the full outcome histograms — the detailed
+// view behind cmd/c11tester's summary matrix. Forbidden outcomes (and, for
+// the baselines, their additionally-forbidden fragment-gap outcomes) are
+// flagged, and the command exits 2 if any was observed.
+//
+// Examples:
+//
+//	go run ./cmd/litmus -runs 500                 # whole suite, all tools
+//	go run ./cmd/litmus -tools c11tester -tests IRIW+sc,IRIW+acq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"c11tester/internal/campaign"
+	"c11tester/internal/harness"
+	"c11tester/internal/litmus"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out *os.File) int {
+	fs := flag.NewFlagSet("litmus", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		tools   = fs.String("tools", strings.Join(campaign.StandardToolNames(), ","), "comma-separated tools to run")
+		tests   = fs.String("tests", "all", "comma-separated litmus tests or 'all'")
+		runs    = fs.Int("runs", 300, "executions per (tool, test) cell")
+		workers = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		seed    = fs.Int64("seed", 1, "seed base; execution i runs with seed+i")
+		list    = fs.Bool("list", false, "list the litmus suite and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *list {
+		for _, t := range litmus.Tests() {
+			fmt.Fprintf(out, "%-14s %s\n", t.Name, t.Doc)
+		}
+		return 0
+	}
+
+	spec := campaign.Spec{Runs: *runs, SeedBase: *seed, Workers: *workers}
+	for _, name := range campaign.SplitList(*tools) {
+		ts, err := campaign.StandardTool(name, campaign.ToolOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "litmus:", err)
+			return 1
+		}
+		spec.Tools = append(spec.Tools, ts)
+	}
+	if *tests == "all" {
+		spec.Litmus = litmus.Tests()
+	} else {
+		for _, name := range campaign.SplitList(*tests) {
+			t, ok := litmus.ByName(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "litmus: unknown test %q (see -list)\n", name)
+				return 1
+			}
+			spec.Litmus = append(spec.Litmus, t)
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "litmus:", err)
+		return 1
+	}
+
+	sum := campaign.Run(spec)
+
+	for l, test := range spec.Litmus {
+		fmt.Fprintf(out, "%s — %s\n", test.Name, test.Doc)
+		for ti, ts := range sum.Tools {
+			cell := ts.Litmus[l]
+			fmt.Fprintf(out, "  %-10s", ts.Tool)
+			for _, outcome := range harness.SortedKeys(cell.Outcomes) {
+				// Forbidden-for-this-tool trumps everything; for the full
+				// fragment, a BaselineForbidden outcome is the allowed
+				// fragment-gap witness (Section 1.1), which is more telling
+				// than the generic weak tag.
+				tag := ""
+				switch {
+				case test.Forbidden[outcome],
+					spec.Tools[ti].Baseline && test.BaselineForbidden[outcome]:
+					tag = "!FORBIDDEN"
+				case test.BaselineForbidden[outcome]:
+					tag = "~fragment-gap"
+				case test.Weak[outcome]:
+					tag = "~weak"
+				}
+				fmt.Fprintf(out, "  %q×%d%s", outcome, cell.Outcomes[outcome], tag)
+			}
+			fmt.Fprintf(out, "  (weak %d/%d)\n", len(cell.WeakSeen), cell.WeakDefined)
+		}
+	}
+
+	failed := false
+	for _, f := range sum.Forbidden() {
+		failed = true
+		fmt.Fprintf(out, "FORBIDDEN OUTCOME: %s %s=%q ×%d\n  repro: %s\n",
+			f.Repro.Tool, f.Test, f.Outcome, f.Count, f.Repro.Command())
+	}
+	for _, r := range sum.UnexpectedRaces() {
+		failed = true
+		fmt.Fprintf(out, "UNEXPECTED RACE: %s\n  repro: %s\n", r.Description, r.Repro.Command())
+	}
+	if failed {
+		return 2
+	}
+	fmt.Fprintf(out, "\nno forbidden outcomes in %d executions\n", *runs*len(spec.Tools)*len(spec.Litmus))
+	return 0
+}

@@ -1,0 +1,3 @@
+module c11tester
+
+go 1.22

@@ -1,0 +1,290 @@
+// Package campaign runs exploration campaigns: (tool × program × N
+// executions) matrices like the ones behind the paper's Tables 1–4, sharded
+// across a pool of worker goroutines.
+//
+// The campaign runner is built around one invariant: execution i of a
+// (tool, program) cell always runs with seed SeedBase+i, and every tool in
+// this repository re-derives all scheduling and reads-from choices from its
+// seed, so the outcome of an execution is a pure function of (tool, program,
+// seed). Sharding therefore only changes *when* an execution runs, never
+// *what* it produces, and a K-worker campaign aggregates to byte-identical
+// results as a serial one (wall-clock timings excepted — those are
+// measurements, not model outcomes). The determinism test in this package
+// pins that property.
+//
+// Shards, not executions, are the unit of work: each shard constructs a
+// fresh tool instance from its ToolSpec factory (tool instances are
+// stateful and not goroutine-safe) and runs a contiguous range of
+// execution indices serially. Aggregation merges shard fragments with
+// order-independent operations only — sums, histogram unions, and
+// min-by-execution-index winners for race reproduction metadata.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"c11tester/internal/capi"
+	"c11tester/internal/harness"
+	"c11tester/internal/litmus"
+)
+
+// ToolSpec names a tool and knows how to build fresh instances of it.
+type ToolSpec struct {
+	Name string
+	// New constructs a fresh tool instance. Each shard calls it once, so
+	// implementations must be safe to call concurrently (the instances
+	// themselves are confined to one worker).
+	New func() capi.Tool
+	// Baseline marks the tsan11-family tools, for which a litmus test's
+	// BaselineForbidden outcomes are forbidden in addition to Forbidden
+	// (the fragment gap of Section 1.1).
+	Baseline bool
+	// ReproFlags are the non-default cmd/c11tester flags needed to rebuild
+	// this tool configuration; they are embedded in every reproduction
+	// command the campaign emits (see harness.Repro.Flags).
+	ReproFlags string
+}
+
+// BenchmarkSpec is one program cell of the campaign matrix.
+type BenchmarkSpec struct {
+	Name string
+	Prog capi.Program
+	// Signal selects which bug signal counts as a detection for this
+	// benchmark (races for the data-structure suite, assertion violations
+	// for the injected-bug suite).
+	Signal harness.Signal
+}
+
+// Spec describes a campaign.
+type Spec struct {
+	Tools      []ToolSpec
+	Benchmarks []BenchmarkSpec
+	Litmus     []*litmus.Test
+	// Runs is the number of executions per (tool, program) cell.
+	Runs int
+	// SeedBase seeds execution i of every cell with SeedBase+i.
+	SeedBase int64
+	// Workers sizes the worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// ShardSize is the number of executions per shard; 0 means 25.
+	ShardSize int
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Workers <= 0 {
+		s.Workers = runtime.GOMAXPROCS(0)
+	}
+	if s.ShardSize <= 0 {
+		s.ShardSize = 25
+	}
+	if s.Runs < 0 {
+		s.Runs = 0
+	}
+	return s
+}
+
+// jobKind distinguishes benchmark shards from litmus shards.
+type jobKind uint8
+
+const (
+	jobBench jobKind = iota
+	jobLitmus
+)
+
+// job is one shard: a contiguous execution-index range of one cell.
+type job struct {
+	kind   jobKind
+	tool   int // index into Spec.Tools
+	cell   int // index into Spec.Benchmarks or Spec.Litmus
+	lo, hi int // execution indices [lo, hi)
+}
+
+// raceHit is a deduplicated race with the earliest execution that showed it.
+type raceHit struct {
+	report capi.RaceReport
+	run    int // global execution index (seed = SeedBase+run)
+}
+
+// fragment is the result of one shard. Fields are aggregated with
+// order-independent merges only, which is what keeps the campaign
+// deterministic under any worker count.
+type fragment struct {
+	execs    int
+	detected int
+	ops      capi.OpStats
+	elapsed  time.Duration
+	races    map[string]raceHit // keyed by RaceReport.Key()
+	// litmus only:
+	outcomes  map[string]int
+	forbidden map[string]int // outcome → earliest global execution index
+	weak      map[string]int
+}
+
+// Run executes the campaign and aggregates the results.
+func Run(spec Spec) *Summary {
+	spec = spec.withDefaults()
+	start := time.Now()
+
+	var jobs []job
+	shard := func(kind jobKind, tool, cell int) {
+		for lo := 0; lo < spec.Runs; lo += spec.ShardSize {
+			hi := lo + spec.ShardSize
+			if hi > spec.Runs {
+				hi = spec.Runs
+			}
+			jobs = append(jobs, job{kind: kind, tool: tool, cell: cell, lo: lo, hi: hi})
+		}
+	}
+	for t := range spec.Tools {
+		for b := range spec.Benchmarks {
+			shard(jobBench, t, b)
+		}
+		for l := range spec.Litmus {
+			shard(jobLitmus, t, l)
+		}
+	}
+
+	// Each worker writes only its own jobs' slots, so the fragment slice
+	// needs no lock; merging happens after the barrier, in job order.
+	frags := make([]fragment, len(jobs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < spec.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range next {
+				frags[j] = runShard(spec, jobs[j])
+			}
+		}()
+	}
+	for j := range jobs {
+		next <- j
+	}
+	close(next)
+	wg.Wait()
+
+	return aggregate(spec, jobs, frags, time.Since(start))
+}
+
+// runShard executes one shard with a fresh tool instance.
+func runShard(spec Spec, j job) fragment {
+	tool := spec.Tools[j.tool].New()
+	frag := fragment{races: map[string]raceHit{}}
+	start := time.Now()
+	switch j.kind {
+	case jobBench:
+		b := spec.Benchmarks[j.cell]
+		for i := j.lo; i < j.hi; i++ {
+			res := tool.Execute(b.Prog, spec.SeedBase+int64(i))
+			frag.execs++
+			if b.Signal.Hit(res) {
+				frag.detected++
+			}
+			frag.ops.Add(res.Stats)
+			recordRaces(&frag, res, i)
+		}
+	case jobLitmus:
+		test := spec.Litmus[j.cell]
+		frag.outcomes = map[string]int{}
+		frag.forbidden = map[string]int{}
+		frag.weak = map[string]int{}
+		var out string
+		prog := test.Make(&out)
+		for i := j.lo; i < j.hi; i++ {
+			out = ""
+			res := tool.Execute(prog, spec.SeedBase+int64(i))
+			frag.execs++
+			frag.ops.Add(res.Stats)
+			// Litmus programs only touch shared state atomically, so any
+			// race here is a detector soundness bug, not a finding.
+			recordRaces(&frag, res, i)
+			if out == "" {
+				continue
+			}
+			frag.outcomes[out]++
+			if isForbidden(test, out, spec.Tools[j.tool].Baseline) {
+				if first, seen := frag.forbidden[out]; !seen || i < first {
+					frag.forbidden[out] = i
+				}
+			}
+			if test.Weak[out] {
+				frag.weak[out]++
+			}
+		}
+	}
+	frag.elapsed = time.Since(start)
+	return frag
+}
+
+// recordRaces folds an execution's races into the shard fragment, keeping
+// the earliest execution index per race key.
+func recordRaces(frag *fragment, res *capi.Result, run int) {
+	for _, r := range res.Races {
+		key := r.Key()
+		if hit, seen := frag.races[key]; !seen || run < hit.run {
+			frag.races[key] = raceHit{report: r, run: run}
+		}
+	}
+}
+
+// isForbidden reports whether outcome is forbidden for the given tool
+// flavour: the Forbidden set always, plus BaselineForbidden for the
+// commit-order baselines.
+func isForbidden(t *litmus.Test, outcome string, baseline bool) bool {
+	if t.Forbidden[outcome] {
+		return true
+	}
+	return baseline && t.BaselineForbidden[outcome]
+}
+
+// mergeRaces folds src into dst, keeping the earliest run per key.
+func mergeRaces(dst map[string]raceHit, src map[string]raceHit) {
+	for key, hit := range src {
+		if cur, seen := dst[key]; !seen || hit.run < cur.run {
+			dst[key] = hit
+		}
+	}
+}
+
+// Validate reports the first problem with the spec, or nil.
+func (s Spec) Validate() error {
+	if len(s.Tools) == 0 {
+		return fmt.Errorf("campaign: no tools selected")
+	}
+	if len(s.Benchmarks) == 0 && len(s.Litmus) == 0 {
+		return fmt.Errorf("campaign: no benchmarks or litmus tests selected")
+	}
+	if s.Runs <= 0 {
+		return fmt.Errorf("campaign: runs must be positive, got %d", s.Runs)
+	}
+	seen := map[string]bool{}
+	for _, t := range s.Tools {
+		if t.New == nil {
+			return fmt.Errorf("campaign: tool %q has no factory", t.Name)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("campaign: duplicate tool %q", t.Name)
+		}
+		seen[t.Name] = true
+	}
+	// Duplicate program cells would double-count every aggregate.
+	seenBench := map[string]bool{}
+	for _, b := range s.Benchmarks {
+		if seenBench[b.Name] {
+			return fmt.Errorf("campaign: duplicate benchmark %q", b.Name)
+		}
+		seenBench[b.Name] = true
+	}
+	seenLit := map[string]bool{}
+	for _, l := range s.Litmus {
+		if seenLit[l.Name] {
+			return fmt.Errorf("campaign: duplicate litmus test %q", l.Name)
+		}
+		seenLit[l.Name] = true
+	}
+	return nil
+}

@@ -1,0 +1,388 @@
+package campaign
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"c11tester/internal/capi"
+	"c11tester/internal/harness"
+	"c11tester/internal/litmus"
+	"c11tester/internal/structures"
+)
+
+func mustTool(t *testing.T, name string, opts ToolOptions) ToolSpec {
+	t.Helper()
+	spec, err := StandardTool(name, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func mustLitmus(t *testing.T, name string) *litmus.Test {
+	t.Helper()
+	test, ok := litmus.ByName(name)
+	if !ok {
+		t.Fatalf("unknown litmus test %q", name)
+	}
+	return test
+}
+
+func benchSpec(t *testing.T, name string) BenchmarkSpec {
+	t.Helper()
+	b, err := structures.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := harness.SignalRace
+	if structures.IsInjected(name) {
+		sig = harness.SignalAssert
+	}
+	return BenchmarkSpec{Name: b.Name, Prog: b.Prog, Signal: sig}
+}
+
+// canonicalize strips the fields that legitimately vary run to run — wall
+// clock, per-shard work time, and everything derived from them — leaving
+// exactly the aggregates the determinism guarantee covers.
+func canonicalize(s *Summary) *Summary {
+	c := *s
+	c.WallNS = 0
+	c.Spec.Workers = 0
+	c.Spec.ShardSize = 0
+	c.Tools = append([]ToolSummary(nil), s.Tools...)
+	for i := range c.Tools {
+		ts := &c.Tools[i]
+		ts.WorkNS = 0
+		ts.ExecsPerSec = 0
+		ts.Benchmarks = append([]CellSummary(nil), ts.Benchmarks...)
+		for j := range ts.Benchmarks {
+			ts.Benchmarks[j].Detection.MeanTimeNS = 0
+		}
+	}
+	return &c
+}
+
+// TestDeterminismUnderSharding is the acceptance-criterion test: the same
+// (tools, programs, runs, seedBase) campaign must yield identical
+// aggregated race keys, detection counts, reproduction seeds, and litmus
+// outcome histograms whether it runs on one worker or four (and regardless
+// of shard size).
+func TestDeterminismUnderSharding(t *testing.T) {
+	build := func(workers, shardSize int) Spec {
+		return Spec{
+			Tools: []ToolSpec{
+				mustTool(t, "c11tester", ToolOptions{}),
+				mustTool(t, "tsan11", ToolOptions{}),
+			},
+			Benchmarks: []BenchmarkSpec{
+				benchSpec(t, "ms-queue"),
+				benchSpec(t, "linuxrwlocks"),
+				benchSpec(t, "seqlock"),
+			},
+			Litmus: []*litmus.Test{
+				mustLitmus(t, "MP+rlx"),
+				mustLitmus(t, "SB+sc"),
+				mustLitmus(t, "CoRR"),
+			},
+			Runs:     60,
+			SeedBase: 1000,
+			Workers:  workers,
+			// Shard sizes that do not divide Runs exercise the ragged tail.
+			ShardSize: shardSize,
+		}
+	}
+
+	serial := canonicalize(Run(build(1, 60)))
+	sharded := canonicalize(Run(build(4, 7)))
+
+	sj, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := json.Marshal(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sj) != string(pj) {
+		t.Fatalf("campaign aggregates differ between workers=1 and workers=4:\nserial:  %s\nsharded: %s", sj, pj)
+	}
+
+	// Sanity on the content itself, not just the equality: ms-queue's
+	// unconditional race must be detected in every execution by every tool.
+	for _, ts := range serial.Tools {
+		msq := ts.Benchmarks[0]
+		if msq.Program != "ms-queue" || msq.Detection.Detected != msq.Detection.Runs {
+			t.Errorf("%s: ms-queue detection = %d/%d, want 100%%",
+				ts.Tool, msq.Detection.Detected, msq.Detection.Runs)
+		}
+		if len(ts.Races) == 0 {
+			t.Errorf("%s: no deduplicated races collected", ts.Tool)
+		}
+		for _, ls := range ts.Litmus {
+			if len(ls.ForbiddenSeen) > 0 {
+				t.Errorf("%s: forbidden outcome in %s: %+v", ts.Tool, ls.Test, ls.ForbiddenSeen)
+			}
+		}
+	}
+}
+
+// TestReproSeedReplays closes the reproduction loop: take a race's repro
+// triple out of a campaign summary, execute that single (tool, program,
+// seed), and the race with the same key must appear again.
+func TestReproSeedReplays(t *testing.T) {
+	spec := Spec{
+		Tools:      []ToolSpec{mustTool(t, "c11tester", ToolOptions{})},
+		Benchmarks: []BenchmarkSpec{benchSpec(t, "ms-queue")},
+		Runs:       10,
+		SeedBase:   42,
+		Workers:    2,
+		ShardSize:  3,
+	}
+	sum := Run(spec)
+	races := sum.Tools[0].Races
+	if len(races) == 0 {
+		t.Fatal("no races to replay")
+	}
+	for _, r := range races {
+		tool := spec.Tools[0].New()
+		res := tool.Execute(spec.Benchmarks[0].Prog, r.Repro.Seed)
+		found := false
+		for _, rep := range res.Races {
+			if rep.Key() == r.Key {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("replaying %v did not reproduce race %q", r.Repro, r.Key)
+		}
+	}
+}
+
+// fixedTool always produces the given result; its litmus outcome is driven
+// by the program itself.
+type fixedTool struct{ name string }
+
+func (f fixedTool) Name() string { return f.name }
+func (f fixedTool) Execute(p capi.Program, seed int64) *capi.Result {
+	if p.Run != nil {
+		p.Run(nil)
+	}
+	return &capi.Result{Stats: capi.OpStats{AtomicOps: 1}}
+}
+
+// constLitmus builds a litmus test whose every execution yields outcome.
+func constLitmus(name, outcome string) *litmus.Test {
+	return &litmus.Test{
+		Name: name,
+		Make: func(out *string) capi.Program {
+			return capi.Program{Name: name, Run: func(capi.Env) { *out = outcome }}
+		},
+	}
+}
+
+func TestForbiddenOutcomeChecking(t *testing.T) {
+	bad := constLitmus("always-bad", "bad")
+	bad.Forbidden = map[string]bool{"bad": true}
+
+	spec := Spec{
+		Tools:     []ToolSpec{{Name: "stub", New: func() capi.Tool { return fixedTool{"stub"} }}},
+		Litmus:    []*litmus.Test{bad},
+		Runs:      9,
+		SeedBase:  5,
+		Workers:   3,
+		ShardSize: 2,
+	}
+	sum := Run(spec)
+	if !sum.Failed() {
+		t.Fatal("campaign with an always-forbidden outcome must fail")
+	}
+	forb := sum.Forbidden()
+	if len(forb) != 1 {
+		t.Fatalf("Forbidden() = %+v, want exactly one entry", forb)
+	}
+	f := forb[0]
+	if f.Outcome != "bad" || f.Count != 9 {
+		t.Errorf("forbidden outcome = %+v, want outcome 'bad' ×9", f)
+	}
+	// The repro must point at the earliest execution: seed = SeedBase+0.
+	if f.Repro.Seed != 5 || f.Repro.Tool != "stub" || f.Repro.Program != "always-bad" {
+		t.Errorf("forbidden repro = %+v, want stub/always-bad seed=5", f.Repro)
+	}
+}
+
+func TestBaselineForbiddenOnlyAppliesToBaselines(t *testing.T) {
+	mk := func(baseline bool) *Summary {
+		weak := constLitmus("fragment-gap", "21")
+		weak.Weak = map[string]bool{"21": true}
+		weak.BaselineForbidden = map[string]bool{"21": true}
+		return Run(Spec{
+			Tools:  []ToolSpec{{Name: "stub", Baseline: baseline, New: func() capi.Tool { return fixedTool{"stub"} }}},
+			Litmus: []*litmus.Test{weak},
+			Runs:   4,
+		})
+	}
+	if sum := mk(false); sum.Failed() {
+		t.Error("BaselineForbidden outcome must be allowed for the full-fragment tool")
+	} else if ws := sum.Tools[0].Litmus[0].WeakSeen; len(ws) != 1 || ws[0] != "21" {
+		t.Errorf("weak coverage not recorded: %v", ws)
+	}
+	if sum := mk(true); !sum.Failed() {
+		t.Error("BaselineForbidden outcome must fail a baseline tool")
+	}
+}
+
+func TestUnexpectedLitmusRace(t *testing.T) {
+	// A "litmus test" with a genuinely racy program: two threads store to
+	// the same non-atomic location with no synchronization. Any race inside
+	// a litmus cell is flagged as a soundness problem.
+	racy := &litmus.Test{
+		Name: "racy",
+		Make: func(out *string) capi.Program {
+			return capi.Program{Name: "racy", Run: func(env capi.Env) {
+				l := env.NewLoc("shared", 0)
+				th := env.Spawn("w", func(env capi.Env) { env.Write(l, 1) })
+				env.Write(l, 2)
+				env.Join(th)
+				*out = "done"
+			}}
+		},
+	}
+	sum := Run(Spec{
+		Tools:   []ToolSpec{mustTool(t, "c11tester", ToolOptions{})},
+		Litmus:  []*litmus.Test{racy},
+		Runs:    30,
+		Workers: 2,
+	})
+	if !sum.Failed() {
+		t.Fatal("race inside a litmus program must fail the campaign")
+	}
+	if ur := sum.UnexpectedRaces(); len(ur) == 0 {
+		t.Fatal("UnexpectedRaces() empty")
+	} else if ur[0].Repro.Program != "racy" {
+		t.Errorf("unexpected-race repro = %+v", ur[0].Repro)
+	}
+}
+
+func TestSummaryJSONArtifact(t *testing.T) {
+	spec := Spec{
+		Tools:      []ToolSpec{mustTool(t, "c11tester", ToolOptions{})},
+		Benchmarks: []BenchmarkSpec{benchSpec(t, "ms-queue")},
+		Litmus:     []*litmus.Test{mustLitmus(t, "MP+rlx")},
+		Runs:       8,
+		SeedBase:   7,
+		Workers:    2,
+	}
+	sum := Run(spec)
+	path := filepath.Join(t.TempDir(), "BENCH_campaign.json")
+	if err := sum.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("artifact is not well-formed JSON: %v", err)
+	}
+	if decoded["schema"] != SchemaName || decoded["schema_version"] != float64(SchemaVersion) {
+		t.Errorf("schema header = %v/%v", decoded["schema"], decoded["schema_version"])
+	}
+	if decoded["wall_ns"] == nil {
+		t.Error("artifact missing wall_ns")
+	}
+	var roundTrip Summary
+	if err := json.Unmarshal(data, &roundTrip); err != nil {
+		t.Fatal(err)
+	}
+	if roundTrip.Tools[0].ExecsPerSec <= 0 {
+		t.Errorf("per-tool execs_per_sec = %v, want > 0", roundTrip.Tools[0].ExecsPerSec)
+	}
+	if !reflect.DeepEqual(canonicalize(&roundTrip).Spec, canonicalize(sum).Spec) {
+		t.Error("spec does not round-trip")
+	}
+	if got := len(roundTrip.Tools[0].Races); got == 0 {
+		t.Error("artifact carries no deduplicated race reports")
+	}
+	for _, r := range roundTrip.Tools[0].Races {
+		if r.Repro.Seed < 7 || r.Repro.Seed >= 7+8 {
+			t.Errorf("race repro seed %d outside campaign seed range", r.Repro.Seed)
+		}
+	}
+}
+
+func TestSummaryTables(t *testing.T) {
+	sum := Run(Spec{
+		Tools:      []ToolSpec{mustTool(t, "c11tester", ToolOptions{})},
+		Benchmarks: []BenchmarkSpec{benchSpec(t, "ms-queue")},
+		Litmus:     []*litmus.Test{mustLitmus(t, "MP+rlx")},
+		Runs:       5,
+	})
+	text := sum.String()
+	for _, want := range []string{"ms-queue", "MP+rlx", "c11tester", "execs/sec"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("summary text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestReproFlagsCarryToolConfiguration pins that a non-default tool
+// configuration is embedded in every repro command the campaign emits, so
+// replaying reconstructs the same tool (same execution function of seed).
+func TestReproFlagsCarryToolConfiguration(t *testing.T) {
+	opts := ToolOptions{Strategy: "quantum", QuantumMean: 50, MaxSteps: 1000}
+	ts := mustTool(t, "c11tester", opts)
+	if want := "-sched quantum -quantum 50 -max-steps 1000"; ts.ReproFlags != want {
+		t.Fatalf("ReproFlags = %q, want %q", ts.ReproFlags, want)
+	}
+	if ts := mustTool(t, "c11tester", ToolOptions{}); ts.ReproFlags != "" {
+		t.Fatalf("default config must emit no extra flags, got %q", ts.ReproFlags)
+	}
+	if ts := mustTool(t, "tsan11rec", ToolOptions{FaithfulHandoff: true}); ts.ReproFlags != "-faithful-handoff" {
+		t.Fatalf("tsan11rec ReproFlags = %q", ts.ReproFlags)
+	}
+
+	sum := Run(Spec{
+		Tools:      []ToolSpec{mustTool(t, "c11tester", opts)},
+		Benchmarks: []BenchmarkSpec{benchSpec(t, "ms-queue")},
+		Runs:       5,
+	})
+	races := sum.Tools[0].Races
+	if len(races) == 0 {
+		t.Fatal("no races")
+	}
+	if races[0].Repro.Flags != ts.ReproFlags {
+		t.Errorf("race repro flags = %q, want %q", races[0].Repro.Flags, ts.ReproFlags)
+	}
+	if !strings.Contains(races[0].Repro.Command(), "-sched quantum") {
+		t.Errorf("repro command misses tool config: %q", races[0].Repro.Command())
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	tool := ToolSpec{Name: "t", New: func() capi.Tool { return fixedTool{"t"} }}
+	bench := BenchmarkSpec{Name: "b"}
+	cases := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"ok", Spec{Tools: []ToolSpec{tool}, Benchmarks: []BenchmarkSpec{bench}, Runs: 1}, true},
+		{"no tools", Spec{Benchmarks: []BenchmarkSpec{bench}, Runs: 1}, false},
+		{"no programs", Spec{Tools: []ToolSpec{tool}, Runs: 1}, false},
+		{"no runs", Spec{Tools: []ToolSpec{tool}, Benchmarks: []BenchmarkSpec{bench}}, false},
+		{"nil factory", Spec{Tools: []ToolSpec{{Name: "x"}}, Benchmarks: []BenchmarkSpec{bench}, Runs: 1}, false},
+		{"dup tool", Spec{Tools: []ToolSpec{tool, tool}, Benchmarks: []BenchmarkSpec{bench}, Runs: 1}, false},
+		{"dup bench", Spec{Tools: []ToolSpec{tool}, Benchmarks: []BenchmarkSpec{bench, bench}, Runs: 1}, false},
+		{"dup litmus", Spec{Tools: []ToolSpec{tool}, Litmus: []*litmus.Test{constLitmus("l", "x"), constLitmus("l", "x")}, Runs: 1}, false},
+	}
+	for _, c := range cases {
+		if err := c.spec.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}

@@ -1,0 +1,389 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"c11tester/internal/capi"
+	"c11tester/internal/harness"
+)
+
+// Schema identifiers of the serialized campaign summary. Bump SchemaVersion
+// on any incompatible change to the JSON shape; consumers of the
+// BENCH_campaign.json trajectory key on it.
+const (
+	SchemaName    = "c11tester/campaign"
+	SchemaVersion = 1
+)
+
+// SpecInfo echoes the campaign parameters into the summary, making every
+// artifact self-describing (and every execution in it replayable: seed i of
+// a cell is Spec.SeedBase+i).
+type SpecInfo struct {
+	Tools      []string `json:"tools"`
+	Benchmarks []string `json:"benchmarks"`
+	Litmus     []string `json:"litmus"`
+	Runs       int      `json:"runs"`
+	SeedBase   int64    `json:"seed_base"`
+	Workers    int      `json:"workers"`
+	ShardSize  int      `json:"shard_size"`
+}
+
+// CellSummary aggregates one (tool, benchmark) cell.
+type CellSummary struct {
+	Program   string                   `json:"program"`
+	Detection harness.DetectionSummary `json:"detection"`
+	// RaceKeys are the deduplicated race keys this cell exhibited, sorted.
+	RaceKeys []string `json:"race_keys"`
+}
+
+// ForbiddenOutcome is one observed litmus outcome the memory model must
+// never produce — a model soundness bug, with the reproduction triple of
+// the earliest execution that produced it.
+type ForbiddenOutcome struct {
+	Test    string        `json:"test"`
+	Outcome string        `json:"outcome"`
+	Count   int           `json:"count"`
+	Repro   harness.Repro `json:"repro"`
+}
+
+// LitmusSummary aggregates one (tool, litmus test) cell.
+type LitmusSummary struct {
+	Test  string `json:"test"`
+	Execs int    `json:"execs"`
+	// Outcomes histograms the observed outcomes (empty-outcome runs, e.g.
+	// starved bounded spins, are not counted).
+	Outcomes map[string]int `json:"outcomes"`
+	// ForbiddenSeen lists forbidden outcomes that were observed (must stay
+	// empty for a sound model).
+	ForbiddenSeen []ForbiddenOutcome `json:"forbidden_seen,omitempty"`
+	// WeakSeen lists the weak (allowed, non-SC) outcomes observed, sorted;
+	// WeakDefined is how many the test defines. Coverage of weak outcomes
+	// is what separates the full fragment from the baselines'.
+	WeakSeen    []string `json:"weak_seen"`
+	WeakDefined int      `json:"weak_defined"`
+}
+
+// ToolSummary aggregates one tool's whole campaign.
+type ToolSummary struct {
+	Tool string `json:"tool"`
+	// Execs counts executions across all cells; WorkNS sums the shard
+	// execution times (serial-equivalent work, independent of the worker
+	// count up to scheduling noise), and ExecsPerSec = Execs/WorkNS.
+	Execs       int     `json:"execs"`
+	WorkNS      int64   `json:"work_ns"`
+	ExecsPerSec float64 `json:"execs_per_sec"`
+	AtomicOps   uint64  `json:"atomic_ops"`
+	NormalOps   uint64  `json:"normal_ops"`
+
+	Benchmarks []CellSummary   `json:"benchmarks,omitempty"`
+	Litmus     []LitmusSummary `json:"litmus,omitempty"`
+
+	// Races are the campaign-wide deduplicated benchmark races with the
+	// reproduction triple of the earliest execution per key.
+	Races []harness.RaceSummary `json:"races"`
+	// UnexpectedRaces are races reported inside litmus programs, which only
+	// perform atomic accesses: any entry is a race-detector soundness bug.
+	UnexpectedRaces []harness.RaceSummary `json:"unexpected_races,omitempty"`
+}
+
+// Summary is the versioned campaign artifact serialized to
+// BENCH_campaign.json.
+type Summary struct {
+	Schema        string        `json:"schema"`
+	SchemaVersion int           `json:"schema_version"`
+	Spec          SpecInfo      `json:"spec"`
+	WallNS        int64         `json:"wall_ns"`
+	Tools         []ToolSummary `json:"tools"`
+}
+
+// cellAcc accumulates the fragments of one cell.
+type cellAcc struct {
+	execs     int
+	detected  int
+	ops       capi.OpStats
+	elapsed   time.Duration
+	races     map[string]raceHit
+	outcomes  map[string]int
+	forbidden map[string]int
+	weak      map[string]int
+}
+
+func newCellAcc() *cellAcc {
+	return &cellAcc{
+		races:     map[string]raceHit{},
+		outcomes:  map[string]int{},
+		forbidden: map[string]int{},
+		weak:      map[string]int{},
+	}
+}
+
+func (a *cellAcc) merge(f fragment) {
+	a.execs += f.execs
+	a.detected += f.detected
+	a.ops.Add(f.ops)
+	a.elapsed += f.elapsed
+	mergeRaces(a.races, f.races)
+	for out, n := range f.outcomes {
+		a.outcomes[out] += n
+	}
+	for out, first := range f.forbidden {
+		if cur, seen := a.forbidden[out]; !seen || first < cur {
+			a.forbidden[out] = first
+		}
+	}
+	for out, n := range f.weak {
+		a.weak[out] += n
+	}
+}
+
+// aggregate folds the shard fragments into the Summary. Every merge is
+// order-independent (sums, histogram unions, min-by-index winners), so the
+// result does not depend on how jobs were scheduled across workers.
+func aggregate(spec Spec, jobs []job, frags []fragment, wall time.Duration) *Summary {
+	benchAcc := make([][]*cellAcc, len(spec.Tools))
+	litAcc := make([][]*cellAcc, len(spec.Tools))
+	for t := range spec.Tools {
+		benchAcc[t] = make([]*cellAcc, len(spec.Benchmarks))
+		for b := range benchAcc[t] {
+			benchAcc[t][b] = newCellAcc()
+		}
+		litAcc[t] = make([]*cellAcc, len(spec.Litmus))
+		for l := range litAcc[t] {
+			litAcc[t][l] = newCellAcc()
+		}
+	}
+	for i, j := range jobs {
+		switch j.kind {
+		case jobBench:
+			benchAcc[j.tool][j.cell].merge(frags[i])
+		case jobLitmus:
+			litAcc[j.tool][j.cell].merge(frags[i])
+		}
+	}
+
+	info := SpecInfo{
+		Runs: spec.Runs, SeedBase: spec.SeedBase,
+		Workers: spec.Workers, ShardSize: spec.ShardSize,
+		Benchmarks: []string{}, Litmus: []string{},
+	}
+	for _, t := range spec.Tools {
+		info.Tools = append(info.Tools, t.Name)
+	}
+	for _, b := range spec.Benchmarks {
+		info.Benchmarks = append(info.Benchmarks, b.Name)
+	}
+	for _, l := range spec.Litmus {
+		info.Litmus = append(info.Litmus, l.Name)
+	}
+
+	sum := &Summary{Schema: SchemaName, SchemaVersion: SchemaVersion,
+		Spec: info, WallNS: int64(wall)}
+	for t, toolSpec := range spec.Tools {
+		ts := ToolSummary{Tool: toolSpec.Name, Races: []harness.RaceSummary{}}
+		// Campaign-wide race dedup: first winner by (cell order, run index).
+		type toolRace struct {
+			summary harness.RaceSummary
+			cell    int
+			run     int
+		}
+		// addRaces folds a cell's deduplicated races into dst, keeping the
+		// first winner by (cell order, run index) per key — a total order,
+		// so the outcome is independent of merge order.
+		addRaces := func(dst map[string]toolRace, cellIdx int, program string, inLitmus bool, races map[string]raceHit) {
+			for key, hit := range races {
+				repro := harness.Repro{Tool: toolSpec.Name, Program: program,
+					Seed: spec.SeedBase + int64(hit.run), Litmus: inLitmus,
+					Flags: toolSpec.ReproFlags}
+				cand := toolRace{summary: harness.NewRaceSummary(hit.report, repro),
+					cell: cellIdx, run: hit.run}
+				if cur, seen := dst[key]; !seen ||
+					cand.cell < cur.cell || (cand.cell == cur.cell && cand.run < cur.run) {
+					dst[key] = cand
+				}
+			}
+		}
+		toolRaces := map[string]toolRace{}
+
+		for b, bench := range spec.Benchmarks {
+			acc := benchAcc[t][b]
+			meanTime := time.Duration(0)
+			if acc.execs > 0 {
+				meanTime = acc.elapsed / time.Duration(acc.execs)
+			}
+			cell := CellSummary{
+				Program: bench.Name,
+				Detection: harness.Detection{
+					Runs: acc.execs, Detected: acc.detected,
+					Time: meanTime, Ops: acc.ops,
+				}.Summary(),
+				RaceKeys: harness.SortedKeys(acc.races),
+			}
+			ts.Benchmarks = append(ts.Benchmarks, cell)
+			addRaces(toolRaces, b, bench.Name, false, acc.races)
+			ts.Execs += acc.execs
+			ts.WorkNS += int64(acc.elapsed)
+			ts.AtomicOps += acc.ops.AtomicOps
+			ts.NormalOps += acc.ops.NormalOps
+		}
+		for _, key := range harness.SortedKeys(toolRaces) {
+			ts.Races = append(ts.Races, toolRaces[key].summary)
+		}
+
+		unexpected := map[string]toolRace{}
+		for l, test := range spec.Litmus {
+			acc := litAcc[t][l]
+			ls := LitmusSummary{
+				Test: test.Name, Execs: acc.execs,
+				Outcomes:    acc.outcomes,
+				WeakSeen:    harness.SortedKeys(acc.weak),
+				WeakDefined: len(test.Weak),
+			}
+			for _, out := range harness.SortedKeys(acc.forbidden) {
+				ls.ForbiddenSeen = append(ls.ForbiddenSeen, ForbiddenOutcome{
+					Test: test.Name, Outcome: out, Count: acc.outcomes[out],
+					Repro: harness.Repro{Tool: toolSpec.Name, Program: test.Name,
+						Seed: spec.SeedBase + int64(acc.forbidden[out]), Litmus: true,
+						Flags: toolSpec.ReproFlags},
+				})
+			}
+			ts.Litmus = append(ts.Litmus, ls)
+			addRaces(unexpected, l, test.Name, true, acc.races)
+			ts.Execs += acc.execs
+			ts.WorkNS += int64(acc.elapsed)
+			ts.AtomicOps += acc.ops.AtomicOps
+			ts.NormalOps += acc.ops.NormalOps
+		}
+		for _, key := range harness.SortedKeys(unexpected) {
+			ts.UnexpectedRaces = append(ts.UnexpectedRaces, unexpected[key].summary)
+		}
+		ts.ExecsPerSec = harness.ExecsPerSec(ts.Execs, time.Duration(ts.WorkNS))
+		sum.Tools = append(sum.Tools, ts)
+	}
+	return sum
+}
+
+// Forbidden returns every forbidden litmus outcome observed in the
+// campaign, across all tools.
+func (s *Summary) Forbidden() []ForbiddenOutcome {
+	var all []ForbiddenOutcome
+	for _, ts := range s.Tools {
+		for _, ls := range ts.Litmus {
+			all = append(all, ls.ForbiddenSeen...)
+		}
+	}
+	return all
+}
+
+// UnexpectedRaces returns every race reported inside a litmus program,
+// across all tools.
+func (s *Summary) UnexpectedRaces() []harness.RaceSummary {
+	var all []harness.RaceSummary
+	for _, ts := range s.Tools {
+		all = append(all, ts.UnexpectedRaces...)
+	}
+	return all
+}
+
+// Failed reports whether the campaign found a soundness problem: a
+// forbidden litmus outcome or a race in a race-free litmus program.
+func (s *Summary) Failed() bool {
+	return len(s.Forbidden()) > 0 || len(s.UnexpectedRaces()) > 0
+}
+
+// DetectionTable renders the Table 2-style detection-rate matrix: one row
+// per benchmark, one column per tool.
+func (s *Summary) DetectionTable() *harness.Table {
+	tb := &harness.Table{Header: []string{"benchmark"}}
+	for _, ts := range s.Tools {
+		tb.Header = append(tb.Header, ts.Tool)
+	}
+	for b, name := range s.Spec.Benchmarks {
+		row := []string{name}
+		for _, ts := range s.Tools {
+			d := ts.Benchmarks[b].Detection
+			row = append(row, fmt.Sprintf("%5.1f%% (%d races)", d.RatePct, len(ts.Benchmarks[b].RaceKeys)))
+		}
+		tb.AddRow(row...)
+	}
+	return tb
+}
+
+// LitmusTable renders the litmus matrix: outcome diversity, weak-outcome
+// coverage, and forbidden-outcome count per (test, tool).
+func (s *Summary) LitmusTable() *harness.Table {
+	tb := &harness.Table{Header: []string{"litmus"}}
+	for _, ts := range s.Tools {
+		tb.Header = append(tb.Header, ts.Tool)
+	}
+	for l, name := range s.Spec.Litmus {
+		row := []string{name}
+		for _, ts := range s.Tools {
+			ls := ts.Litmus[l]
+			cell := fmt.Sprintf("%d outcomes, weak %d/%d", len(ls.Outcomes), len(ls.WeakSeen), ls.WeakDefined)
+			if n := len(ls.ForbiddenSeen); n > 0 {
+				cell += fmt.Sprintf(", FORBIDDEN×%d", n)
+			}
+			row = append(row, cell)
+		}
+		tb.AddRow(row...)
+	}
+	return tb
+}
+
+// ThroughputTable renders per-tool execution throughput.
+func (s *Summary) ThroughputTable() *harness.Table {
+	tb := &harness.Table{Header: []string{"tool", "execs", "work", "execs/sec", "atomic ops", "normal ops"}}
+	for _, ts := range s.Tools {
+		tb.AddRow(ts.Tool,
+			fmt.Sprintf("%d", ts.Execs),
+			harness.FmtDuration(time.Duration(ts.WorkNS)),
+			fmt.Sprintf("%.0f", ts.ExecsPerSec),
+			harness.FmtOps(ts.AtomicOps),
+			harness.FmtOps(ts.NormalOps))
+	}
+	return tb
+}
+
+// String renders the human-readable campaign report.
+func (s *Summary) String() string {
+	out := fmt.Sprintf("campaign: %d tool(s) × (%d benchmark(s) + %d litmus test(s)) × %d runs, %d workers, seed base %d\nwall clock: %s\n\n",
+		len(s.Spec.Tools), len(s.Spec.Benchmarks), len(s.Spec.Litmus),
+		s.Spec.Runs, s.Spec.Workers, s.Spec.SeedBase,
+		harness.FmtDuration(time.Duration(s.WallNS)))
+	out += s.ThroughputTable().String()
+	if len(s.Spec.Benchmarks) > 0 {
+		out += "\n" + s.DetectionTable().String()
+	}
+	if len(s.Spec.Litmus) > 0 {
+		out += "\n" + s.LitmusTable().String()
+	}
+	for _, ts := range s.Tools {
+		if len(ts.Races) > 0 {
+			out += fmt.Sprintf("\n%s: %d distinct race(s)\n", ts.Tool, len(ts.Races))
+			for _, r := range ts.Races {
+				out += fmt.Sprintf("  %s\n    repro: %s\n", r.Description, r.Repro.Command())
+			}
+		}
+	}
+	for _, f := range s.Forbidden() {
+		out += fmt.Sprintf("\nFORBIDDEN OUTCOME %s=%q ×%d\n  repro: %s\n",
+			f.Test, f.Outcome, f.Count, f.Repro.Command())
+	}
+	for _, r := range s.UnexpectedRaces() {
+		out += fmt.Sprintf("\nUNEXPECTED RACE in litmus program: %s\n  repro: %s\n",
+			r.Description, r.Repro.Command())
+	}
+	return out
+}
+
+// WriteJSON writes the indented artifact file (BENCH_campaign.json).
+func (s *Summary) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

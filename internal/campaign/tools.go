@@ -1,0 +1,139 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+
+	"c11tester/internal/baseline"
+	"c11tester/internal/capi"
+	"c11tester/internal/core"
+)
+
+// SplitList parses a comma-separated flag value, trimming whitespace and
+// dropping empty entries (shared by the cmd/ flag parsers).
+func SplitList(s string) []string {
+	var names []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			names = append(names, part)
+		}
+	}
+	return names
+}
+
+// reproFlags renders the non-default cmd/c11tester flags that reconstruct
+// this tool configuration, for embedding in reproduction commands.
+func (o ToolOptions) reproFlags(tool string) string {
+	var parts []string
+	switch tool {
+	case "c11tester":
+		switch o.Prune {
+		case core.PruneConservative:
+			parts = append(parts, "-prune conservative")
+		case core.PruneAggressive:
+			parts = append(parts, "-prune aggressive")
+		}
+		if o.Strategy == "quantum" {
+			parts = append(parts, "-sched quantum")
+			if o.QuantumMean != 0 {
+				parts = append(parts, fmt.Sprintf("-quantum %d", o.QuantumMean))
+			}
+		}
+	case "tsan11":
+		if o.QuantumMean != 0 {
+			parts = append(parts, fmt.Sprintf("-quantum %d", o.QuantumMean))
+		}
+	case "tsan11rec":
+		if o.FaithfulHandoff {
+			parts = append(parts, "-faithful-handoff")
+		}
+	}
+	if o.MaxSteps != 0 {
+		parts = append(parts, fmt.Sprintf("-max-steps %d", o.MaxSteps))
+	}
+	return strings.Join(parts, " ")
+}
+
+// ToolOptions configures the standard tool set. The zero value is the
+// paper's default configuration for every tool.
+type ToolOptions struct {
+	// Prune selects the C11Tester memory limiter mode (Section 7.1); the
+	// baselines keep bounded histories regardless.
+	Prune core.PruneMode
+	// Strategy selects the c11tester exploration strategy: "random" (the
+	// default) or "quantum" (the uncontrolled-scheduler model).
+	Strategy string
+	// QuantumMean overrides the mean scheduling quantum for quantum
+	// strategies (c11tester with Strategy "quantum", and tsan11).
+	QuantumMean int
+	// MaxSteps caps execution length; 0 keeps each tool's default.
+	MaxSteps uint64
+	// FaithfulHandoff runs tsan11rec on kernel-thread condition-variable
+	// handoff (the Figure 14 regime) instead of the cheap channel handoff.
+	FaithfulHandoff bool
+}
+
+// ParsePrune parses a -prune flag value.
+func ParsePrune(s string) (core.PruneMode, error) {
+	switch s {
+	case "", "off":
+		return core.PruneOff, nil
+	case "conservative":
+		return core.PruneConservative, nil
+	case "aggressive":
+		return core.PruneAggressive, nil
+	}
+	return core.PruneOff, fmt.Errorf("unknown prune mode %q (want off, conservative, or aggressive)", s)
+}
+
+// StandardToolNames lists the tools of the paper's evaluation in its order.
+func StandardToolNames() []string {
+	return []string{"c11tester", "tsan11", "tsan11rec"}
+}
+
+// StandardTool builds the ToolSpec for one of the paper's three tools.
+func StandardTool(name string, opts ToolOptions) (ToolSpec, error) {
+	switch name {
+	case "c11tester":
+		strategy := opts.Strategy
+		if strategy == "" {
+			strategy = "random"
+		}
+		if strategy != "random" && strategy != "quantum" {
+			return ToolSpec{}, fmt.Errorf("unknown scheduler strategy %q (want random or quantum)", strategy)
+		}
+		return ToolSpec{Name: name, ReproFlags: opts.reproFlags(name), New: func() capi.Tool {
+			var strat core.Strategy
+			if strategy == "quantum" {
+				mean := opts.QuantumMean
+				if mean == 0 {
+					mean = 150
+				}
+				strat = core.NewQuantumStrategy(mean)
+			} else {
+				strat = core.NewRandomStrategy()
+			}
+			return core.New(name, core.NewC11Model(), core.Config{
+				StoreBurst: true,
+				Prune:      opts.Prune,
+				Strategy:   strat,
+				MaxSteps:   opts.MaxSteps,
+			})
+		}}, nil
+	case "tsan11":
+		return ToolSpec{Name: name, Baseline: true, ReproFlags: opts.reproFlags(name), New: func() capi.Tool {
+			return baseline.NewTsan11(baseline.Options{
+				QuantumMean: opts.QuantumMean,
+				MaxSteps:    opts.MaxSteps,
+			})
+		}}, nil
+	case "tsan11rec":
+		return ToolSpec{Name: name, Baseline: true, ReproFlags: opts.reproFlags(name), New: func() capi.Tool {
+			return baseline.NewTsan11rec(baseline.Options{
+				MaxSteps:    opts.MaxSteps,
+				FastHandoff: !opts.FaithfulHandoff,
+			})
+		}}, nil
+	}
+	return ToolSpec{}, fmt.Errorf("unknown tool %q (want one of %v)", name, StandardToolNames())
+}

@@ -27,7 +27,8 @@ const (
 	SignalAny
 )
 
-func (s Signal) hit(r *capi.Result) bool {
+// Hit reports whether the execution exhibited this signal.
+func (s Signal) Hit(r *capi.Result) bool {
 	switch s {
 	case SignalRace:
 		return len(r.Races) > 0
@@ -63,7 +64,7 @@ func MeasureDetection(tool capi.Tool, prog capi.Program, runs int, seedBase int6
 	start := time.Now()
 	for i := 0; i < runs; i++ {
 		res := tool.Execute(prog, seedBase+int64(i))
-		if signal.hit(res) {
+		if signal.Hit(res) {
 			d.Detected++
 		}
 		d.Ops.Add(res.Stats)

@@ -288,6 +288,26 @@ func Tests() []*Test {
 	}
 }
 
+// ByName looks a litmus test up by its Name; ok is false if none matches.
+func ByName(name string) (*Test, bool) {
+	for _, t := range Tests() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// Names returns the names of all litmus tests in suite order.
+func Names() []string {
+	tests := Tests()
+	names := make([]string, len(tests))
+	for i, t := range tests {
+		names[i] = t.Name
+	}
+	return names
+}
+
 // prog2 builds a two-location, two-thread program whose reader thread
 // produces the outcome.
 func prog2(out *string, writer func(capi.Env, capi.Loc, capi.Loc), reader func(capi.Env, capi.Loc, capi.Loc) string) capi.Program {

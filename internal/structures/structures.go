@@ -64,6 +64,34 @@ func InjectedBugs() []Benchmark {
 	return []Benchmark{BuggySeqlock(), BuggyRWLock()}
 }
 
+// All returns every benchmark: the Table 2 data structures followed by the
+// Section 8.1 injected-bug benchmarks.
+func All() []Benchmark {
+	return append(DataStructures(), InjectedBugs()...)
+}
+
+// Names returns the names of all benchmarks, data structures first.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, b := range all {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// IsInjected reports whether the named benchmark is one of the injected-bug
+// benchmarks, whose detection signal is an assertion violation rather than a
+// data race.
+func IsInjected(name string) bool {
+	for _, b := range InjectedBugs() {
+		if b.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
 // spinUntil repeatedly evaluates cond with scheduling yields, giving up
 // after limit attempts; it reports whether cond became true. Bounded spins
 // keep benchmark executions finite under every scheduler.
