@@ -48,11 +48,18 @@ func run(args []string, out *os.File) int {
 		maxSteps = fs.Uint64("max-steps", 0, "per-execution visible-operation cap (0 = default)")
 		faithful = fs.Bool("faithful-handoff", false, "run tsan11rec on kernel-thread handoff (Figure 14 regime)")
 		jsonPath = fs.String("json", "BENCH_campaign.json", "campaign artifact path ('' disables)")
+		record   = fs.String("record", "", "directory to persist portable traces of racy/forbidden executions ('' disables)")
+		recAll   = fs.Bool("record-all", false, "with -record, persist a trace for every execution")
+		validate = fs.Bool("validate", false, "axiom-check every explored execution against the Appendix A model")
+		compare  = fs.String("compare", "", "diff two campaign artifacts: -compare old.json new.json (or old.json,new.json)")
 		quiet    = fs.Bool("q", false, "suppress the human-readable report")
 		list     = fs.Bool("list", false, "list selectable tools, benchmarks, and litmus tests")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
+	}
+	if *compare != "" {
+		return runCompare(*compare, fs.Args(), out)
 	}
 	if *list {
 		fmt.Fprintf(out, "tools:      %s\n", strings.Join(campaign.StandardToolNames(), " "))
@@ -74,9 +81,17 @@ func run(args []string, out *os.File) int {
 		FaithfulHandoff: *faithful,
 	}
 
+	if *record != "" {
+		if err := os.MkdirAll(*record, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "c11tester: -record:", err)
+			return 1
+		}
+	}
 	spec := campaign.Spec{
 		Runs: *runs, SeedBase: *seed,
 		Workers: *workers, ShardSize: *shard,
+		RecordDir: *record, RecordAll: *recAll,
+		ValidateAxioms: *validate,
 	}
 	for _, name := range campaign.SplitList(*tools) {
 		ts, err := campaign.StandardTool(name, opts)
@@ -116,8 +131,43 @@ func run(args []string, out *os.File) int {
 		}
 	}
 	if sum.Failed() {
-		fmt.Fprintf(os.Stderr, "c11tester: FAILED: %d forbidden outcome(s), %d unexpected race(s)\n",
-			len(sum.Forbidden()), len(sum.UnexpectedRaces()))
+		fmt.Fprintf(os.Stderr, "c11tester: FAILED: %d forbidden outcome(s), %d unexpected race(s), %d axiom violation(s)\n",
+			len(sum.Forbidden()), len(sum.UnexpectedRaces()), sum.AxiomViolations())
+		return 2
+	}
+	if n := sum.RecordErrors(); n > 0 {
+		fmt.Fprintf(os.Stderr, "c11tester: failed to record %d trace(s) to %s\n", n, *record)
+		return 1
+	}
+	return 0
+}
+
+// runCompare handles -compare old.json new.json: the new path may follow as
+// a positional argument or be joined with a comma.
+func runCompare(oldArg string, positional []string, out *os.File) int {
+	oldPath, newPath := oldArg, ""
+	if i := strings.IndexByte(oldArg, ','); i >= 0 {
+		oldPath, newPath = oldArg[:i], oldArg[i+1:]
+	} else if len(positional) == 1 {
+		newPath = positional[0]
+	}
+	if oldPath == "" || newPath == "" {
+		fmt.Fprintln(os.Stderr, "c11tester: -compare needs two artifacts: -compare old.json new.json")
+		return 1
+	}
+	oldSum, err := campaign.LoadSummary(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c11tester:", err)
+		return 1
+	}
+	newSum, err := campaign.LoadSummary(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c11tester:", err)
+		return 1
+	}
+	cmp := campaign.Compare(oldSum, newSum)
+	fmt.Fprint(out, cmp.String())
+	if cmp.Regressed() {
 		return 2
 	}
 	return 0

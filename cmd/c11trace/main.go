@@ -1,0 +1,191 @@
+// Command c11trace works with portable execution traces (internal/trace)
+// recorded by campaign runs (cmd/c11tester -record):
+//
+//	c11trace replay trace.json             re-drive the recorded schedule and
+//	                                       verify it reproduces the recorded
+//	                                       race keys, outcome, and events
+//	c11trace validate trace.json           offline axiomatic check (Appendix A)
+//	                                       of the serialized execution, with
+//	                                       no live engine
+//	c11trace minimize [-o out] trace.json  ddmin the schedule to a smaller one
+//	                                       exhibiting the same race keys /
+//	                                       outcome, and write the minimized
+//	                                       trace
+//	c11trace show trace.json               print a one-screen trace summary
+//
+// Exit codes: 0 success, 1 usage/IO error, 2 verification failure or
+// axiomatic violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"c11tester/internal/campaign"
+	"c11tester/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func usage(out *os.File) int {
+	fmt.Fprintln(out, "usage: c11trace <replay|validate|minimize|show> [flags] <trace.json>")
+	fmt.Fprintln(out, "  replay    re-drive the recorded schedule; verify exact reproduction")
+	fmt.Fprintln(out, "  validate  offline axiomatic check of the serialized execution")
+	fmt.Fprintln(out, "  minimize  shrink the schedule to a minimal reproducing one (-o out.json, -budget N)")
+	fmt.Fprintln(out, "  show      print a trace summary")
+	return 1
+}
+
+func run(args []string, out *os.File) int {
+	if len(args) < 1 {
+		return usage(out)
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "replay":
+		return withTrace(rest, out, replayCmd)
+	case "validate":
+		return withTrace(rest, out, validateCmd)
+	case "minimize":
+		return minimizeCmd(rest, out)
+	case "show":
+		return withTrace(rest, out, showCmd)
+	}
+	fmt.Fprintf(os.Stderr, "c11trace: unknown subcommand %q\n", cmd)
+	return usage(out)
+}
+
+// withTrace loads the single trace-file argument and applies fn.
+func withTrace(args []string, out *os.File, fn func(*trace.Trace, *os.File) int) int {
+	if len(args) != 1 {
+		return usage(out)
+	}
+	tr, err := trace.ReadFile(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c11trace:", err)
+		return 1
+	}
+	return fn(tr, out)
+}
+
+func describe(tr *trace.Trace) string {
+	kind := "benchmark"
+	if tr.Litmus {
+		kind = "litmus"
+	}
+	return fmt.Sprintf("%s %s %q seed %d: %d thread + %d index choices, %d events",
+		tr.Tool.Name, kind, tr.Program, tr.Seed,
+		len(tr.Schedule.Threads), len(tr.Schedule.Indices), len(tr.Events))
+}
+
+func replayCmd(tr *trace.Trace, out *os.File) int {
+	subj, err := campaign.TraceSubject(tr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c11trace:", err)
+		return 1
+	}
+	rr, err := trace.Replay(tr, subj)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c11trace:", err)
+		return 1
+	}
+	if err := tr.Verify(rr); err != nil {
+		fmt.Fprintf(os.Stderr, "c11trace: replay MISMATCH: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(out, "replay OK: %s\n", describe(tr))
+	if len(tr.RaceKeys) > 0 {
+		fmt.Fprintf(out, "reproduced race keys: %s\n", strings.Join(tr.RaceKeys, ", "))
+	}
+	if tr.Outcome != "" {
+		fmt.Fprintf(out, "reproduced outcome: %q\n", tr.Outcome)
+	}
+	return 0
+}
+
+func validateCmd(tr *trace.Trace, out *os.File) int {
+	vs, err := tr.Validate()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c11trace:", err)
+		return 1
+	}
+	if len(vs) > 0 {
+		fmt.Fprintf(os.Stderr, "c11trace: %d axiomatic violation(s):\n", len(vs))
+		for _, v := range vs {
+			fmt.Fprintf(os.Stderr, "  %v\n", v)
+		}
+		return 2
+	}
+	fmt.Fprintf(out, "validate OK: %s satisfies the axiomatic model\n", describe(tr))
+	return 0
+}
+
+func minimizeCmd(args []string, out *os.File) int {
+	fs := flag.NewFlagSet("c11trace minimize", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		outPath = fs.String("o", "", "output path (default: <input>.min.json)")
+		budget  = fs.Int("budget", trace.DefaultMinimizeBudget, "max replays to spend")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if fs.NArg() != 1 {
+		return usage(out)
+	}
+	in := fs.Arg(0)
+	tr, err := trace.ReadFile(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c11trace:", err)
+		return 1
+	}
+	subj, err := campaign.TraceSubject(tr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c11trace:", err)
+		return 1
+	}
+	min, stats, err := trace.Minimize(tr, subj, *budget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c11trace:", err)
+		return 1
+	}
+	path := *outPath
+	if path == "" {
+		path = strings.TrimSuffix(in, ".json") + ".min.json"
+	}
+	if err := min.WriteFile(path); err != nil {
+		fmt.Fprintln(os.Stderr, "c11trace:", err)
+		return 1
+	}
+	fmt.Fprintf(out, "minimize OK: %d→%d thread choices (%d core), %d→%d index choices (%d core) in %d replays\nwrote %s\n",
+		stats.ThreadsBefore, stats.ThreadsAfter, stats.CoreThreads,
+		stats.IndicesBefore, stats.IndicesAfter, stats.CoreIndices,
+		stats.Replays, path)
+	return 0
+}
+
+func showCmd(tr *trace.Trace, out *os.File) int {
+	fmt.Fprintln(out, describe(tr))
+	if len(tr.RaceKeys) > 0 {
+		fmt.Fprintf(out, "race keys:    %s\n", strings.Join(tr.RaceKeys, ", "))
+	}
+	if tr.Outcome != "" {
+		fmt.Fprintf(out, "outcome:      %q\n", tr.Outcome)
+	}
+	if tr.Deadlocked {
+		fmt.Fprintln(out, "deadlocked:   true")
+	}
+	if tr.Truncated {
+		fmt.Fprintln(out, "truncated:    true")
+	}
+	if tr.AssertFailures > 0 {
+		fmt.Fprintf(out, "asserts:      %d failure(s)\n", tr.AssertFailures)
+	}
+	fmt.Fprintf(out, "validatable:  %v\n", tr.Validatable())
+	fmt.Fprintf(out, "locations:    %d with modification orders\n", len(tr.MO))
+	return 0
+}

@@ -23,8 +23,10 @@ type Execution struct {
 	MO    map[memmodel.LocID][]*core.Action
 }
 
-// FromEngine lifts the engine's last traced execution.
-func FromEngine(e *core.Engine, m *core.C11Model) *Execution {
+// FromEngine lifts the engine's last traced execution. m is the engine's
+// memory model, which must expose a concrete total modification order per
+// location (the C11 model does; the commit-order baselines do not).
+func FromEngine(e *core.Engine, m core.MOProvider) *Execution {
 	mo := map[memmodel.LocID][]*core.Action{}
 	for _, loc := range m.Locations() {
 		mo[loc] = m.TotalMO(loc)

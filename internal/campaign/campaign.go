@@ -22,13 +22,19 @@ package campaign
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/metrics"
 	"sync"
 	"time"
 
+	"c11tester/internal/axiom"
 	"c11tester/internal/capi"
+	"c11tester/internal/core"
 	"c11tester/internal/harness"
 	"c11tester/internal/litmus"
+	"c11tester/internal/trace"
 )
 
 // ToolSpec names a tool and knows how to build fresh instances of it.
@@ -46,6 +52,9 @@ type ToolSpec struct {
 	// this tool configuration; they are embedded in every reproduction
 	// command the campaign emits (see harness.Repro.Flags).
 	ReproFlags string
+	// TraceConfig is the portable tool identity embedded in recorded traces
+	// (see internal/trace); StandardTool fills it in.
+	TraceConfig trace.ToolConfig
 }
 
 // BenchmarkSpec is one program cell of the campaign matrix.
@@ -71,6 +80,17 @@ type Spec struct {
 	Workers int
 	// ShardSize is the number of executions per shard; 0 means 25.
 	ShardSize int
+	// RecordDir, when non-empty, persists a portable execution trace
+	// (internal/trace) for every execution that exhibited a detection
+	// signal, race, or forbidden outcome. RecordAll persists every
+	// execution instead.
+	RecordDir string
+	RecordAll bool
+	// ValidateAxioms checks every execution of a tool whose memory model
+	// exposes total modification orders (core.MOProvider) against the
+	// axiomatic model of Appendix A, counting violations in the summary;
+	// executions of other tools are counted as skipped.
+	ValidateAxioms bool
 }
 
 func (s Spec) withDefaults() Spec {
@@ -121,11 +141,44 @@ type fragment struct {
 	outcomes  map[string]int
 	forbidden map[string]int // outcome → earliest global execution index
 	weak      map[string]int
+	// trace/validation duties (Spec.RecordDir / Spec.ValidateAxioms):
+	checked    int
+	skipped    int
+	violations int
+	vioSamples []string
+	recorded   int
+	recordErrs int
+	// allocation counters: global heap-allocation deltas observed around
+	// this shard. Under concurrent workers they include other shards'
+	// allocations; they are exact at Workers=1 and a regression signal
+	// otherwise (like the shard wall-clock they sit next to).
+	allocBytes uint64
+	allocObjs  uint64
+}
+
+// maxViolationSamples caps the axiom-violation details carried per shard and
+// per tool summary.
+const maxViolationSamples = 5
+
+// readAllocCounters reads the process-wide heap allocation counters (cheap,
+// no stop-the-world).
+func readAllocCounters() (bytes, objects uint64) {
+	s := []metrics.Sample{
+		{Name: "/gc/heap/allocs:bytes"},
+		{Name: "/gc/heap/allocs:objects"},
+	}
+	metrics.Read(s)
+	return s[0].Value.Uint64(), s[1].Value.Uint64()
 }
 
 // Run executes the campaign and aggregates the results.
 func Run(spec Spec) *Summary {
 	spec = spec.withDefaults()
+	if spec.RecordDir != "" {
+		_ = os.MkdirAll(spec.RecordDir, 0o755)
+	}
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 
 	var jobs []job
@@ -167,13 +220,79 @@ func Run(spec Spec) *Summary {
 	close(next)
 	wg.Wait()
 
-	return aggregate(spec, jobs, frags, time.Since(start))
+	wall := time.Since(start)
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+	gc := GCSummary{
+		AllocBytes:   ms1.TotalAlloc - ms0.TotalAlloc,
+		Mallocs:      ms1.Mallocs - ms0.Mallocs,
+		NumGC:        ms1.NumGC - ms0.NumGC,
+		PauseTotalNS: ms1.PauseTotalNs - ms0.PauseTotalNs,
+	}
+	return aggregate(spec, jobs, frags, wall, gc)
 }
 
 // runShard executes one shard with a fresh tool instance.
 func runShard(spec Spec, j job) fragment {
 	tool := spec.Tools[j.tool].New()
 	frag := fragment{races: map[string]raceHit{}}
+
+	// Trace duties: engines whose model exposes total modification orders
+	// run in trace mode for validation and event recording; the recorder
+	// strategy wrapper captures the schedule of every execution.
+	eng, isEngine := tool.(*core.Engine)
+	var mo core.MOProvider
+	if isEngine {
+		mo, _ = eng.Model().(core.MOProvider)
+	}
+	var rec *trace.Recorder
+	if isEngine && mo != nil && (spec.ValidateAxioms || spec.RecordDir != "") {
+		eng.SetTrace(true)
+	}
+	if isEngine && spec.RecordDir != "" {
+		rec = trace.NewRecorder(eng.Strategy())
+		eng.SetStrategy(rec)
+	}
+	// post runs after every execution: axiomatic validation and (for
+	// signal-bearing executions, or all of them with RecordAll) trace
+	// persistence. It must run before the engine's next Execute.
+	post := func(res *capi.Result, i int, program string, isLit bool, outcome string, hit bool) {
+		seed := spec.SeedBase + int64(i)
+		if spec.ValidateAxioms {
+			if mo != nil {
+				frag.checked++
+				if vs := axiom.Check(axiom.FromEngine(eng, mo)); len(vs) > 0 {
+					frag.violations += len(vs)
+					if len(frag.vioSamples) < maxViolationSamples {
+						frag.vioSamples = append(frag.vioSamples,
+							fmt.Sprintf("%s/%s seed %d: %v", tool.Name(), program, seed, vs[0]))
+					}
+				}
+			} else {
+				frag.skipped++
+			}
+		}
+		if rec != nil && (hit || spec.RecordAll) {
+			meta := trace.Meta{
+				Tool: spec.Tools[j.tool].TraceConfig, Program: program,
+				Litmus: isLit, Seed: seed, Outcome: outcome,
+			}
+			tr, err := trace.Record(eng, res, rec.Schedule(), meta)
+			if err == nil {
+				path := filepath.Join(spec.RecordDir, trace.FileName(tool.Name(), program, seed))
+				err = tr.WriteFile(path)
+			}
+			if err == nil {
+				frag.recorded++
+			} else {
+				// Counted and surfaced in the summary: a campaign asked to
+				// persist traces must not drop them silently.
+				frag.recordErrs++
+			}
+		}
+	}
+
+	a0bytes, a0objs := readAllocCounters()
 	start := time.Now()
 	switch j.kind {
 	case jobBench:
@@ -181,11 +300,13 @@ func runShard(spec Spec, j job) fragment {
 		for i := j.lo; i < j.hi; i++ {
 			res := tool.Execute(b.Prog, spec.SeedBase+int64(i))
 			frag.execs++
-			if b.Signal.Hit(res) {
+			hit := b.Signal.Hit(res)
+			if hit {
 				frag.detected++
 			}
 			frag.ops.Add(res.Stats)
 			recordRaces(&frag, res, i)
+			post(res, i, b.Name, false, "", hit || len(res.Races) > 0)
 		}
 	case jobLitmus:
 		test := spec.Litmus[j.cell]
@@ -202,21 +323,26 @@ func runShard(spec Spec, j job) fragment {
 			// Litmus programs only touch shared state atomically, so any
 			// race here is a detector soundness bug, not a finding.
 			recordRaces(&frag, res, i)
-			if out == "" {
-				continue
-			}
-			frag.outcomes[out]++
-			if isForbidden(test, out, spec.Tools[j.tool].Baseline) {
-				if first, seen := frag.forbidden[out]; !seen || i < first {
-					frag.forbidden[out] = i
+			forbidden := false
+			if out != "" {
+				frag.outcomes[out]++
+				if isForbidden(test, out, spec.Tools[j.tool].Baseline) {
+					forbidden = true
+					if first, seen := frag.forbidden[out]; !seen || i < first {
+						frag.forbidden[out] = i
+					}
+				}
+				if test.Weak[out] {
+					frag.weak[out]++
 				}
 			}
-			if test.Weak[out] {
-				frag.weak[out]++
-			}
+			post(res, i, test.Name, true, out, forbidden || len(res.Races) > 0)
 		}
 	}
 	frag.elapsed = time.Since(start)
+	a1bytes, a1objs := readAllocCounters()
+	frag.allocBytes = a1bytes - a0bytes
+	frag.allocObjs = a1objs - a0objs
 	return frag
 }
 
@@ -254,6 +380,9 @@ func mergeRaces(dst map[string]raceHit, src map[string]raceHit) {
 func (s Spec) Validate() error {
 	if len(s.Tools) == 0 {
 		return fmt.Errorf("campaign: no tools selected")
+	}
+	if s.RecordAll && s.RecordDir == "" {
+		return fmt.Errorf("campaign: RecordAll requires RecordDir")
 	}
 	if len(s.Benchmarks) == 0 && len(s.Litmus) == 0 {
 		return fmt.Errorf("campaign: no benchmarks or litmus tests selected")

@@ -12,6 +12,7 @@ import (
 	"c11tester/internal/harness"
 	"c11tester/internal/litmus"
 	"c11tester/internal/structures"
+	"c11tester/internal/trace"
 )
 
 func mustTool(t *testing.T, name string, opts ToolOptions) ToolSpec {
@@ -46,18 +47,21 @@ func benchSpec(t *testing.T, name string) BenchmarkSpec {
 }
 
 // canonicalize strips the fields that legitimately vary run to run — wall
-// clock, per-shard work time, and everything derived from them — leaving
-// exactly the aggregates the determinism guarantee covers.
+// clock, per-shard work time, allocation/GC measurements, and everything
+// derived from them — leaving exactly the aggregates the determinism
+// guarantee covers.
 func canonicalize(s *Summary) *Summary {
 	c := *s
 	c.WallNS = 0
 	c.Spec.Workers = 0
 	c.Spec.ShardSize = 0
+	c.GC = GCSummary{}
 	c.Tools = append([]ToolSummary(nil), s.Tools...)
 	for i := range c.Tools {
 		ts := &c.Tools[i]
 		ts.WorkNS = 0
 		ts.ExecsPerSec = 0
+		ts.Perf = ToolPerf{}
 		ts.Benchmarks = append([]CellSummary(nil), ts.Benchmarks...)
 		for j := range ts.Benchmarks {
 			ts.Benchmarks[j].Detection.MeanTimeNS = 0
@@ -159,6 +163,99 @@ func TestReproSeedReplays(t *testing.T) {
 		if !found {
 			t.Errorf("replaying %v did not reproduce race %q", r.Repro, r.Key)
 		}
+	}
+}
+
+// TestRecordedCampaignReplaysDeterministically is the tentpole acceptance
+// test: a sharded (workers=4) recording campaign persists a trace for every
+// execution, every trace is then rebuilt from its serialized form alone and
+// replayed serially, and each replay must reproduce byte-identical race
+// keys, litmus outcomes, final values, and event payloads. The campaign also
+// axiom-checks every execution, which must produce zero violations.
+func TestRecordedCampaignReplaysDeterministically(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{
+		Tools: []ToolSpec{mustTool(t, "c11tester", ToolOptions{})},
+		Benchmarks: []BenchmarkSpec{
+			benchSpec(t, "ms-queue"),
+			benchSpec(t, "seqlock"),
+		},
+		Litmus:    []*litmus.Test{mustLitmus(t, "MP+rlx"), mustLitmus(t, "CoRR")},
+		Runs:      8,
+		SeedBase:  300,
+		Workers:   4,
+		ShardSize: 3,
+		RecordDir: dir, RecordAll: true,
+		ValidateAxioms: true,
+	}
+	sum := Run(spec)
+	if v := sum.AxiomViolations(); v != 0 {
+		t.Fatalf("axiomatic validation found %d violation(s): %+v", v, sum.Tools[0].Validation)
+	}
+	val := sum.Tools[0].Validation
+	if val == nil || val.Checked != 32 {
+		t.Fatalf("validation summary = %+v, want 32 checked executions", val)
+	}
+	if sum.Tools[0].RecordedTraces != 32 {
+		t.Fatalf("recorded %d traces, want 32 (record-all over 4 cells × 8 runs)", sum.Tools[0].RecordedTraces)
+	}
+
+	files, err := filepath.Glob(filepath.Join(dir, "trace_*.json"))
+	if err != nil || len(files) != 32 {
+		t.Fatalf("found %d trace files (err=%v), want 32", len(files), err)
+	}
+	litmusTraces := 0
+	for _, f := range files {
+		tr, err := trace.ReadFile(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if tr.Litmus {
+			litmusTraces++
+		}
+		subj, err := TraceSubject(tr)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		rr, err := trace.Replay(tr, subj)
+		if err != nil {
+			t.Fatalf("%s: replay: %v", f, err)
+		}
+		if err := tr.Verify(rr); err != nil {
+			t.Errorf("%s: replay not identical: %v", f, err)
+		}
+		if vs, err := tr.Validate(); err != nil || len(vs) > 0 {
+			t.Errorf("%s: offline validation: %v %v", f, err, vs)
+		}
+	}
+	if litmusTraces != 16 {
+		t.Errorf("replayed %d litmus traces, want 16", litmusTraces)
+	}
+}
+
+// TestValidationSkipsBaselines pins that -validate counts baseline
+// executions as skipped (their commit-order model exposes no total mo)
+// while still checking the full-fragment tool.
+func TestValidationSkipsBaselines(t *testing.T) {
+	sum := Run(Spec{
+		Tools: []ToolSpec{
+			mustTool(t, "c11tester", ToolOptions{}),
+			mustTool(t, "tsan11", ToolOptions{}),
+		},
+		Litmus:         []*litmus.Test{mustLitmus(t, "SB+sc")},
+		Runs:           10,
+		SeedBase:       1,
+		ValidateAxioms: true,
+	})
+	full, base := sum.Tools[0].Validation, sum.Tools[1].Validation
+	if full == nil || full.Checked != 10 || full.Skipped != 0 || full.Violations != 0 {
+		t.Errorf("c11tester validation = %+v, want 10 checked", full)
+	}
+	if base == nil || base.Checked != 0 || base.Skipped != 10 {
+		t.Errorf("tsan11 validation = %+v, want 10 skipped", base)
+	}
+	if sum.Failed() {
+		t.Error("violation-free campaign must not fail")
 	}
 }
 

@@ -1,0 +1,221 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"c11tester/internal/harness"
+)
+
+// LoadSummary reads a serialized campaign artifact (BENCH_campaign.json)
+// and sanity-checks its schema header. Versions 1 through SchemaVersion are
+// accepted — comparison only touches fields that exist in every one of them;
+// newer versions are rejected, since a bump signals an incompatible reshape
+// that would silently decode to zero values here.
+func LoadSummary(path string) (*Summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("campaign: %s: %v", path, err)
+	}
+	if s.Schema != SchemaName {
+		return nil, fmt.Errorf("campaign: %s: schema %q, want %q", path, s.Schema, SchemaName)
+	}
+	if s.SchemaVersion < 1 || s.SchemaVersion > SchemaVersion {
+		return nil, fmt.Errorf("campaign: %s: schema version %d, this build understands 1..%d",
+			path, s.SchemaVersion, SchemaVersion)
+	}
+	return &s, nil
+}
+
+// CellDelta is the detection-rate movement of one (tool, benchmark) cell.
+type CellDelta struct {
+	Tool      string  `json:"tool"`
+	Benchmark string  `json:"benchmark"`
+	OldPct    float64 `json:"old_pct"`
+	NewPct    float64 `json:"new_pct"`
+	DeltaPct  float64 `json:"delta_pct"`
+}
+
+// ToolDelta is the per-tool movement between two campaign artifacts.
+type ToolDelta struct {
+	Tool string `json:"tool"`
+	// ThroughputRatio is new execs/sec over old execs/sec (>1 is faster).
+	OldExecsPerSec  float64 `json:"old_execs_per_sec"`
+	NewExecsPerSec  float64 `json:"new_execs_per_sec"`
+	ThroughputRatio float64 `json:"throughput_ratio"`
+	// NewRaceKeys are race keys present only in the new artifact; LostRaceKeys
+	// only in the old one.
+	NewRaceKeys  []string    `json:"new_race_keys,omitempty"`
+	LostRaceKeys []string    `json:"lost_race_keys,omitempty"`
+	Detection    []CellDelta `json:"detection,omitempty"`
+}
+
+// Comparison diffs two campaign artifacts for PR-to-PR trajectory tracking.
+// Tools and benchmarks are matched by name; entries present in only one
+// artifact are listed as unmatched.
+type Comparison struct {
+	Tools        []ToolDelta `json:"tools"`
+	UnmatchedOld []string    `json:"unmatched_old,omitempty"`
+	UnmatchedNew []string    `json:"unmatched_new,omitempty"`
+	OldWall      int64       `json:"old_wall_ns"`
+	NewWall      int64       `json:"new_wall_ns"`
+	OldSchemaVer int         `json:"old_schema_version"`
+	NewSchemaVer int         `json:"new_schema_version"`
+}
+
+// Compare diffs two campaign summaries.
+func Compare(old, new *Summary) *Comparison {
+	c := &Comparison{
+		OldWall: old.WallNS, NewWall: new.WallNS,
+		OldSchemaVer: old.SchemaVersion, NewSchemaVer: new.SchemaVersion,
+	}
+	oldTools := map[string]*ToolSummary{}
+	for i := range old.Tools {
+		oldTools[old.Tools[i].Tool] = &old.Tools[i]
+	}
+	matched := map[string]bool{}
+	for i := range new.Tools {
+		nt := &new.Tools[i]
+		ot, ok := oldTools[nt.Tool]
+		if !ok {
+			c.UnmatchedNew = append(c.UnmatchedNew, nt.Tool)
+			continue
+		}
+		matched[nt.Tool] = true
+		td := ToolDelta{
+			Tool:           nt.Tool,
+			OldExecsPerSec: ot.ExecsPerSec, NewExecsPerSec: nt.ExecsPerSec,
+		}
+		if ot.ExecsPerSec > 0 {
+			td.ThroughputRatio = nt.ExecsPerSec / ot.ExecsPerSec
+		}
+		td.NewRaceKeys, td.LostRaceKeys = diffRaceKeys(ot.Races, nt.Races)
+
+		oldCells := map[string]harness.DetectionSummary{}
+		for _, cell := range ot.Benchmarks {
+			oldCells[cell.Program] = cell.Detection
+		}
+		for _, cell := range nt.Benchmarks {
+			od, ok := oldCells[cell.Program]
+			if !ok {
+				continue
+			}
+			td.Detection = append(td.Detection, CellDelta{
+				Tool: nt.Tool, Benchmark: cell.Program,
+				OldPct: od.RatePct, NewPct: cell.Detection.RatePct,
+				DeltaPct: cell.Detection.RatePct - od.RatePct,
+			})
+		}
+		c.Tools = append(c.Tools, td)
+	}
+	for _, ot := range old.Tools {
+		if !matched[ot.Tool] {
+			c.UnmatchedOld = append(c.UnmatchedOld, ot.Tool)
+		}
+	}
+	return c
+}
+
+// diffRaceKeys returns the keys only in new and only in old, sorted.
+func diffRaceKeys(old, new []harness.RaceSummary) (added, lost []string) {
+	oldKeys := map[string]bool{}
+	for _, r := range old {
+		oldKeys[r.Key] = true
+	}
+	newKeys := map[string]bool{}
+	for _, r := range new {
+		newKeys[r.Key] = true
+		if !oldKeys[r.Key] {
+			added = append(added, r.Key)
+		}
+	}
+	for k := range oldKeys {
+		if !newKeys[k] {
+			lost = append(lost, k)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(lost)
+	return added, lost
+}
+
+// Regressed reports whether the new artifact lost race keys or lost more
+// than 10 percentage points of detection rate in any cell — the signal the
+// PR trajectory check keys on.
+func (c *Comparison) Regressed() bool {
+	for _, td := range c.Tools {
+		if len(td.LostRaceKeys) > 0 {
+			return true
+		}
+		for _, d := range td.Detection {
+			if d.DeltaPct < -10 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String renders the human-readable comparison report.
+func (c *Comparison) String() string {
+	out := fmt.Sprintf("campaign comparison (old schema v%d, new schema v%d)\nwall clock: %s → %s\n",
+		c.OldSchemaVer, c.NewSchemaVer,
+		harness.FmtDuration(time.Duration(c.OldWall)), harness.FmtDuration(time.Duration(c.NewWall)))
+
+	tb := &harness.Table{Header: []string{"tool", "execs/sec old", "execs/sec new", "ratio", "new races", "lost races"}}
+	for _, td := range c.Tools {
+		tb.AddRow(td.Tool,
+			fmt.Sprintf("%.0f", td.OldExecsPerSec),
+			fmt.Sprintf("%.0f", td.NewExecsPerSec),
+			fmt.Sprintf("%.2f×", td.ThroughputRatio),
+			fmt.Sprintf("%d", len(td.NewRaceKeys)),
+			fmt.Sprintf("%d", len(td.LostRaceKeys)))
+	}
+	out += "\n" + tb.String()
+
+	var cells []CellDelta
+	for _, td := range c.Tools {
+		for _, d := range td.Detection {
+			if d.DeltaPct != 0 {
+				cells = append(cells, d)
+			}
+		}
+	}
+	if len(cells) > 0 {
+		dt := &harness.Table{Header: []string{"tool", "benchmark", "old", "new", "delta"}}
+		for _, d := range cells {
+			dt.AddRow(d.Tool, d.Benchmark,
+				fmt.Sprintf("%5.1f%%", d.OldPct),
+				fmt.Sprintf("%5.1f%%", d.NewPct),
+				fmt.Sprintf("%+5.1f%%", d.DeltaPct))
+		}
+		out += "\ndetection-rate movement:\n" + dt.String()
+	}
+	for _, td := range c.Tools {
+		for _, k := range td.NewRaceKeys {
+			out += fmt.Sprintf("\n%s: NEW race key %s", td.Tool, k)
+		}
+		for _, k := range td.LostRaceKeys {
+			out += fmt.Sprintf("\n%s: LOST race key %s", td.Tool, k)
+		}
+	}
+	if len(c.UnmatchedOld) > 0 {
+		out += fmt.Sprintf("\ntools only in old artifact: %v", c.UnmatchedOld)
+	}
+	if len(c.UnmatchedNew) > 0 {
+		out += fmt.Sprintf("\ntools only in new artifact: %v", c.UnmatchedNew)
+	}
+	if c.Regressed() {
+		out += "\n\nREGRESSION: lost race keys or a detection-rate drop > 10 points\n"
+	} else {
+		out += "\n\nno regression detected\n"
+	}
+	return out
+}

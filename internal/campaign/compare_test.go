@@ -1,0 +1,87 @@
+package campaign
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"c11tester/internal/harness"
+)
+
+func mkSummary(execsPerSec float64, ratePct float64, raceKeys ...string) *Summary {
+	var races []harness.RaceSummary
+	for _, k := range raceKeys {
+		races = append(races, harness.RaceSummary{Key: k})
+	}
+	return &Summary{
+		Schema: SchemaName, SchemaVersion: SchemaVersion,
+		Tools: []ToolSummary{{
+			Tool: "c11tester", ExecsPerSec: execsPerSec, Races: races,
+			Benchmarks: []CellSummary{{
+				Program:   "ms-queue",
+				Detection: harness.DetectionSummary{Runs: 100, RatePct: ratePct},
+			}},
+		}},
+	}
+}
+
+func TestCompareDetectsMovement(t *testing.T) {
+	old := mkSummary(1000, 80, "a/x/y", "b/x/y")
+	new := mkSummary(2000, 95, "a/x/y", "c/x/y")
+
+	c := Compare(old, new)
+	if len(c.Tools) != 1 {
+		t.Fatalf("matched %d tools, want 1", len(c.Tools))
+	}
+	td := c.Tools[0]
+	if td.ThroughputRatio != 2 {
+		t.Errorf("throughput ratio = %v, want 2", td.ThroughputRatio)
+	}
+	if len(td.NewRaceKeys) != 1 || td.NewRaceKeys[0] != "c/x/y" {
+		t.Errorf("new race keys = %v", td.NewRaceKeys)
+	}
+	if len(td.LostRaceKeys) != 1 || td.LostRaceKeys[0] != "b/x/y" {
+		t.Errorf("lost race keys = %v", td.LostRaceKeys)
+	}
+	if len(td.Detection) != 1 || td.Detection[0].DeltaPct != 15 {
+		t.Errorf("detection delta = %+v", td.Detection)
+	}
+	if !c.Regressed() {
+		t.Error("a lost race key must count as a regression")
+	}
+	text := c.String()
+	for _, want := range []string{"2.00×", "LOST race key b/x/y", "NEW race key c/x/y", "ms-queue"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("comparison text missing %q:\n%s", want, text)
+		}
+	}
+
+	// No movement → no regression.
+	if Compare(old, old).Regressed() {
+		t.Error("identical artifacts must not regress")
+	}
+}
+
+func TestCompareRoundTripsThroughDisk(t *testing.T) {
+	sum := Run(Spec{
+		Tools:      []ToolSpec{mustTool(t, "c11tester", ToolOptions{})},
+		Benchmarks: []BenchmarkSpec{benchSpec(t, "ms-queue")},
+		Runs:       5,
+		SeedBase:   7,
+	})
+	path := filepath.Join(t.TempDir(), "old.json")
+	if err := sum.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	old, err := LoadSummary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Compare(old, sum)
+	if c.Regressed() {
+		t.Errorf("self-comparison regressed:\n%s", c)
+	}
+	if len(c.Tools) != 1 || c.Tools[0].ThroughputRatio == 0 {
+		t.Errorf("self-comparison lost the tool: %+v", c.Tools)
+	}
+}

@@ -13,9 +13,13 @@ import (
 // Schema identifiers of the serialized campaign summary. Bump SchemaVersion
 // on any incompatible change to the JSON shape; consumers of the
 // BENCH_campaign.json trajectory key on it.
+//
+// v2: per-tool allocation counters ("perf"), campaign-level GC stats
+// ("gc"), optional axiomatic-validation results ("validation"), recorded
+// trace counts, and the record/validate spec echo.
 const (
 	SchemaName    = "c11tester/campaign"
-	SchemaVersion = 1
+	SchemaVersion = 2
 )
 
 // SpecInfo echoes the campaign parameters into the summary, making every
@@ -29,6 +33,9 @@ type SpecInfo struct {
 	SeedBase   int64    `json:"seed_base"`
 	Workers    int      `json:"workers"`
 	ShardSize  int      `json:"shard_size"`
+	RecordDir  string   `json:"record_dir,omitempty"`
+	RecordAll  bool     `json:"record_all,omitempty"`
+	Validate   bool     `json:"validate,omitempty"`
 }
 
 // CellSummary aggregates one (tool, benchmark) cell.
@@ -66,6 +73,37 @@ type LitmusSummary struct {
 	WeakDefined int      `json:"weak_defined"`
 }
 
+// ToolPerf carries the allocation counters of one tool's campaign: global
+// heap-allocation deltas summed over the tool's shards. Exact at Workers=1;
+// under concurrent workers they include co-scheduled shards' allocations and
+// serve as a regression signal, like the shard wall-clock they accompany.
+type ToolPerf struct {
+	AllocBytes   uint64  `json:"alloc_bytes"`
+	AllocObjects uint64  `json:"alloc_objects"`
+	BytesPerExec float64 `json:"bytes_per_exec"`
+}
+
+// ValidationSummary reports the per-tool axiomatic-validation results of a
+// -validate campaign: how many executions were checked against the Appendix
+// A model, how many were skipped (the tool's memory model exposes no total
+// modification order), and how many violations were found. Any violation is
+// a model soundness bug and fails the campaign.
+type ValidationSummary struct {
+	Checked    int      `json:"checked"`
+	Skipped    int      `json:"skipped"`
+	Violations int      `json:"violations"`
+	Samples    []string `json:"samples,omitempty"`
+}
+
+// GCSummary is the campaign-wide memory profile: heap allocation and GC
+// deltas measured across the whole run.
+type GCSummary struct {
+	AllocBytes   uint64 `json:"alloc_bytes"`
+	Mallocs      uint64 `json:"mallocs"`
+	NumGC        uint32 `json:"num_gc"`
+	PauseTotalNS uint64 `json:"pause_total_ns"`
+}
+
 // ToolSummary aggregates one tool's whole campaign.
 type ToolSummary struct {
 	Tool string `json:"tool"`
@@ -77,6 +115,16 @@ type ToolSummary struct {
 	ExecsPerSec float64 `json:"execs_per_sec"`
 	AtomicOps   uint64  `json:"atomic_ops"`
 	NormalOps   uint64  `json:"normal_ops"`
+
+	// Perf carries the allocation counters (schema v2).
+	Perf ToolPerf `json:"perf"`
+	// Validation is present when the campaign ran with ValidateAxioms.
+	Validation *ValidationSummary `json:"validation,omitempty"`
+	// RecordedTraces counts the trace files this tool persisted (RecordDir);
+	// RecordErrors counts executions whose trace could not be recorded or
+	// written (any nonzero value is surfaced as a warning in the report).
+	RecordedTraces int `json:"recorded_traces,omitempty"`
+	RecordErrors   int `json:"record_errors,omitempty"`
 
 	Benchmarks []CellSummary   `json:"benchmarks,omitempty"`
 	Litmus     []LitmusSummary `json:"litmus,omitempty"`
@@ -96,6 +144,7 @@ type Summary struct {
 	SchemaVersion int           `json:"schema_version"`
 	Spec          SpecInfo      `json:"spec"`
 	WallNS        int64         `json:"wall_ns"`
+	GC            GCSummary     `json:"gc"`
 	Tools         []ToolSummary `json:"tools"`
 }
 
@@ -109,6 +158,15 @@ type cellAcc struct {
 	outcomes  map[string]int
 	forbidden map[string]int
 	weak      map[string]int
+
+	checked    int
+	skipped    int
+	violations int
+	vioSamples []string
+	recorded   int
+	recordErrs int
+	allocBytes uint64
+	allocObjs  uint64
 }
 
 func newCellAcc() *cellAcc {
@@ -137,12 +195,25 @@ func (a *cellAcc) merge(f fragment) {
 	for out, n := range f.weak {
 		a.weak[out] += n
 	}
+	a.checked += f.checked
+	a.skipped += f.skipped
+	a.violations += f.violations
+	for _, s := range f.vioSamples {
+		if len(a.vioSamples) >= maxViolationSamples {
+			break
+		}
+		a.vioSamples = append(a.vioSamples, s)
+	}
+	a.recorded += f.recorded
+	a.recordErrs += f.recordErrs
+	a.allocBytes += f.allocBytes
+	a.allocObjs += f.allocObjs
 }
 
 // aggregate folds the shard fragments into the Summary. Every merge is
 // order-independent (sums, histogram unions, min-by-index winners), so the
 // result does not depend on how jobs were scheduled across workers.
-func aggregate(spec Spec, jobs []job, frags []fragment, wall time.Duration) *Summary {
+func aggregate(spec Spec, jobs []job, frags []fragment, wall time.Duration, gc GCSummary) *Summary {
 	benchAcc := make([][]*cellAcc, len(spec.Tools))
 	litAcc := make([][]*cellAcc, len(spec.Tools))
 	for t := range spec.Tools {
@@ -168,6 +239,8 @@ func aggregate(spec Spec, jobs []job, frags []fragment, wall time.Duration) *Sum
 		Runs: spec.Runs, SeedBase: spec.SeedBase,
 		Workers: spec.Workers, ShardSize: spec.ShardSize,
 		Benchmarks: []string{}, Litmus: []string{},
+		RecordDir: spec.RecordDir, RecordAll: spec.RecordAll,
+		Validate: spec.ValidateAxioms,
 	}
 	for _, t := range spec.Tools {
 		info.Tools = append(info.Tools, t.Name)
@@ -180,9 +253,10 @@ func aggregate(spec Spec, jobs []job, frags []fragment, wall time.Duration) *Sum
 	}
 
 	sum := &Summary{Schema: SchemaName, SchemaVersion: SchemaVersion,
-		Spec: info, WallNS: int64(wall)}
+		Spec: info, WallNS: int64(wall), GC: gc}
 	for t, toolSpec := range spec.Tools {
 		ts := ToolSummary{Tool: toolSpec.Name, Races: []harness.RaceSummary{}}
+		var val ValidationSummary
 		// Campaign-wide race dedup: first winner by (cell order, run index).
 		type toolRace struct {
 			summary harness.RaceSummary
@@ -227,6 +301,7 @@ func aggregate(spec Spec, jobs []job, frags []fragment, wall time.Duration) *Sum
 			ts.WorkNS += int64(acc.elapsed)
 			ts.AtomicOps += acc.ops.AtomicOps
 			ts.NormalOps += acc.ops.NormalOps
+			addToolAcc(&ts, &val, acc)
 		}
 		for _, key := range harness.SortedKeys(toolRaces) {
 			ts.Races = append(ts.Races, toolRaces[key].summary)
@@ -255,14 +330,39 @@ func aggregate(spec Spec, jobs []job, frags []fragment, wall time.Duration) *Sum
 			ts.WorkNS += int64(acc.elapsed)
 			ts.AtomicOps += acc.ops.AtomicOps
 			ts.NormalOps += acc.ops.NormalOps
+			addToolAcc(&ts, &val, acc)
 		}
 		for _, key := range harness.SortedKeys(unexpected) {
 			ts.UnexpectedRaces = append(ts.UnexpectedRaces, unexpected[key].summary)
 		}
 		ts.ExecsPerSec = harness.ExecsPerSec(ts.Execs, time.Duration(ts.WorkNS))
+		if ts.Execs > 0 {
+			ts.Perf.BytesPerExec = float64(ts.Perf.AllocBytes) / float64(ts.Execs)
+		}
+		if spec.ValidateAxioms {
+			ts.Validation = &val
+		}
 		sum.Tools = append(sum.Tools, ts)
 	}
 	return sum
+}
+
+// addToolAcc folds one cell's trace/validation/allocation aggregates into
+// the tool summary.
+func addToolAcc(ts *ToolSummary, val *ValidationSummary, acc *cellAcc) {
+	ts.Perf.AllocBytes += acc.allocBytes
+	ts.Perf.AllocObjects += acc.allocObjs
+	ts.RecordedTraces += acc.recorded
+	ts.RecordErrors += acc.recordErrs
+	val.Checked += acc.checked
+	val.Skipped += acc.skipped
+	val.Violations += acc.violations
+	for _, s := range acc.vioSamples {
+		if len(val.Samples) >= maxViolationSamples {
+			break
+		}
+		val.Samples = append(val.Samples, s)
+	}
 }
 
 // Forbidden returns every forbidden litmus outcome observed in the
@@ -287,10 +387,33 @@ func (s *Summary) UnexpectedRaces() []harness.RaceSummary {
 	return all
 }
 
-// Failed reports whether the campaign found a soundness problem: a
-// forbidden litmus outcome or a race in a race-free litmus program.
+// RecordErrors returns the total number of executions whose trace could not
+// be persisted, across all tools.
+func (s *Summary) RecordErrors() int {
+	n := 0
+	for _, ts := range s.Tools {
+		n += ts.RecordErrors
+	}
+	return n
+}
+
+// AxiomViolations returns the total number of axiomatic-model violations
+// found by a -validate campaign, across all tools.
+func (s *Summary) AxiomViolations() int {
+	n := 0
+	for _, ts := range s.Tools {
+		if ts.Validation != nil {
+			n += ts.Validation.Violations
+		}
+	}
+	return n
+}
+
+// Failed reports whether the campaign found a soundness problem: a forbidden
+// litmus outcome, a race in a race-free litmus program, or an execution that
+// violated the axiomatic model.
 func (s *Summary) Failed() bool {
-	return len(s.Forbidden()) > 0 || len(s.UnexpectedRaces()) > 0
+	return len(s.Forbidden()) > 0 || len(s.UnexpectedRaces()) > 0 || s.AxiomViolations() > 0
 }
 
 // DetectionTable renders the Table 2-style detection-rate matrix: one row
@@ -333,16 +456,18 @@ func (s *Summary) LitmusTable() *harness.Table {
 	return tb
 }
 
-// ThroughputTable renders per-tool execution throughput.
+// ThroughputTable renders per-tool execution throughput and allocation
+// pressure.
 func (s *Summary) ThroughputTable() *harness.Table {
-	tb := &harness.Table{Header: []string{"tool", "execs", "work", "execs/sec", "atomic ops", "normal ops"}}
+	tb := &harness.Table{Header: []string{"tool", "execs", "work", "execs/sec", "atomic ops", "normal ops", "alloc/exec"}}
 	for _, ts := range s.Tools {
 		tb.AddRow(ts.Tool,
 			fmt.Sprintf("%d", ts.Execs),
 			harness.FmtDuration(time.Duration(ts.WorkNS)),
 			fmt.Sprintf("%.0f", ts.ExecsPerSec),
 			harness.FmtOps(ts.AtomicOps),
-			harness.FmtOps(ts.NormalOps))
+			harness.FmtOps(ts.NormalOps),
+			harness.FmtBytes(uint64(ts.Perf.BytesPerExec)))
 	}
 	return tb
 }
@@ -366,6 +491,21 @@ func (s *Summary) String() string {
 			for _, r := range ts.Races {
 				out += fmt.Sprintf("  %s\n    repro: %s\n", r.Description, r.Repro.Command())
 			}
+		}
+	}
+	for _, ts := range s.Tools {
+		if v := ts.Validation; v != nil {
+			out += fmt.Sprintf("\n%s: axiomatic validation: %d checked, %d skipped, %d violation(s)\n",
+				ts.Tool, v.Checked, v.Skipped, v.Violations)
+			for _, sample := range v.Samples {
+				out += "  VIOLATION " + sample + "\n"
+			}
+		}
+		if ts.RecordedTraces > 0 {
+			out += fmt.Sprintf("\n%s: recorded %d trace(s) to %s\n", ts.Tool, ts.RecordedTraces, s.Spec.RecordDir)
+		}
+		if ts.RecordErrors > 0 {
+			out += fmt.Sprintf("\n%s: WARNING: failed to record %d trace(s) to %s\n", ts.Tool, ts.RecordErrors, s.Spec.RecordDir)
 		}
 	}
 	for _, f := range s.Forbidden() {

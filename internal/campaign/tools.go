@@ -7,6 +7,7 @@ import (
 	"c11tester/internal/baseline"
 	"c11tester/internal/capi"
 	"c11tester/internal/core"
+	"c11tester/internal/trace"
 )
 
 // SplitList parses a comma-separated flag value, trimming whitespace and
@@ -73,6 +74,52 @@ type ToolOptions struct {
 	FaithfulHandoff bool
 }
 
+// pruneName renders a PruneMode as its -prune flag value ("" for off).
+func pruneName(p core.PruneMode) string {
+	switch p {
+	case core.PruneConservative:
+		return "conservative"
+	case core.PruneAggressive:
+		return "aggressive"
+	}
+	return ""
+}
+
+// traceConfig renders the tool configuration into the portable form embedded
+// in recorded traces, from which StandardToolFromConfig rebuilds an
+// identical tool.
+func (o ToolOptions) traceConfig(tool string) trace.ToolConfig {
+	tc := trace.ToolConfig{Name: tool, MaxSteps: o.MaxSteps}
+	switch tool {
+	case "c11tester":
+		tc.Prune = pruneName(o.Prune)
+		if o.Strategy != "" && o.Strategy != "random" {
+			tc.Sched = o.Strategy
+			tc.QuantumMean = o.QuantumMean
+		}
+	case "tsan11":
+		tc.QuantumMean = o.QuantumMean
+	case "tsan11rec":
+		tc.FaithfulHandoff = o.FaithfulHandoff
+	}
+	return tc
+}
+
+// StandardToolFromConfig rebuilds the tool a trace was recorded under.
+func StandardToolFromConfig(tc trace.ToolConfig) (ToolSpec, error) {
+	prune, err := ParsePrune(tc.Prune)
+	if err != nil {
+		return ToolSpec{}, err
+	}
+	return StandardTool(tc.Name, ToolOptions{
+		Prune:           prune,
+		Strategy:        tc.Sched,
+		QuantumMean:     tc.QuantumMean,
+		MaxSteps:        tc.MaxSteps,
+		FaithfulHandoff: tc.FaithfulHandoff,
+	})
+}
+
 // ParsePrune parses a -prune flag value.
 func ParsePrune(s string) (core.PruneMode, error) {
 	switch s {
@@ -102,7 +149,7 @@ func StandardTool(name string, opts ToolOptions) (ToolSpec, error) {
 		if strategy != "random" && strategy != "quantum" {
 			return ToolSpec{}, fmt.Errorf("unknown scheduler strategy %q (want random or quantum)", strategy)
 		}
-		return ToolSpec{Name: name, ReproFlags: opts.reproFlags(name), New: func() capi.Tool {
+		return ToolSpec{Name: name, ReproFlags: opts.reproFlags(name), TraceConfig: opts.traceConfig(name), New: func() capi.Tool {
 			var strat core.Strategy
 			if strategy == "quantum" {
 				mean := opts.QuantumMean
@@ -121,14 +168,14 @@ func StandardTool(name string, opts ToolOptions) (ToolSpec, error) {
 			})
 		}}, nil
 	case "tsan11":
-		return ToolSpec{Name: name, Baseline: true, ReproFlags: opts.reproFlags(name), New: func() capi.Tool {
+		return ToolSpec{Name: name, Baseline: true, ReproFlags: opts.reproFlags(name), TraceConfig: opts.traceConfig(name), New: func() capi.Tool {
 			return baseline.NewTsan11(baseline.Options{
 				QuantumMean: opts.QuantumMean,
 				MaxSteps:    opts.MaxSteps,
 			})
 		}}, nil
 	case "tsan11rec":
-		return ToolSpec{Name: name, Baseline: true, ReproFlags: opts.reproFlags(name), New: func() capi.Tool {
+		return ToolSpec{Name: name, Baseline: true, ReproFlags: opts.reproFlags(name), TraceConfig: opts.traceConfig(name), New: func() capi.Tool {
 			return baseline.NewTsan11rec(baseline.Options{
 				MaxSteps:    opts.MaxSteps,
 				FastHandoff: !opts.FaithfulHandoff,

@@ -125,7 +125,7 @@ type Program struct {
 // RaceReport describes one data race. Tools deduplicate reports across
 // executions (Section 7.6), keyed by Key().
 type RaceReport struct {
-	LocName  string
+	LocName   string
 	PriorKind memmodel.Kind // the older access
 	Kind      memmodel.Kind // the access that completed the race
 	PriorTID  memmodel.TID

@@ -9,10 +9,10 @@ import "c11tester/internal/memmodel"
 type RMWKind uint8
 
 const (
-	RMWNone RMWKind = iota
-	RMWAdd          // fetch_add: new = old + Operand
-	RMWExchange     // exchange: new = Operand
-	RMWCas          // compare_exchange: new = Operand if old == Expected
+	RMWNone     RMWKind = iota
+	RMWAdd              // fetch_add: new = old + Operand
+	RMWExchange         // exchange: new = Operand
+	RMWCas              // compare_exchange: new = Operand if old == Expected
 )
 
 // Op is one visible operation handed from a program thread to the tool.

@@ -131,6 +131,24 @@ type ThreadState struct {
 	burstable bool
 }
 
+// reset recycles a pooled ThreadState for a new execution, zeroing its clock
+// vectors in place (clockSlots is the minimum clock width, as in
+// NewClockVector).
+func (t *ThreadState) reset(name string, clockSlots int) {
+	t.Name = name
+	t.C.Reset(clockSlots)
+	t.Frel.Reset(0)
+	t.Facq.Reset(0)
+	t.SCFences = t.SCFences[:0]
+	t.thr = nil
+	t.finished = false
+	t.woken = false
+	t.opSeq = 0
+	t.condPhase = condIdle
+	t.condSignaled = false
+	t.burstable = false
+}
+
 // LastSCFence returns the thread's most recent seq_cst fence, or nil.
 func (t *ThreadState) LastSCFence() *Action {
 	if n := len(t.SCFences); n > 0 {

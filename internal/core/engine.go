@@ -209,6 +209,15 @@ type Engine struct {
 	burstT  *ThreadState // thread eligible for a store burst
 
 	readyBuf []*ThreadState
+
+	// State pools: locState and ThreadState objects (and their clock-vector
+	// buffers) are recycled across Execute calls of one engine instance, so
+	// repeated executions inside a campaign shard do not re-allocate the
+	// per-location and per-thread scaffolding (ROADMAP: batch executions per
+	// tool instance to amortize engine allocation). Pool entry i corresponds
+	// to locs[i] / threads[i]; entries are reset in place when reused.
+	locPool    []*locState
+	threadPool []*ThreadState
 }
 
 // New returns an engine running the given memory model.
@@ -226,6 +235,46 @@ func (e *Engine) Name() string { return e.name }
 
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// Model returns the engine's memory-model plugin.
+func (e *Engine) Model() MemModel { return e.model }
+
+// SetStrategy replaces the exploration strategy. The trace subsystem uses it
+// to interpose recording and replay wrappers; it takes effect at the next
+// strategy decision.
+func (e *Engine) SetStrategy(s Strategy) {
+	if s == nil {
+		s = NewRandomStrategy()
+	}
+	e.cfg.Strategy = s
+}
+
+// SetTrace toggles trace recording for subsequent executions (the same
+// switch as Config.Trace at construction time).
+func (e *Engine) SetTrace(on bool) { e.cfg.Trace = on }
+
+// FinalValues snapshots the last stored value of every shared location of
+// the current (or last) execution, keyed by "name#id" (location names need
+// not be unique). It must be read before the next Execute call.
+func (e *Engine) FinalValues() map[string]memmodel.Value {
+	out := make(map[string]memmodel.Value, len(e.locs))
+	for _, l := range e.locs {
+		if l != nil {
+			out[fmt.Sprintf("%s#%d", l.name, l.id)] = l.naValue
+		}
+	}
+	return out
+}
+
+// MOProvider is implemented by memory models that can produce a concrete
+// per-location modification order for the last execution (the lifting of
+// Section A.2). The C11 model implements it; the commit-order baselines keep
+// only bounded histories and do not. The axiomatic validator and the trace
+// recorder require it.
+type MOProvider interface {
+	Locations() []memmodel.LocID
+	TotalMO(loc memmodel.LocID) []*Action
+}
 
 // Threads returns the threads of the current (or last) execution.
 func (e *Engine) Threads() []*ThreadState { return e.threads }
@@ -268,13 +317,23 @@ func (e *Engine) Execute(p capi.Program, seed int64) *capi.Result {
 
 // spawnThread creates a model thread. parent is nil for the main thread;
 // otherwise the child inherits the parent's clock (the asw edge of the
-// paper's lifting, Section A.2).
+// paper's lifting, Section A.2). ThreadState objects are recycled from the
+// engine's pool across executions; all goroutines of the previous execution
+// have finished by the time Execute reuses them.
 func (e *Engine) spawnThread(name string, fn func(capi.Env), parent *ThreadState) *ThreadState {
-	ts := &ThreadState{
-		Name: name,
-		C:    memmodel.NewClockVector(len(e.threads) + 1),
-		Frel: memmodel.NewClockVector(0),
-		Facq: memmodel.NewClockVector(0),
+	idx := len(e.threads)
+	var ts *ThreadState
+	if idx < len(e.threadPool) {
+		ts = e.threadPool[idx]
+		ts.reset(name, idx+1)
+	} else {
+		ts = &ThreadState{
+			Name: name,
+			C:    memmodel.NewClockVector(idx + 1),
+			Frel: memmodel.NewClockVector(0),
+			Facq: memmodel.NewClockVector(0),
+		}
+		e.threadPool = append(e.threadPool, ts)
 	}
 	if parent != nil {
 		ts.C.Merge(parent.C)
@@ -420,6 +479,21 @@ func (e *Engine) nextSeqPeek() memmodel.SeqNum {
 
 // loc returns the location state for id.
 func (e *Engine) loc(id memmodel.LocID) *locState { return e.locs[id] }
+
+// newLocState returns a zeroed locState for id, recycled from the engine's
+// pool when a previous execution already allocated one at this slot.
+func (e *Engine) newLocState(id memmodel.LocID, name string) *locState {
+	for len(e.locPool) <= int(id) {
+		e.locPool = append(e.locPool, nil)
+	}
+	l := e.locPool[id]
+	if l == nil {
+		l = &locState{}
+		e.locPool[id] = l
+	}
+	*l = locState{id: id, name: name}
+	return l
+}
 
 // LocName returns the name a location was created with.
 func (e *Engine) LocName(id memmodel.LocID) string {

@@ -694,11 +694,11 @@ func TestOpStatsCounted(t *testing.T) {
 	prog := capi.Program{Name: "stats", Run: func(env capi.Env) {
 		x := env.NewAtomic("x", 0)
 		d := env.NewLoc("d", 0)
-		env.Store(x, 1, rlx)  // atomic
-		env.Load(x, rlx)      // atomic
+		env.Store(x, 1, rlx)    // atomic
+		env.Load(x, rlx)        // atomic
 		env.FetchAdd(x, 1, rlx) // atomic
-		env.Write(d, 1) // normal
-		env.Read(d)     // normal
+		env.Write(d, 1)         // normal
+		env.Read(d)             // normal
 	}}
 	res := tool.Execute(prog, 1)
 	// +1 atomic for the NewAtomic init store, +1 normal for NewLoc init.

@@ -98,7 +98,7 @@ func (e *Engine) maybePromote(ts *ThreadState, l *locState) {
 
 func (e *Engine) doAlloc(ts *ThreadState, op *capi.Op) {
 	id := memmodel.LocID(len(e.locs))
-	l := &locState{id: id, name: op.NewName}
+	l := e.newLocState(id, op.NewName)
 	e.locs = append(e.locs, l)
 	op.Val = memmodel.Value(id)
 	if op.NewAtomic {

@@ -26,6 +26,23 @@ func UnitClockVector(t TID, s SeqNum) *ClockVector {
 	return cv
 }
 
+// Reset empties the vector in place for reuse, keeping (and zeroing) its
+// backing capacity and guaranteeing at least n slots. The engine's state
+// pools use it to recycle per-thread clocks across executions.
+func (cv *ClockVector) Reset(n int) {
+	if cap(cv.clock) < n {
+		cv.clock = make([]SeqNum, n)
+		return
+	}
+	if cap(cv.clock) > n {
+		n = cap(cv.clock)
+	}
+	cv.clock = cv.clock[:n]
+	for i := range cv.clock {
+		cv.clock[i] = 0
+	}
+}
+
 // Clone returns an independent copy of cv.
 func (cv *ClockVector) Clone() *ClockVector {
 	out := &ClockVector{clock: make([]SeqNum, len(cv.clock))}

@@ -4,7 +4,7 @@ import "testing"
 
 func TestMemoryOrderPredicates(t *testing.T) {
 	cases := []struct {
-		mo              MemoryOrder
+		mo                   MemoryOrder
 		acquire, release, sc bool
 	}{
 		{Relaxed, false, false, false},

@@ -70,8 +70,8 @@ func TestAddEdgeIsIdempotent(t *testing.T) {
 
 func TestAddRMWEdgeMigratesOutgoingEdges(t *testing.T) {
 	g := New()
-	s := g.NewNode(0, 1, 1)  // store the RMW reads from
-	x := g.NewNode(1, 2, 1)  // store already mo-after s
+	s := g.NewNode(0, 1, 1) // store the RMW reads from
+	x := g.NewNode(1, 2, 1) // store already mo-after s
 	g.AddEdge(s, x)
 	r := g.NewNode(2, 3, 1) // the RMW
 	g.AddRMWEdge(s, r)

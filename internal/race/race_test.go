@@ -14,9 +14,9 @@ func never(memmodel.TID, memmodel.SeqNum) bool  { return false }
 
 func TestPackUnpackRoundTrip(t *testing.T) {
 	cases := []struct {
-		wTID, rTID   memmodel.TID
-		wClk, rClk   memmodel.SeqNum
-		wNA, rNA     bool
+		wTID, rTID memmodel.TID
+		wClk, rClk memmodel.SeqNum
+		wNA, rNA   bool
 	}{
 		{0, 0, 0, 0, false, false},
 		{1, 2, 100, 200, true, false},
