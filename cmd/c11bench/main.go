@@ -1,0 +1,87 @@
+// Command c11bench measures the execution-core hot path: for every selected
+// (tool, program) cell it runs a serial batch of executions on one tool
+// instance — warmup first, so the engine's pools and arenas are in steady
+// state — and reports ns/exec, allocated bytes/exec, and allocated
+// objects/exec. The result is written as the schema-versioned BENCH_perf.json
+// artifact, the perf counterpart of cmd/c11tester's BENCH_campaign.json:
+// committed numbers track the hot-path trajectory across PRs.
+//
+// Examples:
+//
+//	go run ./cmd/c11bench                         # full matrix, 30 execs/cell
+//	go run ./cmd/c11bench -tools c11tester -bench ms-queue -runs 200
+//	go run ./cmd/c11bench -litmus none -runs 100 -json ''
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"c11tester/internal/campaign"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out *os.File) int {
+	fs := flag.NewFlagSet("c11bench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		tools    = fs.String("tools", "c11tester,tsan11,tsan11rec", "comma-separated tools to measure")
+		bench    = fs.String("bench", "all", "comma-separated benchmarks, 'all', or 'none'")
+		lit      = fs.String("litmus", "all", "comma-separated litmus tests, 'all', or 'none'")
+		runs     = fs.Int("runs", 30, "measured executions per (tool, program) cell")
+		warmup   = fs.Int("warmup", 5, "unmeasured warmup executions per cell (-1 for none)")
+		seed     = fs.Int64("seed", 1, "seed base; execution i runs with seed+i")
+		jsonPath = fs.String("json", "BENCH_perf.json", "perf artifact path ('' disables)")
+		quiet    = fs.Bool("q", false, "suppress the human-readable report")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	spec := campaign.PerfSpec{Runs: *runs, Warmup: *warmup, SeedBase: *seed}
+	if *warmup == 0 {
+		spec.Warmup = -1 // flag 0 means literally none; PerfSpec 0 means default
+	}
+	for _, name := range campaign.SplitList(*tools) {
+		ts, err := campaign.StandardTool(name, campaign.ToolOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "c11bench:", err)
+			return 1
+		}
+		spec.Tools = append(spec.Tools, ts)
+	}
+	var err error
+	spec.Benchmarks, err = campaign.SelectBenchmarks(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c11bench:", err)
+		return 1
+	}
+	spec.Litmus, err = campaign.SelectLitmus(*lit)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c11bench:", err)
+		return 1
+	}
+	if len(spec.Tools) == 0 || (len(spec.Benchmarks) == 0 && len(spec.Litmus) == 0) {
+		fmt.Fprintln(os.Stderr, "c11bench: nothing selected (need at least one tool and one program)")
+		return 1
+	}
+
+	sum := campaign.RunPerf(spec)
+	if !*quiet {
+		fmt.Fprint(out, sum.String())
+	}
+	if *jsonPath != "" {
+		if err := sum.WriteJSON(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "c11bench:", err)
+			return 1
+		}
+		if !*quiet {
+			fmt.Fprintf(out, "\nwrote %s\n", *jsonPath)
+		}
+	}
+	return 0
+}

@@ -19,10 +19,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"c11tester/internal/campaign"
-	"c11tester/internal/harness"
 	"c11tester/internal/litmus"
 	"c11tester/internal/structures"
 )
@@ -54,6 +55,8 @@ func run(args []string, out *os.File) int {
 		compare  = fs.String("compare", "", "diff two campaign artifacts: -compare old.json new.json (or old.json,new.json)")
 		quiet    = fs.Bool("q", false, "suppress the human-readable report")
 		list     = fs.Bool("list", false, "list selectable tools, benchmarks, and litmus tests")
+		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file")
+		memProf  = fs.String("memprofile", "", "write a pprof heap profile taken after the campaign to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -101,12 +104,12 @@ func run(args []string, out *os.File) int {
 		}
 		spec.Tools = append(spec.Tools, ts)
 	}
-	spec.Benchmarks, err = selectBenchmarks(*bench)
+	spec.Benchmarks, err = campaign.SelectBenchmarks(*bench)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "c11tester:", err)
 		return 1
 	}
-	spec.Litmus, err = selectLitmus(*lit)
+	spec.Litmus, err = campaign.SelectLitmus(*lit)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "c11tester:", err)
 		return 1
@@ -116,7 +119,38 @@ func run(args []string, out *os.File) int {
 		return 1
 	}
 
+	// Profiling hooks: make hot-path investigation a one-liner
+	// (go run ./cmd/c11tester -runs 200 -cpuprofile cpu.pb.gz, then
+	// go tool pprof cpu.pb.gz).
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "c11tester: -cpuprofile:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "c11tester: -cpuprofile:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	sum := campaign.Run(spec)
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "c11tester: -memprofile:", err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC() // materialize up-to-date in-use statistics in the profile
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "c11tester: -memprofile:", err)
+			return 1
+		}
+	}
 
 	if !*quiet {
 		fmt.Fprint(out, sum.String())
@@ -171,50 +205,4 @@ func runCompare(oldArg string, positional []string, out *os.File) int {
 		return 2
 	}
 	return 0
-}
-
-func selectBenchmarks(sel string) ([]campaign.BenchmarkSpec, error) {
-	var specs []campaign.BenchmarkSpec
-	add := func(b structures.Benchmark) {
-		sig := harness.SignalRace
-		if structures.IsInjected(b.Name) {
-			sig = harness.SignalAssert
-		}
-		specs = append(specs, campaign.BenchmarkSpec{Name: b.Name, Prog: b.Prog, Signal: sig})
-	}
-	switch sel {
-	case "none", "":
-		return nil, nil
-	case "all":
-		for _, b := range structures.All() {
-			add(b)
-		}
-	default:
-		for _, name := range campaign.SplitList(sel) {
-			b, err := structures.ByName(name)
-			if err != nil {
-				return nil, err
-			}
-			add(b)
-		}
-	}
-	return specs, nil
-}
-
-func selectLitmus(sel string) ([]*litmus.Test, error) {
-	switch sel {
-	case "none", "":
-		return nil, nil
-	case "all":
-		return litmus.Tests(), nil
-	}
-	var tests []*litmus.Test
-	for _, name := range campaign.SplitList(sel) {
-		t, ok := litmus.ByName(name)
-		if !ok {
-			return nil, fmt.Errorf("unknown litmus test %q (see -list)", name)
-		}
-		tests = append(tests, t)
-	}
-	return tests, nil
 }

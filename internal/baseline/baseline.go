@@ -52,6 +52,14 @@ type bloc struct {
 	readFloor []int
 }
 
+// reset recycles a pooled bloc for a new execution, keeping the history and
+// read-floor slice capacity.
+func (b *bloc) reset() {
+	b.history = b.history[:0]
+	b.base = 0
+	b.readFloor = b.readFloor[:0]
+}
+
 func (b *bloc) floor(t memmodel.TID) int {
 	if int(t) < len(b.readFloor) {
 		return b.readFloor[t]
@@ -83,6 +91,10 @@ type CommitModel struct {
 	record       bool
 	conservative bool
 	log          []recordEntry
+
+	// locPool recycles bloc bookkeeping across executions; entry i serves
+	// LocID i. Actions themselves come from the engine's execution arena.
+	locPool []*bloc
 }
 
 // NewCommitModel returns a commit-order model. record enables tsan11rec's
@@ -134,7 +146,16 @@ func (m *CommitModel) bloc(id memmodel.LocID) *bloc {
 		m.locs = append(m.locs, nil)
 	}
 	if m.locs[id] == nil {
-		m.locs[id] = &bloc{}
+		for len(m.locPool) <= int(id) {
+			m.locPool = append(m.locPool, nil)
+		}
+		b := m.locPool[id]
+		if b == nil {
+			b = &bloc{}
+			m.locPool[id] = b
+		}
+		b.reset()
+		m.locs[id] = b
 	}
 	return m.locs[id]
 }
@@ -163,10 +184,9 @@ func (m *CommitModel) append(b *bloc, a *core.Action) {
 // AtomicStore implements core.MemModel.
 func (m *CommitModel) AtomicStore(t *core.ThreadState, op *capi.Op) {
 	b := m.bloc(op.Loc)
-	act := &core.Action{
-		Seq: t.OpSeq(), TID: t.ID, Kind: memmodel.KStore, MO: op.MO,
-		Loc: op.Loc, Value: op.Operand, SCIdx: -1,
-	}
+	act := m.e.NewAction()
+	act.Seq, act.TID, act.Kind, act.MO = t.OpSeq(), t.ID, memmodel.KStore, op.MO
+	act.Loc, act.Value = op.Loc, op.Operand
 	act.RFCV = core.StoreRFCV(t, m.storeOrder(op.MO))
 	m.append(b, act)
 	m.rec(t, memmodel.KStore, op.Loc)
@@ -231,10 +251,9 @@ func (m *CommitModel) AtomicRMW(t *core.ThreadState, op *capi.Op) (memmodel.Valu
 		return old, false
 	}
 	core.ApplyLoadClocks(t, m.loadOrder(op.MO), last)
-	act := &core.Action{
-		Seq: t.OpSeq(), TID: t.ID, Kind: memmodel.KRMW, MO: op.MO,
-		Loc: op.Loc, Value: core.RMWNewValue(op, old), RF: last, SCIdx: -1,
-	}
+	act := m.e.NewAction()
+	act.Seq, act.TID, act.Kind, act.MO = t.OpSeq(), t.ID, memmodel.KRMW, op.MO
+	act.Loc, act.Value, act.RF = op.Loc, core.RMWNewValue(op, old), last
 	act.RFCV = core.StoreRFCV(t, m.storeOrder(op.MO))
 	act.RFCV.Merge(last.RFCV)
 	m.append(b, act)
@@ -246,12 +265,7 @@ func (m *CommitModel) AtomicRMW(t *core.ThreadState, op *capi.Op) (memmodel.Valu
 // Fence implements core.MemModel. seq_cst fences act as acq_rel fences; the
 // SC-fence modification-order rules are vacuous when mo is the commit order.
 func (m *CommitModel) Fence(t *core.ThreadState, op *capi.Op) {
-	if op.MO.IsAcquire() {
-		t.C.Merge(t.Facq)
-	}
-	if op.MO.IsRelease() {
-		t.Frel = t.C.Clone()
-	}
+	core.ApplyFenceClocks(t, op.MO)
 	m.rec(t, memmodel.KFence, memmodel.NoLoc)
 }
 
@@ -260,10 +274,9 @@ func (m *CommitModel) Fence(t *core.ThreadState, op *capi.Op) {
 // word would name it as the last write).
 func (m *CommitModel) PromoteNAStore(t *core.ThreadState, loc memmodel.LocID, writer memmodel.TID, epoch memmodel.SeqNum, v memmodel.Value) {
 	b := m.bloc(loc)
-	act := &core.Action{
-		Seq: epoch, TID: writer, Kind: memmodel.KNAStore, MO: memmodel.Relaxed,
-		Loc: loc, Value: v, SCIdx: -1,
-	}
+	act := m.e.NewAction()
+	act.Seq, act.TID, act.Kind, act.MO = epoch, writer, memmodel.KNAStore, memmodel.Relaxed
+	act.Loc, act.Value = loc, v
 	m.append(b, act)
 }
 

@@ -43,6 +43,31 @@ type CellDelta struct {
 	DeltaPct  float64 `json:"delta_pct"`
 }
 
+// LitmusDelta is the weak-outcome-coverage movement of one (tool, test)
+// cell: which allowed-but-non-SC outcomes each artifact observed. Coverage of
+// weak outcomes is what separates the full fragment from the baselines', so
+// losing it to a "perf win" is a regression the trajectory check must catch.
+type LitmusDelta struct {
+	Tool        string `json:"tool"`
+	Test        string `json:"test"`
+	OldWeak     int    `json:"old_weak"`
+	NewWeak     int    `json:"new_weak"`
+	WeakDefined int    `json:"weak_defined"`
+	// LostOutcomes are weak outcomes observed only in the old artifact;
+	// GainedOutcomes only in the new one.
+	LostOutcomes   []string `json:"lost_outcomes,omitempty"`
+	GainedOutcomes []string `json:"gained_outcomes,omitempty"`
+}
+
+// ValidationDelta compares the axiomatic-validation results of two -validate
+// campaigns (present only when both artifacts carry them, schema v2).
+type ValidationDelta struct {
+	OldChecked    int `json:"old_checked"`
+	NewChecked    int `json:"new_checked"`
+	OldViolations int `json:"old_violations"`
+	NewViolations int `json:"new_violations"`
+}
+
 // ToolDelta is the per-tool movement between two campaign artifacts.
 type ToolDelta struct {
 	Tool string `json:"tool"`
@@ -55,6 +80,10 @@ type ToolDelta struct {
 	NewRaceKeys  []string    `json:"new_race_keys,omitempty"`
 	LostRaceKeys []string    `json:"lost_race_keys,omitempty"`
 	Detection    []CellDelta `json:"detection,omitempty"`
+	// Litmus lists the (tool, test) cells whose weak-outcome coverage moved.
+	Litmus []LitmusDelta `json:"litmus,omitempty"`
+	// Validation is present when both artifacts carry validation results.
+	Validation *ValidationDelta `json:"validation,omitempty"`
 }
 
 // Comparison diffs two campaign artifacts for PR-to-PR trajectory tracking.
@@ -113,6 +142,34 @@ func Compare(old, new *Summary) *Comparison {
 				DeltaPct: cell.Detection.RatePct - od.RatePct,
 			})
 		}
+
+		oldLit := map[string]LitmusSummary{}
+		for _, ls := range ot.Litmus {
+			oldLit[ls.Test] = ls
+		}
+		for _, ls := range nt.Litmus {
+			ols, ok := oldLit[ls.Test]
+			if !ok {
+				continue
+			}
+			lost, gained := diffOutcomes(ols.WeakSeen, ls.WeakSeen)
+			if len(lost) == 0 && len(gained) == 0 {
+				continue
+			}
+			td.Litmus = append(td.Litmus, LitmusDelta{
+				Tool: nt.Tool, Test: ls.Test,
+				OldWeak: len(ols.WeakSeen), NewWeak: len(ls.WeakSeen),
+				WeakDefined:  ls.WeakDefined,
+				LostOutcomes: lost, GainedOutcomes: gained,
+			})
+		}
+
+		if ot.Validation != nil && nt.Validation != nil {
+			td.Validation = &ValidationDelta{
+				OldChecked: ot.Validation.Checked, NewChecked: nt.Validation.Checked,
+				OldViolations: ot.Validation.Violations, NewViolations: nt.Validation.Violations,
+			}
+		}
 		c.Tools = append(c.Tools, td)
 	}
 	for _, ot := range old.Tools {
@@ -123,32 +180,50 @@ func Compare(old, new *Summary) *Comparison {
 	return c
 }
 
-// diffRaceKeys returns the keys only in new and only in old, sorted.
-func diffRaceKeys(old, new []harness.RaceSummary) (added, lost []string) {
-	oldKeys := map[string]bool{}
-	for _, r := range old {
-		oldKeys[r.Key] = true
+// diffOutcomes returns the outcomes only in old (lost) and only in new
+// (gained), sorted. Inputs are the sorted WeakSeen lists of a litmus cell.
+func diffOutcomes(old, new []string) (lost, gained []string) {
+	oldSet := map[string]bool{}
+	for _, o := range old {
+		oldSet[o] = true
 	}
-	newKeys := map[string]bool{}
-	for _, r := range new {
-		newKeys[r.Key] = true
-		if !oldKeys[r.Key] {
-			added = append(added, r.Key)
+	newSet := map[string]bool{}
+	for _, o := range new {
+		newSet[o] = true
+		if !oldSet[o] {
+			gained = append(gained, o)
 		}
 	}
-	for k := range oldKeys {
-		if !newKeys[k] {
-			lost = append(lost, k)
+	for _, o := range old {
+		if !newSet[o] {
+			lost = append(lost, o)
 		}
 	}
-	sort.Strings(added)
 	sort.Strings(lost)
+	sort.Strings(gained)
+	return lost, gained
+}
+
+// diffRaceKeys returns the race keys only in new (added) and only in old
+// (lost), sorted.
+func diffRaceKeys(old, new []harness.RaceSummary) (added, lost []string) {
+	keys := func(rs []harness.RaceSummary) []string {
+		out := make([]string, len(rs))
+		for i, r := range rs {
+			out[i] = r.Key
+		}
+		return out
+	}
+	lost, added = diffOutcomes(keys(old), keys(new))
 	return added, lost
 }
 
-// Regressed reports whether the new artifact lost race keys or lost more
-// than 10 percentage points of detection rate in any cell — the signal the
-// PR trajectory check keys on.
+// Regressed reports whether the new artifact lost race keys, lost more than
+// 10 percentage points of detection rate in any cell, lost litmus
+// weak-outcome coverage, or introduced axiomatic violations — the signals
+// the PR trajectory check keys on. The weak-coverage and validation legs are
+// what keep a perf optimisation from silently trading exploration quality
+// for speed.
 func (c *Comparison) Regressed() bool {
 	for _, td := range c.Tools {
 		if len(td.LostRaceKeys) > 0 {
@@ -158,6 +233,14 @@ func (c *Comparison) Regressed() bool {
 			if d.DeltaPct < -10 {
 				return true
 			}
+		}
+		for _, ld := range td.Litmus {
+			if len(ld.LostOutcomes) > 0 {
+				return true
+			}
+		}
+		if v := td.Validation; v != nil && v.NewViolations > v.OldViolations {
+			return true
 		}
 	}
 	return false
@@ -198,12 +281,38 @@ func (c *Comparison) String() string {
 		}
 		out += "\ndetection-rate movement:\n" + dt.String()
 	}
+	var lits []LitmusDelta
+	for _, td := range c.Tools {
+		lits = append(lits, td.Litmus...)
+	}
+	if len(lits) > 0 {
+		lt := &harness.Table{Header: []string{"tool", "litmus", "weak old", "weak new", "lost", "gained"}}
+		for _, ld := range lits {
+			lt.AddRow(ld.Tool, ld.Test,
+				fmt.Sprintf("%d/%d", ld.OldWeak, ld.WeakDefined),
+				fmt.Sprintf("%d/%d", ld.NewWeak, ld.WeakDefined),
+				fmt.Sprintf("%d", len(ld.LostOutcomes)),
+				fmt.Sprintf("%d", len(ld.GainedOutcomes)))
+		}
+		out += "\nweak-outcome coverage movement:\n" + lt.String()
+	}
+	for _, td := range c.Tools {
+		if v := td.Validation; v != nil {
+			out += fmt.Sprintf("\n%s: axiomatic validation: checked %d → %d, violations %d → %d",
+				td.Tool, v.OldChecked, v.NewChecked, v.OldViolations, v.NewViolations)
+		}
+	}
 	for _, td := range c.Tools {
 		for _, k := range td.NewRaceKeys {
 			out += fmt.Sprintf("\n%s: NEW race key %s", td.Tool, k)
 		}
 		for _, k := range td.LostRaceKeys {
 			out += fmt.Sprintf("\n%s: LOST race key %s", td.Tool, k)
+		}
+		for _, ld := range td.Litmus {
+			for _, o := range ld.LostOutcomes {
+				out += fmt.Sprintf("\n%s: LOST weak outcome %s=%q", td.Tool, ld.Test, o)
+			}
 		}
 	}
 	if len(c.UnmatchedOld) > 0 {
@@ -213,7 +322,7 @@ func (c *Comparison) String() string {
 		out += fmt.Sprintf("\ntools only in new artifact: %v", c.UnmatchedNew)
 	}
 	if c.Regressed() {
-		out += "\n\nREGRESSION: lost race keys or a detection-rate drop > 10 points\n"
+		out += "\n\nREGRESSION: lost race keys, a detection-rate drop > 10 points, lost weak-outcome coverage, or new axiom violations\n"
 	} else {
 		out += "\n\nno regression detected\n"
 	}

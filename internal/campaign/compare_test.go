@@ -85,3 +85,78 @@ func TestCompareRoundTripsThroughDisk(t *testing.T) {
 		t.Errorf("self-comparison lost the tool: %+v", c.Tools)
 	}
 }
+
+func mkLitmusSummary(weakSeen []string, validation *ValidationSummary) *Summary {
+	return &Summary{
+		Schema: SchemaName, SchemaVersion: SchemaVersion,
+		Tools: []ToolSummary{{
+			Tool: "c11tester",
+			Litmus: []LitmusSummary{{
+				Test: "MP+rlx", WeakSeen: weakSeen, WeakDefined: 2,
+			}},
+			Validation: validation,
+		}},
+	}
+}
+
+func TestCompareWeakOutcomeCoverage(t *testing.T) {
+	old := mkLitmusSummary([]string{"r1=1 r2=0", "r1=2 r2=0"}, nil)
+	new := mkLitmusSummary([]string{"r1=1 r2=0"}, nil)
+
+	c := Compare(old, new)
+	if len(c.Tools) != 1 || len(c.Tools[0].Litmus) != 1 {
+		t.Fatalf("litmus deltas = %+v", c.Tools)
+	}
+	ld := c.Tools[0].Litmus[0]
+	if ld.OldWeak != 2 || ld.NewWeak != 1 {
+		t.Errorf("weak counts %d → %d, want 2 → 1", ld.OldWeak, ld.NewWeak)
+	}
+	if len(ld.LostOutcomes) != 1 || ld.LostOutcomes[0] != "r1=2 r2=0" {
+		t.Errorf("lost outcomes = %v", ld.LostOutcomes)
+	}
+	if !c.Regressed() {
+		t.Error("lost weak-outcome coverage must count as a regression")
+	}
+	if !strings.Contains(c.String(), `LOST weak outcome MP+rlx="r1=2 r2=0"`) {
+		t.Errorf("report missing lost-outcome line:\n%s", c.String())
+	}
+
+	// Gained coverage is movement, not regression.
+	c = Compare(new, old)
+	if c.Regressed() {
+		t.Error("gained coverage must not regress")
+	}
+	if len(c.Tools[0].Litmus) != 1 || len(c.Tools[0].Litmus[0].GainedOutcomes) != 1 {
+		t.Errorf("gained outcomes not reported: %+v", c.Tools[0].Litmus)
+	}
+
+	// Identical coverage produces no delta entries at all.
+	if ls := Compare(old, old).Tools[0].Litmus; len(ls) != 0 {
+		t.Errorf("identical coverage produced deltas: %+v", ls)
+	}
+}
+
+func TestCompareValidationCounts(t *testing.T) {
+	old := mkLitmusSummary([]string{"r1=1 r2=0"}, &ValidationSummary{Checked: 100, Violations: 0})
+	new := mkLitmusSummary([]string{"r1=1 r2=0"}, &ValidationSummary{Checked: 100, Violations: 2})
+
+	c := Compare(old, new)
+	v := c.Tools[0].Validation
+	if v == nil || v.OldViolations != 0 || v.NewViolations != 2 {
+		t.Fatalf("validation delta = %+v", v)
+	}
+	if !c.Regressed() {
+		t.Error("new axiom violations must count as a regression")
+	}
+	if !strings.Contains(c.String(), "violations 0 → 2") {
+		t.Errorf("report missing validation line:\n%s", c.String())
+	}
+	if Compare(old, old).Regressed() {
+		t.Error("stable validation must not regress")
+	}
+
+	// Validation present on only one side → no delta, no false regression.
+	if d := Compare(mkLitmusSummary(nil, nil), new); d.Tools[0].Validation != nil {
+		t.Errorf("one-sided validation produced a delta: %+v", d.Tools[0].Validation)
+	}
+}

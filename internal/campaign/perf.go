@@ -1,0 +1,248 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"c11tester/internal/capi"
+	"c11tester/internal/harness"
+	"c11tester/internal/litmus"
+)
+
+// Schema identifiers of the serialized perf artifact (BENCH_perf.json). It
+// tracks the execution-core hot path across PRs the way BENCH_campaign.json
+// tracks detection: ns/exec, allocated bytes/exec, and allocated objects/exec
+// per (tool, program) cell. Bump PerfSchemaVersion on any incompatible change
+// to the JSON shape.
+const (
+	PerfSchemaName    = "c11tester/perf"
+	PerfSchemaVersion = 1
+)
+
+// PerfSpec describes a perf measurement run. Unlike a campaign, it is always
+// serial (one cell at a time on one goroutine): the point is a clean
+// per-execution cost number, not wall-clock throughput.
+type PerfSpec struct {
+	Tools      []ToolSpec
+	Benchmarks []BenchmarkSpec
+	Litmus     []*litmus.Test
+	// Runs is the number of measured executions per (tool, program) cell.
+	Runs int
+	// Warmup is the number of unmeasured executions run first on each cell's
+	// tool instance, so the measured window sees the steady state of the
+	// engine's pools and arenas (negative means 0; 0 means the default of 5).
+	Warmup int
+	// SeedBase seeds execution i of a cell with SeedBase+i (warmup included),
+	// mirroring the campaign runner's seeding invariant.
+	SeedBase int64
+}
+
+func (s PerfSpec) withDefaults() PerfSpec {
+	if s.Runs <= 0 {
+		s.Runs = 30
+	}
+	if s.Warmup == 0 {
+		s.Warmup = 5
+	} else if s.Warmup < 0 {
+		s.Warmup = 0
+	}
+	return s
+}
+
+// PerfCell is the measured cost of one (tool, program) cell.
+type PerfCell struct {
+	Tool    string `json:"tool"`
+	Program string `json:"program"`
+	Litmus  bool   `json:"litmus,omitempty"`
+	Execs   int    `json:"execs"`
+
+	NsPerExec           float64 `json:"ns_per_exec"`
+	AllocBytesPerExec   float64 `json:"alloc_bytes_per_exec"`
+	AllocObjectsPerExec float64 `json:"alloc_objects_per_exec"`
+	AtomicOpsPerExec    float64 `json:"atomic_ops_per_exec"`
+}
+
+// PerfToolSummary aggregates one tool over all measured cells.
+type PerfToolSummary struct {
+	Tool                string  `json:"tool"`
+	Execs               int     `json:"execs"`
+	NsPerExec           float64 `json:"ns_per_exec"`
+	AllocBytesPerExec   float64 `json:"alloc_bytes_per_exec"`
+	AllocObjectsPerExec float64 `json:"alloc_objects_per_exec"`
+	ExecsPerSec         float64 `json:"execs_per_sec"`
+}
+
+// PerfSpecInfo echoes the measurement parameters into the artifact.
+type PerfSpecInfo struct {
+	Tools    []string `json:"tools"`
+	Programs []string `json:"programs"`
+	Runs     int      `json:"runs"`
+	Warmup   int      `json:"warmup"`
+	SeedBase int64    `json:"seed_base"`
+}
+
+// PerfSummary is the versioned perf artifact serialized to BENCH_perf.json.
+type PerfSummary struct {
+	Schema        string            `json:"schema"`
+	SchemaVersion int               `json:"schema_version"`
+	GoVersion     string            `json:"go_version"`
+	Spec          PerfSpecInfo      `json:"spec"`
+	Cells         []PerfCell        `json:"cells"`
+	Tools         []PerfToolSummary `json:"tools"`
+}
+
+// RunPerf measures every (tool, program) cell serially and aggregates the
+// artifact. Each cell gets a fresh tool instance; warmup executions bring the
+// instance's pools and arenas to steady state before the measured window, so
+// the numbers reflect the recycled hot path a long campaign shard sees.
+func RunPerf(spec PerfSpec) *PerfSummary {
+	spec = spec.withDefaults()
+	sum := &PerfSummary{
+		Schema:        PerfSchemaName,
+		SchemaVersion: PerfSchemaVersion,
+		GoVersion:     runtime.Version(),
+		Spec: PerfSpecInfo{
+			Runs: spec.Runs, Warmup: spec.Warmup, SeedBase: spec.SeedBase,
+			Tools: []string{}, Programs: []string{},
+		},
+	}
+	for _, t := range spec.Tools {
+		sum.Spec.Tools = append(sum.Spec.Tools, t.Name)
+	}
+	for _, b := range spec.Benchmarks {
+		sum.Spec.Programs = append(sum.Spec.Programs, b.Name)
+	}
+	for _, l := range spec.Litmus {
+		sum.Spec.Programs = append(sum.Spec.Programs, l.Name)
+	}
+
+	for ti := range spec.Tools {
+		var tot PerfCell
+		for _, b := range spec.Benchmarks {
+			cell := measureCell(spec, ti, b.Name, false, b.Prog, nil)
+			sum.Cells = append(sum.Cells, cell)
+			accumulate(&tot, cell)
+		}
+		for _, l := range spec.Litmus {
+			var out string
+			prog := l.Make(&out)
+			cell := measureCell(spec, ti, l.Name, true, prog, func() { out = "" })
+			sum.Cells = append(sum.Cells, cell)
+			accumulate(&tot, cell)
+		}
+		ts := PerfToolSummary{Tool: spec.Tools[ti].Name, Execs: tot.Execs}
+		if tot.Execs > 0 {
+			ts.NsPerExec = tot.NsPerExec / float64(tot.Execs)
+			ts.AllocBytesPerExec = tot.AllocBytesPerExec / float64(tot.Execs)
+			ts.AllocObjectsPerExec = tot.AllocObjectsPerExec / float64(tot.Execs)
+			ts.ExecsPerSec = 1e9 / ts.NsPerExec
+		}
+		sum.Tools = append(sum.Tools, ts)
+	}
+	return sum
+}
+
+// accumulate folds a cell into a per-tool running total; the per-exec fields
+// of tot temporarily hold sums, normalized by RunPerf once the tool is done.
+func accumulate(tot *PerfCell, cell PerfCell) {
+	tot.Execs += cell.Execs
+	tot.NsPerExec += cell.NsPerExec * float64(cell.Execs)
+	tot.AllocBytesPerExec += cell.AllocBytesPerExec * float64(cell.Execs)
+	tot.AllocObjectsPerExec += cell.AllocObjectsPerExec * float64(cell.Execs)
+}
+
+// measureCell runs one (tool, program) cell: warmup executions on a fresh
+// tool instance, then a measured window bracketed by monotonic-clock and
+// heap-allocation counter reads. The allocation counters are process-global;
+// RunPerf is strictly serial, so within one process they are attributable to
+// the cell (the same convention as the campaign's Workers=1 counters).
+func measureCell(spec PerfSpec, ti int, program string, isLit bool, prog capi.Program, reset func()) PerfCell {
+	tool := spec.Tools[ti].New()
+	run := func(i int) *capi.Result {
+		if reset != nil {
+			reset()
+		}
+		return tool.Execute(prog, spec.SeedBase+int64(i))
+	}
+	for i := 0; i < spec.Warmup; i++ {
+		run(i)
+	}
+	var atomicOps uint64
+	b0, o0 := readAllocCounters()
+	start := time.Now()
+	for i := 0; i < spec.Runs; i++ {
+		res := run(spec.Warmup + i)
+		atomicOps += res.Stats.AtomicOps
+	}
+	elapsed := time.Since(start)
+	b1, o1 := readAllocCounters()
+
+	n := float64(spec.Runs)
+	return PerfCell{
+		Tool: spec.Tools[ti].Name, Program: program, Litmus: isLit,
+		Execs:               spec.Runs,
+		NsPerExec:           float64(elapsed.Nanoseconds()) / n,
+		AllocBytesPerExec:   float64(b1-b0) / n,
+		AllocObjectsPerExec: float64(o1-o0) / n,
+		AtomicOpsPerExec:    float64(atomicOps) / n,
+	}
+}
+
+// String renders the human-readable perf report.
+func (s *PerfSummary) String() string {
+	out := fmt.Sprintf("perf: %d tool(s) × %d program(s), %d measured execs/cell (%d warmup), seed base %d, %s\n\n",
+		len(s.Spec.Tools), len(s.Spec.Programs), s.Spec.Runs, s.Spec.Warmup, s.Spec.SeedBase, s.GoVersion)
+	tb := &harness.Table{Header: []string{"tool", "execs", "ns/exec", "bytes/exec", "objects/exec", "execs/sec"}}
+	for _, ts := range s.Tools {
+		tb.AddRow(ts.Tool,
+			fmt.Sprintf("%d", ts.Execs),
+			fmt.Sprintf("%.0f", ts.NsPerExec),
+			fmt.Sprintf("%.0f", ts.AllocBytesPerExec),
+			fmt.Sprintf("%.1f", ts.AllocObjectsPerExec),
+			fmt.Sprintf("%.0f", ts.ExecsPerSec))
+	}
+	out += tb.String()
+	ct := &harness.Table{Header: []string{"tool", "program", "ns/exec", "bytes/exec", "objects/exec", "atomic ops/exec"}}
+	for _, c := range s.Cells {
+		ct.AddRow(c.Tool, c.Program,
+			fmt.Sprintf("%.0f", c.NsPerExec),
+			fmt.Sprintf("%.0f", c.AllocBytesPerExec),
+			fmt.Sprintf("%.1f", c.AllocObjectsPerExec),
+			fmt.Sprintf("%.1f", c.AtomicOpsPerExec))
+	}
+	out += "\nper-cell costs:\n" + ct.String()
+	return out
+}
+
+// WriteJSON writes the indented artifact file (BENCH_perf.json).
+func (s *PerfSummary) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadPerfSummary reads a serialized perf artifact and sanity-checks its
+// schema header.
+func LoadPerfSummary(path string) (*PerfSummary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s PerfSummary
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("campaign: %s: %v", path, err)
+	}
+	if s.Schema != PerfSchemaName {
+		return nil, fmt.Errorf("campaign: %s: schema %q, want %q", path, s.Schema, PerfSchemaName)
+	}
+	if s.SchemaVersion < 1 || s.SchemaVersion > PerfSchemaVersion {
+		return nil, fmt.Errorf("campaign: %s: schema version %d, this build understands 1..%d",
+			path, s.SchemaVersion, PerfSchemaVersion)
+	}
+	return &s, nil
+}

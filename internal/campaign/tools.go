@@ -7,6 +7,9 @@ import (
 	"c11tester/internal/baseline"
 	"c11tester/internal/capi"
 	"c11tester/internal/core"
+	"c11tester/internal/harness"
+	"c11tester/internal/litmus"
+	"c11tester/internal/structures"
 	"c11tester/internal/trace"
 )
 
@@ -131,6 +134,58 @@ func ParsePrune(s string) (core.PruneMode, error) {
 		return core.PruneAggressive, nil
 	}
 	return core.PruneOff, fmt.Errorf("unknown prune mode %q (want off, conservative, or aggressive)", s)
+}
+
+// SelectBenchmarks resolves a -bench flag value ("all", "none"/"", or a
+// comma-separated name list) into benchmark specs with the right detection
+// signal per suite (races for the data structures, assertion violations for
+// the injected-bug suite).
+func SelectBenchmarks(sel string) ([]BenchmarkSpec, error) {
+	var specs []BenchmarkSpec
+	add := func(b structures.Benchmark) {
+		sig := harness.SignalRace
+		if structures.IsInjected(b.Name) {
+			sig = harness.SignalAssert
+		}
+		specs = append(specs, BenchmarkSpec{Name: b.Name, Prog: b.Prog, Signal: sig})
+	}
+	switch sel {
+	case "none", "":
+		return nil, nil
+	case "all":
+		for _, b := range structures.All() {
+			add(b)
+		}
+	default:
+		for _, name := range SplitList(sel) {
+			b, err := structures.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			add(b)
+		}
+	}
+	return specs, nil
+}
+
+// SelectLitmus resolves a -litmus flag value ("all", "none"/"", or a
+// comma-separated name list) into litmus tests.
+func SelectLitmus(sel string) ([]*litmus.Test, error) {
+	switch sel {
+	case "none", "":
+		return nil, nil
+	case "all":
+		return litmus.Tests(), nil
+	}
+	var tests []*litmus.Test
+	for _, name := range SplitList(sel) {
+		t, ok := litmus.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown litmus test %q (see -list)", name)
+		}
+		tests = append(tests, t)
+	}
+	return tests, nil
 }
 
 // StandardToolNames lists the tools of the paper's evaluation in its order.

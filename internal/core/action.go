@@ -79,12 +79,29 @@ type mutexState struct {
 	cv    memmodel.ClockVector
 }
 
+// reset recycles a pooled mutexState, keeping its clock's backing array.
+func (m *mutexState) reset(id memmodel.LocID, name string) {
+	m.id = id
+	m.name = name
+	m.owner = nil
+	m.cv.Reset(0)
+}
+
 // condState models one pthread condition variable.
 type condState struct {
 	id      memmodel.LocID
 	name    string
 	waiters []*ThreadState
 	cv      memmodel.ClockVector
+}
+
+// reset recycles a pooled condState, keeping its waiter-slice capacity and
+// its clock's backing array.
+func (c *condState) reset(id memmodel.LocID, name string) {
+	c.id = id
+	c.name = name
+	c.waiters = c.waiters[:0]
+	c.cv.Reset(0)
 }
 
 // condPhase tracks where a thread is inside a cond-wait state machine.
@@ -103,11 +120,25 @@ type ThreadState struct {
 	ID   memmodel.TID
 	Name string
 
-	// C, Frel, and Facq are the thread clock vector and the release/acquire
-	// fence clock vectors of Figure 9.
-	C    *memmodel.ClockVector
-	Frel *memmodel.ClockVector
-	Facq *memmodel.ClockVector
+	// C is the thread clock vector of Figure 9.
+	C *memmodel.ClockVector
+
+	// frel and facq are the release/acquire fence clock vectors of Figure 9.
+	// They are nil until the thread's first fence-clock use: most threads
+	// never execute a fence (or a relaxed store, which consults frel), so
+	// eagerly carrying both vectors on every thread of every execution is
+	// pure waste. Access them through relFence/acqFence (mutating) or the
+	// nil-tolerant direct reads in ApplyFenceClocks/StoreRFCV.
+	frel *memmodel.ClockVector
+	facq *memmodel.ClockVector
+
+	// eng is the engine that owns this thread; per-action clock-vector
+	// snapshots are drawn from its execution-lifetime arenas. envv is the
+	// thread's capi.Env, embedded here so spawning a thread does not allocate
+	// a fresh env (and, through env's reusable Op, so visible operations do
+	// not allocate either).
+	eng  *Engine
+	envv env
 
 	// SCFences lists the thread's seq_cst fences in order (used by the
 	// prior-set procedures of Figure 13).
@@ -133,12 +164,17 @@ type ThreadState struct {
 
 // reset recycles a pooled ThreadState for a new execution, zeroing its clock
 // vectors in place (clockSlots is the minimum clock width, as in
-// NewClockVector).
+// NewClockVector). The lazily allocated fence vectors are kept (and emptied)
+// when a previous execution materialized them.
 func (t *ThreadState) reset(name string, clockSlots int) {
 	t.Name = name
 	t.C.Reset(clockSlots)
-	t.Frel.Reset(0)
-	t.Facq.Reset(0)
+	if t.frel != nil {
+		t.frel.Reset(0)
+	}
+	if t.facq != nil {
+		t.facq.Reset(0)
+	}
 	t.SCFences = t.SCFences[:0]
 	t.thr = nil
 	t.finished = false
@@ -147,6 +183,24 @@ func (t *ThreadState) reset(name string, clockSlots int) {
 	t.condPhase = condIdle
 	t.condSignaled = false
 	t.burstable = false
+}
+
+// relFence returns the thread's release-fence clock, materializing it on
+// first use.
+func (t *ThreadState) relFence() *memmodel.ClockVector {
+	if t.frel == nil {
+		t.frel = memmodel.NewClockVector(0)
+	}
+	return t.frel
+}
+
+// acqFence returns the thread's acquire-fence clock, materializing it on
+// first use.
+func (t *ThreadState) acqFence() *memmodel.ClockVector {
+	if t.facq == nil {
+		t.facq = memmodel.NewClockVector(0)
+	}
+	return t.facq
 }
 
 // LastSCFence returns the thread's most recent seq_cst fence, or nil.

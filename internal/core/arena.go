@@ -1,0 +1,49 @@
+package core
+
+// actionArena is the execution-lifetime allocator for Action structs. Every
+// Action created while executing a program — by the engine (thread events),
+// the C11 model, or the commit-order baselines — dies when the execution is
+// reset: traces, race reports, and campaign summaries all copy out what they
+// persist (see the lifetime rules on Engine.NewAction). The arena therefore
+// hands Actions out of chunked storage and rewinds wholesale at the start of
+// the next Execute, so steady-state executions allocate no Action memory.
+//
+// Chunked storage (rather than one growing slice) keeps Action pointers
+// stable: Actions reference each other (RF, RMWReader) and are referenced by
+// mo-graph nodes and per-location lists, so they must never be moved.
+type actionArena struct {
+	chunks [][]Action
+	ci     int // chunk currently being filled
+	used   int // slots used in chunks[ci]
+}
+
+// actionChunk is the number of Actions per arena chunk.
+const actionChunk = 128
+
+// alloc returns a zeroed Action with SCIdx = -1 (the "not in the seq_cst
+// order" sentinel every creation site wants as the default).
+func (a *actionArena) alloc() *Action {
+	if a.ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]Action, actionChunk))
+	}
+	act := &a.chunks[a.ci][a.used]
+	a.used++
+	if a.used == actionChunk {
+		a.ci++
+		a.used = 0
+	}
+	*act = Action{SCIdx: -1}
+	return act
+}
+
+// reset rewinds the arena; all Actions handed out since the last reset are
+// reclaimed for reuse.
+func (a *actionArena) reset() {
+	a.ci = 0
+	a.used = 0
+}
+
+// len returns the number of Actions handed out since the last reset.
+func (a *actionArena) len() int {
+	return a.ci*actionChunk + a.used
+}

@@ -98,8 +98,16 @@ func NewRandomStrategy() *RandomStrategy {
 	return &RandomStrategy{rng: rand.New(rand.NewSource(1))}
 }
 
-// Seed implements Strategy.
-func (s *RandomStrategy) Seed(seed int64) { s.rng = rand.New(rand.NewSource(seed)) }
+// Seed implements Strategy. The random source is re-seeded in place: that
+// reproduces exactly the state of a fresh rand.New(rand.NewSource(seed))
+// without re-allocating the source's state table on every execution.
+func (s *RandomStrategy) Seed(seed int64) {
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(seed))
+		return
+	}
+	s.rng.Seed(seed)
+}
 
 // PickThread implements Strategy.
 func (s *RandomStrategy) PickThread(ready []*ThreadState) *ThreadState {
@@ -129,9 +137,13 @@ func NewQuantumStrategy(mean int) *QuantumStrategy {
 	return &QuantumStrategy{rng: rand.New(rand.NewSource(1)), mean: mean}
 }
 
-// Seed implements Strategy.
+// Seed implements Strategy (re-seeding in place, like RandomStrategy).
 func (s *QuantumStrategy) Seed(seed int64) {
-	s.rng = rand.New(rand.NewSource(seed))
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(seed))
+	} else {
+		s.rng.Seed(seed)
+	}
 	s.current = nil
 	s.remaining = 0
 }
@@ -210,14 +222,24 @@ type Engine struct {
 
 	readyBuf []*ThreadState
 
-	// State pools: locState and ThreadState objects (and their clock-vector
-	// buffers) are recycled across Execute calls of one engine instance, so
-	// repeated executions inside a campaign shard do not re-allocate the
-	// per-location and per-thread scaffolding (ROADMAP: batch executions per
-	// tool instance to amortize engine allocation). Pool entry i corresponds
-	// to locs[i] / threads[i]; entries are reset in place when reused.
+	// State pools: locState, ThreadState, mutexState, and condState objects
+	// (and their clock-vector buffers) are recycled across Execute calls of
+	// one engine instance, so repeated executions inside a campaign shard do
+	// not re-allocate the per-location and per-thread scaffolding (ROADMAP:
+	// batch executions per tool instance to amortize engine allocation). Pool
+	// entry i corresponds to locs[i] / threads[i] / mutexes[i] / conds[i];
+	// entries are reset in place when reused.
 	locPool    []*locState
 	threadPool []*ThreadState
+	mutexPool  []*mutexState
+	condPool   []*condState
+
+	// Execution-lifetime arenas: every Action and every per-action
+	// clock-vector snapshot created during Execute dies at the next Execute's
+	// reset (see NewAction for the lifetime rules). The scheduler is likewise
+	// recycled via sched.Reset.
+	actions actionArena
+	cvs     memmodel.CVArena
 }
 
 // New returns an engine running the given memory model.
@@ -289,8 +311,18 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 func (e *Engine) Strategy() Strategy { return e.cfg.Strategy }
 
 // Execute implements capi.Tool: it runs one execution of p.
+//
+// Executing resets the engine's execution-lifetime arenas: every *Action,
+// clock-vector snapshot, and mo-graph node of the previous execution is
+// reclaimed here. Anything read from the engine after an execution (Trace,
+// FinalValues, a model's TotalMO) must be consumed — or deep-copied, as the
+// trace recorder does — before the next Execute call.
 func (e *Engine) Execute(p capi.Program, seed int64) *capi.Result {
-	e.sch = sched.New(e.cfg.Sched)
+	if e.sch == nil {
+		e.sch = sched.New(e.cfg.Sched)
+	} else {
+		e.sch.Reset()
+	}
 	e.threads = e.threads[:0]
 	e.locs = e.locs[:0]
 	e.locs = append(e.locs, nil) // LocID 0 is NoLoc
@@ -303,7 +335,16 @@ func (e *Engine) Execute(p capi.Program, seed int64) *capi.Result {
 	e.steps = 0
 	e.trace = e.trace[:0]
 	e.burstT = nil
-	e.rng = rand.New(rand.NewSource(seed))
+	e.actions.reset()
+	e.cvs.Reset()
+	if e.rng == nil {
+		e.rng = rand.New(rand.NewSource(seed))
+	} else {
+		// Re-seeding in place re-initializes the source to the exact state a
+		// fresh rand.New(rand.NewSource(seed)) would have, without
+		// re-allocating the source's ~5KB state table every execution.
+		e.rng.Seed(seed)
+	}
 	e.cfg.Strategy.Seed(seed)
 	e.result = &capi.Result{}
 	e.model.Begin(e)
@@ -330,11 +371,11 @@ func (e *Engine) spawnThread(name string, fn func(capi.Env), parent *ThreadState
 		ts = &ThreadState{
 			Name: name,
 			C:    memmodel.NewClockVector(idx + 1),
-			Frel: memmodel.NewClockVector(0),
-			Facq: memmodel.NewClockVector(0),
 		}
 		e.threadPool = append(e.threadPool, ts)
 	}
+	ts.eng = e
+	ts.envv = env{e: e, ts: ts}
 	if parent != nil {
 		ts.C.Merge(parent.C)
 	}
@@ -343,7 +384,7 @@ func (e *Engine) spawnThread(name string, fn func(capi.Env), parent *ThreadState
 	e.sch.NewThread(name, func(t *sched.Thread) {
 		ts.thr = t
 		ts.ID = t.ID
-		fn(&env{e: e, ts: ts})
+		fn(&ts.envv)
 	})
 	ts.thr = e.sch.Threads()[len(e.sch.Threads())-1]
 	ts.ID = ts.thr.ID
@@ -466,9 +507,9 @@ func (e *Engine) finishThread(ts *ThreadState) {
 		}
 	}
 	if e.cfg.Trace {
-		e.trace = append(e.trace, &Action{
-			Seq: e.nextSeqPeek(), TID: ts.ID, Kind: memmodel.KThreadFinish, SCIdx: -1,
-		})
+		a := e.NewAction()
+		a.Seq, a.TID, a.Kind = e.nextSeqPeek(), ts.ID, memmodel.KThreadFinish
+		e.trace = append(e.trace, a)
 	}
 }
 
@@ -476,6 +517,28 @@ func (e *Engine) nextSeqPeek() memmodel.SeqNum {
 	e.nextSeq++
 	return e.nextSeq
 }
+
+// NewAction allocates an Action from the engine's execution-lifetime arena,
+// zeroed except for SCIdx, which is -1 (not in the seq_cst order). Memory
+// model plugins must create every per-execution Action through it.
+//
+// Lifetime rules: an arena Action is valid until the engine's next Execute
+// call. It must never be stored anywhere that outlives the execution —
+// results, summaries, and serialized traces copy the fields they keep (see
+// internal/trace.Record). The README's "Performance" section documents the
+// contract for external consumers.
+func (e *Engine) NewAction() *Action { return e.actions.alloc() }
+
+// CloneCV returns an arena-backed copy of cv, for per-action clock-vector
+// snapshots (RFCV, CVSnap) that die with the execution. The same lifetime
+// rules as NewAction apply. A nil cv yields the empty clock.
+func (e *Engine) CloneCV(cv *memmodel.ClockVector) *memmodel.ClockVector {
+	return e.cvs.CloneOf(cv)
+}
+
+// ActionCount returns the number of Actions allocated in the current (or
+// last) execution; tests use it to pin the arena's steady-state behaviour.
+func (e *Engine) ActionCount() int { return e.actions.len() }
 
 // loc returns the location state for id.
 func (e *Engine) loc(id memmodel.LocID) *locState { return e.locs[id] }
@@ -493,6 +556,36 @@ func (e *Engine) newLocState(id memmodel.LocID, name string) *locState {
 	}
 	*l = locState{id: id, name: name}
 	return l
+}
+
+// newMutexState returns a reset mutexState for id, recycled from the
+// engine's pool when a previous execution already allocated one at this slot.
+func (e *Engine) newMutexState(id memmodel.LocID, name string) *mutexState {
+	for len(e.mutexPool) <= int(id) {
+		e.mutexPool = append(e.mutexPool, nil)
+	}
+	m := e.mutexPool[id]
+	if m == nil {
+		m = &mutexState{}
+		e.mutexPool[id] = m
+	}
+	m.reset(id, name)
+	return m
+}
+
+// newCondState returns a reset condState for id, recycled from the engine's
+// pool when a previous execution already allocated one at this slot.
+func (e *Engine) newCondState(id memmodel.LocID, name string) *condState {
+	for len(e.condPool) <= int(id) {
+		e.condPool = append(e.condPool, nil)
+	}
+	c := e.condPool[id]
+	if c == nil {
+		c = &condState{}
+		e.condPool[id] = c
+	}
+	c.reset(id, name)
+	return c
 }
 
 // LocName returns the name a location was created with.

@@ -10,12 +10,26 @@ import (
 // env implements capi.Env for one thread: every method packages the request
 // as an Op and parks the thread until the engine has executed it. This is
 // the runtime half of the instrumentation boundary (Figure 1).
+//
+// Each thread owns exactly one Op (the struct below), reused for every
+// visible operation: a thread has at most one operation in flight — it parks
+// until the engine replies — so the request fields can be overwritten once
+// the previous call returned. prep zeroes the Op between uses so no stale
+// request field leaks into the next operation. This removes the dominant
+// per-operation allocation of the instrumentation boundary.
 type env struct {
 	e  *Engine
 	ts *ThreadState
+	op capi.Op
 }
 
 var _ capi.Env = (*env)(nil)
+
+// prep resets the thread's reusable Op and returns it.
+func (v *env) prep() *capi.Op {
+	v.op = capi.Op{}
+	return &v.op
+}
 
 func (v *env) call(op *capi.Op) *capi.Op {
 	v.ts.thr.Call(op)
@@ -25,49 +39,65 @@ func (v *env) call(op *capi.Op) *capi.Op {
 func (v *env) TID() memmodel.TID { return v.ts.ID }
 
 func (v *env) NewLoc(name string, init memmodel.Value) capi.Loc {
-	op := v.call(&capi.Op{Kind: memmodel.KAlloc, NewName: name, Operand: init})
-	return capi.Loc{ID: memmodel.LocID(op.Val)}
+	op := v.prep()
+	op.Kind, op.NewName, op.Operand = memmodel.KAlloc, name, init
+	return capi.Loc{ID: memmodel.LocID(v.call(op).Val)}
 }
 
 func (v *env) NewAtomic(name string, init memmodel.Value) capi.Loc {
-	op := v.call(&capi.Op{Kind: memmodel.KAlloc, NewName: name, Operand: init, NewAtomic: true})
-	return capi.Loc{ID: memmodel.LocID(op.Val)}
+	op := v.prep()
+	op.Kind, op.NewName, op.Operand, op.NewAtomic = memmodel.KAlloc, name, init, true
+	return capi.Loc{ID: memmodel.LocID(v.call(op).Val)}
 }
 
 func (v *env) Load(l capi.Loc, mo memmodel.MemoryOrder) memmodel.Value {
-	return v.call(&capi.Op{Kind: memmodel.KLoad, MO: mo, Loc: l.ID}).Val
+	op := v.prep()
+	op.Kind, op.MO, op.Loc = memmodel.KLoad, mo, l.ID
+	return v.call(op).Val
 }
 
 func (v *env) Store(l capi.Loc, val memmodel.Value, mo memmodel.MemoryOrder) {
-	v.call(&capi.Op{Kind: memmodel.KStore, MO: mo, Loc: l.ID, Operand: val})
+	op := v.prep()
+	op.Kind, op.MO, op.Loc, op.Operand = memmodel.KStore, mo, l.ID, val
+	v.call(op)
 }
 
 func (v *env) FetchAdd(l capi.Loc, delta memmodel.Value, mo memmodel.MemoryOrder) memmodel.Value {
-	return v.call(&capi.Op{Kind: memmodel.KRMW, MO: mo, Loc: l.ID, RMW: capi.RMWAdd, Operand: delta}).Val
+	op := v.prep()
+	op.Kind, op.MO, op.Loc, op.RMW, op.Operand = memmodel.KRMW, mo, l.ID, capi.RMWAdd, delta
+	return v.call(op).Val
 }
 
 func (v *env) Exchange(l capi.Loc, val memmodel.Value, mo memmodel.MemoryOrder) memmodel.Value {
-	return v.call(&capi.Op{Kind: memmodel.KRMW, MO: mo, Loc: l.ID, RMW: capi.RMWExchange, Operand: val}).Val
+	op := v.prep()
+	op.Kind, op.MO, op.Loc, op.RMW, op.Operand = memmodel.KRMW, mo, l.ID, capi.RMWExchange, val
+	return v.call(op).Val
 }
 
 func (v *env) CompareExchange(l capi.Loc, expected, desired memmodel.Value, succ, fail memmodel.MemoryOrder) (memmodel.Value, bool) {
-	op := v.call(&capi.Op{
-		Kind: memmodel.KRMW, MO: succ, FailMO: fail, Loc: l.ID,
-		RMW: capi.RMWCas, Operand: desired, Expected: expected,
-	})
+	op := v.prep()
+	op.Kind, op.MO, op.FailMO, op.Loc = memmodel.KRMW, succ, fail, l.ID
+	op.RMW, op.Operand, op.Expected = capi.RMWCas, desired, expected
+	v.call(op)
 	return op.Val, op.OK
 }
 
 func (v *env) Fence(mo memmodel.MemoryOrder) {
-	v.call(&capi.Op{Kind: memmodel.KFence, MO: mo})
+	op := v.prep()
+	op.Kind, op.MO = memmodel.KFence, mo
+	v.call(op)
 }
 
 func (v *env) Read(l capi.Loc) memmodel.Value {
-	return v.call(&capi.Op{Kind: memmodel.KNALoad, Loc: l.ID}).Val
+	op := v.prep()
+	op.Kind, op.Loc = memmodel.KNALoad, l.ID
+	return v.call(op).Val
 }
 
 func (v *env) Write(l capi.Loc, val memmodel.Value) {
-	v.call(&capi.Op{Kind: memmodel.KNAStore, Loc: l.ID, Operand: val})
+	op := v.prep()
+	op.Kind, op.Loc, op.Operand = memmodel.KNAStore, l.ID, val
+	v.call(op)
 }
 
 // VolatileLoad and VolatileStore model legacy pre-C11 atomics: C11Tester
@@ -80,7 +110,9 @@ func (v *env) VolatileLoad(l capi.Loc) memmodel.Value {
 	if v.e.cfg.VolatileAcqRel {
 		mo = memmodel.Acquire
 	}
-	return v.call(&capi.Op{Kind: memmodel.KLoad, MO: mo, Loc: l.ID, Volatile: true}).Val
+	op := v.prep()
+	op.Kind, op.MO, op.Loc, op.Volatile = memmodel.KLoad, mo, l.ID, true
+	return v.call(op).Val
 }
 
 func (v *env) VolatileStore(l capi.Loc, val memmodel.Value) {
@@ -88,61 +120,84 @@ func (v *env) VolatileStore(l capi.Loc, val memmodel.Value) {
 	if v.e.cfg.VolatileAcqRel {
 		mo = memmodel.Release
 	}
-	v.call(&capi.Op{Kind: memmodel.KStore, MO: mo, Loc: l.ID, Operand: val, Volatile: true})
+	op := v.prep()
+	op.Kind, op.MO, op.Loc, op.Operand, op.Volatile = memmodel.KStore, mo, l.ID, val, true
+	v.call(op)
 }
 
 func (v *env) Spawn(name string, fn func(capi.Env)) capi.Thread {
-	op := v.call(&capi.Op{Kind: memmodel.KThreadCreate, SpawnName: name, SpawnFn: fn})
-	return capi.Thread{TID: memmodel.TID(op.Val)}
+	op := v.prep()
+	op.Kind, op.SpawnName, op.SpawnFn = memmodel.KThreadCreate, name, fn
+	return capi.Thread{TID: memmodel.TID(v.call(op).Val)}
 }
 
 func (v *env) Join(t capi.Thread) {
-	v.call(&capi.Op{Kind: memmodel.KThreadJoin, Target: t.TID})
+	op := v.prep()
+	op.Kind, op.Target = memmodel.KThreadJoin, t.TID
+	v.call(op)
 }
 
 func (v *env) Yield() {
-	v.call(&capi.Op{Kind: memmodel.KYield})
+	op := v.prep()
+	op.Kind = memmodel.KYield
+	v.call(op)
 }
 
 func (v *env) NewMutex(name string) capi.Mutex {
-	op := v.call(&capi.Op{Kind: memmodel.KAllocMutex, NewName: name})
-	return capi.Mutex{ID: memmodel.LocID(op.Val)}
+	op := v.prep()
+	op.Kind, op.NewName = memmodel.KAllocMutex, name
+	return capi.Mutex{ID: memmodel.LocID(v.call(op).Val)}
 }
 
 func (v *env) Lock(m capi.Mutex) {
-	v.call(&capi.Op{Kind: memmodel.KMutexLock, Loc: m.ID})
+	op := v.prep()
+	op.Kind, op.Loc = memmodel.KMutexLock, m.ID
+	v.call(op)
 }
 
 func (v *env) TryLock(m capi.Mutex) bool {
-	return v.call(&capi.Op{Kind: memmodel.KMutexTryLock, Loc: m.ID}).OK
+	op := v.prep()
+	op.Kind, op.Loc = memmodel.KMutexTryLock, m.ID
+	return v.call(op).OK
 }
 
 func (v *env) Unlock(m capi.Mutex) {
-	v.call(&capi.Op{Kind: memmodel.KMutexUnlock, Loc: m.ID})
+	op := v.prep()
+	op.Kind, op.Loc = memmodel.KMutexUnlock, m.ID
+	v.call(op)
 }
 
 func (v *env) NewCond(name string) capi.Cond {
-	op := v.call(&capi.Op{Kind: memmodel.KAllocCond, NewName: name})
-	return capi.Cond{ID: memmodel.LocID(op.Val)}
+	op := v.prep()
+	op.Kind, op.NewName = memmodel.KAllocCond, name
+	return capi.Cond{ID: memmodel.LocID(v.call(op).Val)}
 }
 
 func (v *env) Wait(c capi.Cond, m capi.Mutex) {
-	v.call(&capi.Op{Kind: memmodel.KCondWait, Loc: c.ID, Loc2: m.ID})
+	op := v.prep()
+	op.Kind, op.Loc, op.Loc2 = memmodel.KCondWait, c.ID, m.ID
+	v.call(op)
 }
 
 func (v *env) Signal(c capi.Cond) {
-	v.call(&capi.Op{Kind: memmodel.KCondSignal, Loc: c.ID})
+	op := v.prep()
+	op.Kind, op.Loc = memmodel.KCondSignal, c.ID
+	v.call(op)
 }
 
 func (v *env) Broadcast(c capi.Cond) {
-	v.call(&capi.Op{Kind: memmodel.KCondBroadcast, Loc: c.ID})
+	op := v.prep()
+	op.Kind, op.Loc = memmodel.KCondBroadcast, c.ID
+	v.call(op)
 }
 
 func (v *env) Assert(cond bool, format string, args ...any) {
 	if cond {
 		return
 	}
-	v.call(&capi.Op{Kind: memmodel.KAssert, AssertMsg: fmt.Sprintf(format, args...)})
+	op := v.prep()
+	op.Kind, op.AssertMsg = memmodel.KAssert, fmt.Sprintf(format, args...)
+	v.call(op)
 }
 
 // RandUint64 draws from the engine's per-execution source. Threads run one

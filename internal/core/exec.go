@@ -55,12 +55,12 @@ func (e *Engine) dispatch(ts *ThreadState) {
 		e.doAlloc(ts, op)
 	case memmodel.KAllocMutex:
 		id := memmodel.LocID(len(e.mutexes))
-		e.mutexes = append(e.mutexes, &mutexState{id: id, name: op.NewName})
+		e.mutexes = append(e.mutexes, e.newMutexState(id, op.NewName))
 		op.Val = memmodel.Value(id)
 		e.complete(ts)
 	case memmodel.KAllocCond:
 		id := memmodel.LocID(len(e.conds))
-		e.conds = append(e.conds, &condState{id: id, name: op.NewName})
+		e.conds = append(e.conds, e.newCondState(id, op.NewName))
 		op.Val = memmodel.Value(id)
 		e.complete(ts)
 	case memmodel.KAssert:
@@ -214,9 +214,9 @@ func (e *Engine) doFence(ts *ThreadState, op *capi.Op) {
 func (e *Engine) doSpawn(ts *ThreadState, op *capi.Op) {
 	e.assignSeq(ts)
 	if e.cfg.Trace {
-		e.trace = append(e.trace, &Action{
-			Seq: ts.opSeq, TID: ts.ID, Kind: memmodel.KThreadCreate, SCIdx: -1,
-		})
+		a := e.NewAction()
+		a.Seq, a.TID, a.Kind = ts.opSeq, ts.ID, memmodel.KThreadCreate
+		e.trace = append(e.trace, a)
 	}
 	child := e.spawnThread(op.SpawnName, op.SpawnFn, ts)
 	op.Val = memmodel.Value(child.ID)
@@ -241,9 +241,9 @@ func (e *Engine) doJoin(ts *ThreadState, op *capi.Op) {
 	e.assignSeq(ts)
 	ts.C.Merge(target.C)
 	if e.cfg.Trace {
-		e.trace = append(e.trace, &Action{
-			Seq: ts.opSeq, TID: ts.ID, Kind: memmodel.KThreadJoin, Value: memmodel.Value(target.ID), SCIdx: -1,
-		})
+		a := e.NewAction()
+		a.Seq, a.TID, a.Kind, a.Value = ts.opSeq, ts.ID, memmodel.KThreadJoin, memmodel.Value(target.ID)
+		e.trace = append(e.trace, a)
 	}
 	e.result.Stats.AtomicOps++
 	e.complete(ts)

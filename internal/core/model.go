@@ -72,6 +72,24 @@ func (al *aloc) appendLoad(a *Action) {
 	al.accessesBy[a.TID] = append(al.accessesBy[a.TID], a)
 }
 
+// reset recycles a pooled aloc for a new execution: the outer per-thread
+// slices keep their length and the inner lists keep their capacity, so the
+// steady state re-allocates neither.
+func (al *aloc) reset(id memmodel.LocID) {
+	al.id = id
+	for i := range al.storesBy {
+		al.storesBy[i] = al.storesBy[i][:0]
+	}
+	for i := range al.accessesBy {
+		al.accessesBy[i] = al.accessesBy[i][:0]
+	}
+	for i := range al.scStoresBy {
+		al.scStoresBy[i] = al.scStoresBy[i][:0]
+	}
+	al.lastSCStore = nil
+	al.storeCount = 0
+}
+
 // C11Model is the paper's memory model: the fragment of C/C++11 with the
 // C++20 release-sequence definition, consume strengthened to acquire, and
 // hb ∪ sc ∪ rf acyclic (Section 2.2), with modification order maintained as
@@ -80,6 +98,19 @@ type C11Model struct {
 	e     *Engine
 	g     *mograph.Graph
 	alocs []*aloc
+
+	// alocPool recycles aloc bookkeeping (with its per-thread slice
+	// capacity) across executions; entry i serves LocID i.
+	alocPool []*aloc
+
+	// Scratch buffers for the per-operation hot path: the may-read-from
+	// candidate set and the read/write prior sets of Figure 13. Their
+	// lifetimes never overlap with a second use of the same buffer (cands is
+	// live across prior-set computation, and the read and write prior sets
+	// can be live at once inside AtomicRMW, hence three distinct buffers).
+	candBuf []*Action
+	priRBuf []*Action
+	priWBuf []*Action
 }
 
 // NewC11Model returns the C11Tester memory model.
@@ -88,10 +119,15 @@ func NewC11Model() *C11Model { return &C11Model{} }
 // Graph exposes the modification order graph (stats, validation, ablation).
 func (m *C11Model) Graph() *mograph.Graph { return m.g }
 
-// Begin implements MemModel.
+// Begin implements MemModel. The modification-order graph and the per-location
+// bookkeeping are recycled across executions rather than re-allocated.
 func (m *C11Model) Begin(e *Engine) {
 	m.e = e
-	m.g = mograph.New()
+	if m.g == nil {
+		m.g = mograph.New()
+	} else {
+		m.g.Reset()
+	}
 	m.alocs = m.alocs[:0]
 }
 
@@ -100,7 +136,16 @@ func (m *C11Model) aloc(id memmodel.LocID) *aloc {
 		m.alocs = append(m.alocs, nil)
 	}
 	if m.alocs[id] == nil {
-		m.alocs[id] = &aloc{id: id}
+		for len(m.alocPool) <= int(id) {
+			m.alocPool = append(m.alocPool, nil)
+		}
+		al := m.alocPool[id]
+		if al == nil {
+			al = &aloc{}
+			m.alocPool[id] = al
+		}
+		al.reset(id)
+		m.alocs[id] = al
 	}
 	return m.alocs[id]
 }
@@ -117,18 +162,33 @@ func ApplyLoadClocks(t *ThreadState, mo memmodel.MemoryOrder, rf *Action) {
 	if mo.IsAcquire() {
 		t.C.Merge(rf.RFCV)
 	} else {
-		t.Facq.Merge(rf.RFCV)
+		t.acqFence().Merge(rf.RFCV)
+	}
+}
+
+// ApplyFenceClocks implements the [ACQUIRE FENCE] / [RELEASE FENCE] rules of
+// Figure 9: an acquire fence merges the banked acquire-fence clock into the
+// thread clock; a release fence snapshots the thread clock into the
+// release-fence clock. Shared by the C11 model and the baselines (their
+// happens-before machinery is identical, Section 8's comparability premise).
+func ApplyFenceClocks(t *ThreadState, mo memmodel.MemoryOrder) {
+	if mo.IsAcquire() {
+		t.C.Merge(t.facq) // Merge tolerates a nil (never-materialized) clock
+	}
+	if mo.IsRelease() {
+		t.relFence().CopyFrom(t.C)
 	}
 }
 
 // StoreRFCV implements [RELEASE STORE] / [RELAXED STORE]: a release store's
 // reads-from clock is the thread clock; a relaxed store inherits the
-// release-fence clock (fences turn later relaxed stores into releases).
+// release-fence clock (fences turn later relaxed stores into releases). The
+// snapshot is drawn from the engine's execution-lifetime clock arena.
 func StoreRFCV(t *ThreadState, mo memmodel.MemoryOrder) *memmodel.ClockVector {
 	if mo.IsRelease() {
-		return t.C.Clone()
+		return t.eng.CloneCV(t.C)
 	}
-	return t.Frel.Clone()
+	return t.eng.CloneCV(t.frel) // CloneOf(nil) yields the empty clock
 }
 
 // chainEnd follows rmw edges to the end of a node's RMW chain; edges added
@@ -144,13 +204,12 @@ func chainEnd(n *mograph.Node) *mograph.Node {
 // AtomicStore implements MemModel ([ATOMIC STORE] of Figure 11).
 func (m *C11Model) AtomicStore(t *ThreadState, op *capi.Op) {
 	al := m.aloc(op.Loc)
-	act := &Action{
-		Seq: t.opSeq, TID: t.ID, Kind: memmodel.KStore, MO: op.MO,
-		Loc: op.Loc, Value: op.Operand, SCIdx: -1,
-	}
+	act := m.e.NewAction()
+	act.Seq, act.TID, act.Kind, act.MO = t.opSeq, t.ID, memmodel.KStore, op.MO
+	act.Loc, act.Value = op.Loc, op.Operand
 	if op.MO.IsSeqCst() {
 		act.SCIdx = m.e.nextSCIndex()
-		act.CVSnap = t.C.Clone()
+		act.CVSnap = m.e.CloneCV(t.C)
 	}
 	pset := m.writePriorSet(t, al, act.MO.IsSeqCst())
 	act.RFCV = StoreRFCV(t, op.MO)
@@ -175,10 +234,9 @@ func (m *C11Model) AtomicLoad(t *ThreadState, op *capi.Op) memmodel.Value {
 			cands = cands[:len(cands)-1]
 			continue
 		}
-		act := &Action{
-			Seq: t.opSeq, TID: t.ID, Kind: memmodel.KLoad, MO: op.MO,
-			Loc: op.Loc, Value: s.Value, RF: s, SCIdx: -1,
-		}
+		act := m.e.NewAction()
+		act.Seq, act.TID, act.Kind, act.MO = t.opSeq, t.ID, memmodel.KLoad, op.MO
+		act.Loc, act.Value, act.RF = op.Loc, s.Value, s
 		if op.MO.IsSeqCst() {
 			act.SCIdx = m.e.nextSCIndex()
 		}
@@ -223,10 +281,9 @@ func (m *C11Model) AtomicRMW(t *ThreadState, op *capi.Op) (memmodel.Value, bool)
 		}
 		if isCAS && !matches {
 			// Failure path: a pure load.
-			act := &Action{
-				Seq: t.opSeq, TID: t.ID, Kind: memmodel.KLoad, MO: mo,
-				Loc: op.Loc, Value: s.Value, RF: s, SCIdx: -1,
-			}
+			act := m.e.NewAction()
+			act.Seq, act.TID, act.Kind, act.MO = t.opSeq, t.ID, memmodel.KLoad, mo
+			act.Loc, act.Value, act.RF = op.Loc, s.Value, s
 			if mo.IsSeqCst() {
 				act.SCIdx = m.e.nextSCIndex()
 			}
@@ -245,15 +302,13 @@ func (m *C11Model) AtomicRMW(t *ThreadState, op *capi.Op) (memmodel.Value, bool)
 			drop()
 			continue
 		}
-		newVal := rmwNewValue(op, s.Value)
-		act := &Action{
-			Seq: t.opSeq, TID: t.ID, Kind: memmodel.KRMW, MO: op.MO,
-			Loc: op.Loc, Value: newVal, RF: s, SCIdx: -1,
-		}
+		act := m.e.NewAction()
+		act.Seq, act.TID, act.Kind, act.MO = t.opSeq, t.ID, memmodel.KRMW, op.MO
+		act.Loc, act.Value, act.RF = op.Loc, rmwNewValue(op, s.Value), s
 		ApplyLoadClocks(t, op.MO, s)
 		if op.MO.IsSeqCst() {
 			act.SCIdx = m.e.nextSCIndex()
-			act.CVSnap = t.C.Clone()
+			act.CVSnap = m.e.CloneCV(t.C)
 		}
 		// [RELEASE RMW] / [RELAXED RMW]: the RMW continues every release
 		// sequence the store it reads from is part of.
@@ -276,17 +331,11 @@ func (m *C11Model) AtomicRMW(t *ThreadState, op *capi.Op) (memmodel.Value, bool)
 // seq_cst fences additionally enter the SC order and the per-thread fence
 // lists consumed by the Figure 13 prior-set procedures).
 func (m *C11Model) Fence(t *ThreadState, op *capi.Op) {
-	if op.MO.IsAcquire() {
-		t.C.Merge(t.Facq)
-	}
-	if op.MO.IsRelease() {
-		t.Frel = t.C.Clone()
-	}
+	ApplyFenceClocks(t, op.MO)
 	if op.MO.IsSeqCst() {
-		act := &Action{
-			Seq: t.opSeq, TID: t.ID, Kind: memmodel.KFence, MO: op.MO,
-			SCIdx: m.e.nextSCIndex(),
-		}
+		act := m.e.NewAction()
+		act.Seq, act.TID, act.Kind, act.MO = t.opSeq, t.ID, memmodel.KFence, op.MO
+		act.SCIdx = m.e.nextSCIndex()
 		t.SCFences = append(t.SCFences, act)
 		m.e.TraceAppend(act)
 	}
@@ -300,10 +349,9 @@ func (m *C11Model) Fence(t *ThreadState, op *capi.Op) {
 // reported by the race detector).
 func (m *C11Model) PromoteNAStore(t *ThreadState, loc memmodel.LocID, writer memmodel.TID, epoch memmodel.SeqNum, v memmodel.Value) {
 	al := m.aloc(loc)
-	act := &Action{
-		Seq: epoch, TID: writer, Kind: memmodel.KNAStore, MO: memmodel.Relaxed,
-		Loc: loc, Value: v, SCIdx: -1,
-	}
+	act := m.e.NewAction()
+	act.Seq, act.TID, act.Kind, act.MO = epoch, writer, memmodel.KNAStore, memmodel.Relaxed
+	act.Loc, act.Value = loc, v
 	act.Node = m.g.NewNode(writer, epoch, loc)
 	al.storesBy = grow(al.storesBy, writer)
 	al.accessesBy = grow(al.accessesBy, writer)
@@ -342,14 +390,16 @@ func (m *C11Model) addEdges(pset []*Action, dst *mograph.Node) {
 }
 
 // mayReadFrom builds the may-read-from set of Figure 12 for the current
-// operation of thread t at al.
+// operation of thread t at al. The returned slice aliases the model's scratch
+// buffer: it is valid until the next mayReadFrom call (callers shrink it in
+// place while picking candidates, which is fine — calls never nest).
 func (m *C11Model) mayReadFrom(t *ThreadState, al *aloc, mo memmodel.MemoryOrder, forRMW bool) []*Action {
 	isSC := mo.IsSeqCst()
 	var lastSC *Action
 	if isSC {
 		lastSC = al.lastSCStore
 	}
-	var ret []*Action
+	ret := m.candBuf[:0]
 	for tid := range al.storesBy {
 		stores := al.storesBy[tid]
 		if len(stores) == 0 {
@@ -385,6 +435,7 @@ func (m *C11Model) mayReadFrom(t *ThreadState, al *aloc, mo memmodel.MemoryOrder
 			ret = append(ret, x)
 		}
 	}
+	m.candBuf = ret[:0]
 	return ret
 }
 
@@ -472,14 +523,17 @@ func (m *C11Model) priorWrite(t *ThreadState, al *aloc, u *ThreadState, fCur *Ac
 // readPriorSet implements ReadPriorSet of Figure 13: the set of stores that
 // must be modification-ordered before s if the current load reads from s,
 // and whether establishing the rf edge keeps the constraints satisfiable.
+// The returned slice aliases the model's read-prior scratch buffer and is
+// valid until the next readPriorSet call.
 func (m *C11Model) readPriorSet(t *ThreadState, al *aloc, isSCLoad bool, s *Action) ([]*Action, bool) {
 	fl := t.LastSCFence()
-	var pri []*Action
+	pri := m.priRBuf[:0]
 	for _, u := range m.e.threads {
 		if a := m.priorWrite(t, al, u, fl, isSCLoad); a != nil && a != s {
 			pri = append(pri, a)
 		}
 	}
+	m.priRBuf = pri[:0]
 	for _, a := range pri {
 		end := chainEnd(a.Node)
 		if end == s.Node {
@@ -493,10 +547,12 @@ func (m *C11Model) readPriorSet(t *ThreadState, al *aloc, isSCLoad bool, s *Acti
 }
 
 // writePriorSet implements WritePriorSet of Figure 13 for a store that is
-// about to be appended (it is not in the location lists yet).
+// about to be appended (it is not in the location lists yet). The returned
+// slice aliases the model's write-prior scratch buffer — distinct from the
+// read buffer, because AtomicRMW holds both sets live at once.
 func (m *C11Model) writePriorSet(t *ThreadState, al *aloc, isSC bool) []*Action {
 	fs := t.LastSCFence()
-	var pri []*Action
+	pri := m.priWBuf[:0]
 	if isSC && al.lastSCStore != nil {
 		pri = append(pri, al.lastSCStore)
 	}
@@ -505,6 +561,7 @@ func (m *C11Model) writePriorSet(t *ThreadState, al *aloc, isSC bool) []*Action 
 			pri = append(pri, a)
 		}
 	}
+	m.priWBuf = pri[:0]
 	return pri
 }
 

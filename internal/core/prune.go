@@ -173,7 +173,11 @@ func (m *C11Model) pruneFences(cvmin *memmodel.ClockVector) {
 			cut++
 		}
 		if cut > 0 {
-			t.SCFences = append([]*Action(nil), fences[cut:]...)
+			// Shift the retained suffix left in place (copy handles the
+			// overlap); the backing array is recycled, not re-allocated.
+			n := copy(fences, fences[cut:])
+			clearTail(fences, n)
+			t.SCFences = fences[:n]
 		}
 	}
 }

@@ -1,0 +1,59 @@
+package memmodel
+
+import "testing"
+
+// Benchmarks for the clock-vector hot path: Merge/Leq are executed on every
+// synchronization edge and every mo-graph propagation step, and the arena is
+// what makes per-action snapshots allocation-free in steady state.
+
+func benchVector(n int, stride SeqNum) *ClockVector {
+	cv := NewClockVector(n)
+	for i := 0; i < n; i++ {
+		cv.Set(TID(i), SeqNum(i+1)*stride)
+	}
+	return cv
+}
+
+func BenchmarkClockVectorMerge(b *testing.B) {
+	dst := benchVector(16, 2)
+	src := benchVector(16, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst.Merge(src)
+	}
+}
+
+func BenchmarkClockVectorLeq(b *testing.B) {
+	a := benchVector(16, 2)
+	c := benchVector(16, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Leq(c)
+	}
+}
+
+// BenchmarkClockVectorClone is the heap-allocating snapshot path the arena
+// replaces; keep it as the before/after reference.
+func BenchmarkClockVectorClone(b *testing.B) {
+	src := benchVector(16, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = src.Clone()
+	}
+}
+
+// BenchmarkCVArenaCloneOf is the steady-state snapshot path: one Reset per
+// simulated execution, many snapshots per execution, zero allocations after
+// the first round.
+func BenchmarkCVArenaCloneOf(b *testing.B) {
+	src := benchVector(16, 2)
+	var arena CVArena
+	const perExec = 256
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%perExec == 0 {
+			arena.Reset()
+		}
+		_ = arena.CloneOf(src)
+	}
+}

@@ -50,6 +50,26 @@ func (cv *ClockVector) Clone() *ClockVector {
 	return out
 }
 
+// CopyFrom makes cv pointwise equal to src in place, reusing cv's backing
+// capacity (the allocation-free counterpart of Clone). Like Reset, it keeps
+// the whole capacity live — slots beyond src's length are zeroed, which is
+// pointwise identical to src (absent entries read as 0). A nil src empties cv.
+func (cv *ClockVector) CopyFrom(src *ClockVector) {
+	if src == nil {
+		cv.Reset(0)
+		return
+	}
+	n := len(src.clock)
+	if cap(cv.clock) < n {
+		cv.clock = make([]SeqNum, n)
+	}
+	cv.clock = cv.clock[:cap(cv.clock)]
+	copy(cv.clock, src.clock)
+	for i := n; i < len(cv.clock); i++ {
+		cv.clock[i] = 0
+	}
+}
+
 // Len returns the number of thread slots currently held.
 func (cv *ClockVector) Len() int { return len(cv.clock) }
 

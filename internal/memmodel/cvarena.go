@@ -1,0 +1,58 @@
+package memmodel
+
+// CVArena is an execution-lifetime allocator for ClockVectors. The engine
+// creates one clock-vector snapshot per store (RF_s of Figure 9) and one per
+// seq_cst store (the CV snapshot of the may-read-from SC restriction); all of
+// them die together when the execution ends. The arena hands out vectors from
+// chunked backing storage and Reset rewinds it wholesale: the vector structs
+// *and* their grown []SeqNum backing arrays are reused by the next execution,
+// so steady-state executions allocate no clock-vector memory at all.
+//
+// Vectors obtained from an arena are valid until the next Reset. Anything
+// that must outlive the execution (serialized traces, race reports) copies
+// the data out; pointers into the arena must not be retained across Reset.
+type CVArena struct {
+	chunks [][]ClockVector
+	ci     int // index of the chunk currently being filled
+	used   int // slots used in chunks[ci]
+}
+
+// cvArenaChunk is the number of ClockVectors per arena chunk.
+const cvArenaChunk = 64
+
+// Get returns an empty clock vector with at least n slots, drawn from the
+// arena. The vector's previous backing array (from an earlier execution) is
+// zeroed and reused when wide enough.
+func (a *CVArena) Get(n int) *ClockVector {
+	if a.ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]ClockVector, cvArenaChunk))
+	}
+	cv := &a.chunks[a.ci][a.used]
+	a.used++
+	if a.used == cvArenaChunk {
+		a.ci++
+		a.used = 0
+	}
+	cv.Reset(n)
+	return cv
+}
+
+// CloneOf returns an arena-backed copy of src (the allocation-free
+// counterpart of src.Clone()).
+func (a *CVArena) CloneOf(src *ClockVector) *ClockVector {
+	cv := a.Get(0)
+	cv.CopyFrom(src)
+	return cv
+}
+
+// Reset rewinds the arena: every vector handed out since the last Reset is
+// reclaimed (structs and backing arrays stay allocated for reuse). The caller
+// guarantees no pointer obtained from Get/CloneOf is used afterwards.
+func (a *CVArena) Reset() {
+	a.ci = 0
+	a.used = 0
+}
+
+// Cap returns the number of vector slots the arena currently holds (for
+// tests and benchmarks asserting steady-state reuse).
+func (a *CVArena) Cap() int { return len(a.chunks) * cvArenaChunk }

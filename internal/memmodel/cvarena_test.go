@@ -1,0 +1,78 @@
+package memmodel
+
+import "testing"
+
+func TestCopyFromMatchesClone(t *testing.T) {
+	src := NewClockVector(3)
+	src.Set(0, 5)
+	src.Set(2, 9)
+	dst := NewClockVector(8)
+	dst.Set(7, 99) // stale data beyond src's length must be cleared
+	dst.CopyFrom(src)
+	if !dst.Equal(src) {
+		t.Fatalf("CopyFrom result not equal to src")
+	}
+	if dst.Get(7) != 0 {
+		t.Fatalf("stale slot survived CopyFrom: %d", dst.Get(7))
+	}
+	// Mutating dst must not affect src.
+	dst.Set(0, 100)
+	if src.Get(0) != 5 {
+		t.Fatal("CopyFrom aliased the source backing array")
+	}
+}
+
+func TestCopyFromNilEmpties(t *testing.T) {
+	dst := NewClockVector(2)
+	dst.Set(1, 7)
+	dst.CopyFrom(nil)
+	if !dst.Equal(NewClockVector(0)) {
+		t.Fatalf("CopyFrom(nil) must empty the vector")
+	}
+}
+
+func TestCVArenaRecyclesAcrossResets(t *testing.T) {
+	var a CVArena
+	cv1 := a.Get(4)
+	cv1.Set(3, 42)
+	src := NewClockVector(2)
+	src.Set(1, 7)
+	cv2 := a.CloneOf(src)
+	if !cv2.Equal(src) {
+		t.Fatal("CloneOf must copy the source")
+	}
+	capBefore := a.Cap()
+
+	a.Reset()
+	// The same slots come back, zeroed, without growing the arena.
+	r1 := a.Get(4)
+	if r1 != cv1 {
+		t.Fatal("arena must hand the first slot out again after Reset")
+	}
+	if r1.Get(3) != 0 {
+		t.Fatalf("recycled vector not zeroed: %d", r1.Get(3))
+	}
+	r2 := a.CloneOf(src)
+	if r2 != cv2 {
+		t.Fatal("arena must hand the second slot out again after Reset")
+	}
+	if a.Cap() != capBefore {
+		t.Fatalf("arena grew across an identical round: %d → %d", capBefore, a.Cap())
+	}
+}
+
+func TestCVArenaGrowsAcrossChunks(t *testing.T) {
+	var a CVArena
+	seen := map[*ClockVector]bool{}
+	for i := 0; i < 3*cvArenaChunk+7; i++ {
+		cv := a.Get(1)
+		if seen[cv] {
+			t.Fatalf("arena handed out slot %d twice before Reset", i)
+		}
+		seen[cv] = true
+		cv.Set(0, SeqNum(i+1))
+	}
+	if a.Cap() < 3*cvArenaChunk+7 {
+		t.Fatalf("arena capacity %d below demand", a.Cap())
+	}
+}

@@ -1,0 +1,72 @@
+package mograph
+
+import (
+	"testing"
+
+	"c11tester/internal/memmodel"
+)
+
+// buildChain simulates one execution's worth of mo-graph work on g: n stores
+// to one location by alternating threads, each edge-connected to its
+// predecessor (the shape a contended atomic produces).
+func buildChain(g *Graph, n int) (first, last *Node) {
+	prev := g.NewNode(0, 1, 1)
+	first = prev
+	for i := 1; i < n; i++ {
+		node := g.NewNode(memmodel.TID(i%4), memmodel.SeqNum(i+1), 1)
+		g.AddEdge(prev, node)
+		prev = node
+	}
+	return first, prev
+}
+
+// BenchmarkGraphExecution measures one full execution cycle against the
+// recycled graph: Reset + node creation + edge insertion with clock-vector
+// propagation. Steady state must not allocate.
+func BenchmarkGraphExecution(b *testing.B) {
+	g := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Reset()
+		buildChain(g, 64)
+	}
+}
+
+// BenchmarkReachableCV measures the paper's O(1)-per-query clock-vector
+// reachability (Theorem 1); BenchmarkReachableDFS is the CDSChecker-style
+// traversal it replaces — the ablation of Section 4.2.
+func BenchmarkReachableCV(b *testing.B) {
+	g := New()
+	first, last := buildChain(g, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !g.Reachable(first, last) {
+			b.Fatal("chain end must be reachable")
+		}
+	}
+}
+
+func BenchmarkReachableDFS(b *testing.B) {
+	g := New()
+	first, last := buildChain(g, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !g.ReachableDFS(first, last) {
+			b.Fatal("chain end must be reachable")
+		}
+	}
+}
+
+func BenchmarkAddRMWEdge(b *testing.B) {
+	g := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Reset()
+		store := g.NewNode(0, 1, 1)
+		for j := 0; j < 16; j++ {
+			rmw := g.NewNode(1, memmodel.SeqNum(j+2), 1)
+			g.AddRMWEdge(store, rmw)
+			store = rmw
+		}
+	}
+}

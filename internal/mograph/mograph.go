@@ -63,7 +63,11 @@ func (n *Node) hasEdge(to *Node) bool {
 }
 
 // Graph is a modification order graph across all locations. Edges only ever
-// connect nodes of the same location; the graph exists once per execution.
+// connect nodes of the same location. The graph's node storage is an
+// execution-lifetime arena: Reset rewinds it so one Graph instance serves
+// every execution of an engine, recycling the Node structs, their edge
+// slices, and their clock vectors (with grown backing arrays) across
+// executions.
 type Graph struct {
 	nodeCount int
 	edgeCount int
@@ -71,16 +75,59 @@ type Graph struct {
 	// exposed for the ablation benchmarks comparing CV reachability against
 	// DFS (Section 4.2 motivation).
 	mergeOps int
+
+	// Node arena: chunked so node pointers stay stable as the graph grows.
+	chunks [][]Node
+	ci     int // chunk currently being filled
+	used   int // slots used in chunks[ci]
+
+	// queue is the scratch buffer of propagate.
+	queue []*Node
 }
+
+// nodeChunk is the number of Nodes per arena chunk.
+const nodeChunk = 64
 
 // New returns an empty modification order graph.
 func New() *Graph { return &Graph{} }
 
+// Reset rewinds the graph for a new execution: all nodes handed out by
+// NewNode are reclaimed (their structs, edge-slice capacity, and clock-vector
+// backing arrays are reused), and the counters restart. The caller guarantees
+// no Node pointer from before the Reset is used afterwards.
+func (g *Graph) Reset() {
+	g.nodeCount = 0
+	g.edgeCount = 0
+	g.mergeOps = 0
+	g.ci = 0
+	g.used = 0
+}
+
 // NewNode creates a node for a store/RMW by thread t with sequence number s
 // writing location loc. Its clock vector is initialized to ⊥CV (Section 4.2).
+// Nodes are drawn from the graph's arena and are valid until the next Reset.
 func (g *Graph) NewNode(t memmodel.TID, s memmodel.SeqNum, loc memmodel.LocID) *Node {
+	if g.ci == len(g.chunks) {
+		g.chunks = append(g.chunks, make([]Node, nodeChunk))
+	}
+	n := &g.chunks[g.ci][g.used]
+	g.used++
+	if g.used == nodeChunk {
+		g.ci++
+		g.used = 0
+	}
+	n.TID, n.Seq, n.Loc = t, s, loc
+	n.edges = n.edges[:0]
+	n.rmw = nil
+	n.pruned = false
+	if n.cv == nil {
+		n.cv = memmodel.UnitClockVector(t, s)
+	} else {
+		n.cv.Reset(int(t) + 1)
+		n.cv.Set(t, s)
+	}
 	g.nodeCount++
-	return &Node{TID: t, Seq: s, Loc: loc, cv: memmodel.UnitClockVector(t, s)}
+	return n
 }
 
 // NodeCount returns the number of live (non-pruned) nodes ever created minus
@@ -141,18 +188,19 @@ func (g *Graph) AddEdge(from, to *Node) {
 }
 
 // propagate pushes clock-vector information from start breadth-first along
-// mo edges until it stops changing anything.
+// mo edges until it stops changing anything. The traversal queue is a
+// per-graph scratch buffer, so steady-state propagation does not allocate.
 func (g *Graph) propagate(start *Node) {
-	queue := []*Node{start}
-	for len(queue) > 0 {
-		node := queue[0]
-		queue = queue[1:]
+	queue := append(g.queue[:0], start)
+	for head := 0; head < len(queue); head++ {
+		node := queue[head]
 		for _, dst := range node.edges {
 			if g.merge(dst, node) {
 				queue = append(queue, dst)
 			}
 		}
 	}
+	g.queue = queue[:0]
 }
 
 // AddRMWEdge installs rmw as the immediate modification-order successor of
@@ -236,7 +284,7 @@ func (g *Graph) Retire(n *Node) {
 	}
 	n.pruned = true
 	g.edgeCount -= len(n.edges)
-	n.edges = nil
+	n.edges = n.edges[:0] // keep capacity: the arena reuses the node
 	n.rmw = nil
 	g.nodeCount--
 }

@@ -270,3 +270,72 @@ func TestQuickLemma2(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestGraphResetRecyclesNodes(t *testing.T) {
+	g := New()
+	a := g.NewNode(0, 1, 1)
+	b := g.NewNode(1, 2, 1)
+	g.AddEdge(a, b)
+	if g.NodeCount() != 2 || g.EdgeCount() != 1 {
+		t.Fatalf("precondition: nodes=%d edges=%d", g.NodeCount(), g.EdgeCount())
+	}
+
+	g.Reset()
+	if g.NodeCount() != 0 || g.EdgeCount() != 0 || g.MergeOps() != 0 {
+		t.Fatalf("Reset must zero counters: nodes=%d edges=%d merges=%d",
+			g.NodeCount(), g.EdgeCount(), g.MergeOps())
+	}
+	// The same storage comes back, fully reinitialized.
+	a2 := g.NewNode(2, 7, 3)
+	if a2 != a {
+		t.Fatal("Reset must recycle the first node slot")
+	}
+	if a2.TID != 2 || a2.Seq != 7 || a2.Loc != 3 {
+		t.Fatalf("recycled node keeps stale identity: %v", a2)
+	}
+	if len(a2.Edges()) != 0 || a2.RMW() != nil || a2.Pruned() {
+		t.Fatal("recycled node keeps stale edges/rmw/pruned state")
+	}
+	b2 := g.NewNode(0, 9, 3)
+	if g.Reachable(a2, b2) || g.Reachable(b2, a2) {
+		t.Fatal("recycled nodes must start unordered")
+	}
+	g.AddEdge(a2, b2)
+	if !g.Reachable(a2, b2) {
+		t.Fatal("reachability broken after recycle")
+	}
+}
+
+func TestGraphResetEquivalentToFreshGraph(t *testing.T) {
+	// The same edge script run on a recycled graph and on a fresh graph must
+	// give identical reachability answers.
+	build := func(g *Graph) []*Node {
+		var nodes []*Node
+		for i := 0; i < 20; i++ {
+			nodes = append(nodes, g.NewNode(memmodel.TID(i%3), memmodel.SeqNum(i+1), 1))
+		}
+		for i := 0; i+1 < len(nodes); i += 2 {
+			g.AddEdge(nodes[i], nodes[i+1])
+		}
+		for i := 0; i+3 < len(nodes); i += 3 {
+			g.AddEdge(nodes[i], nodes[i+3])
+		}
+		return nodes
+	}
+	recycled := New()
+	for r := 0; r < 3; r++ { // dirty the arena first
+		recycled.Reset()
+		build(recycled)
+	}
+	recycled.Reset()
+	rn := build(recycled)
+	fresh := New()
+	fn := build(fresh)
+	for i := range rn {
+		for j := range rn {
+			if got, want := recycled.Reachable(rn[i], rn[j]), fresh.Reachable(fn[i], fn[j]); got != want {
+				t.Fatalf("Reachable(%d,%d): recycled=%v fresh=%v", i, j, got, want)
+			}
+		}
+	}
+}

@@ -135,17 +135,34 @@ func (t *Thread) signalReply() {
 	t.replyCh <- struct{}{}
 }
 
-// Scheduler sequences the threads of one execution.
+// Scheduler sequences the threads of one execution. One Scheduler instance
+// can serve many executions in sequence: Reset recycles the Thread handles
+// (and their handoff channels / condition variables) for the next execution,
+// so repeated executions do not re-allocate the scheduling scaffolding.
 type Scheduler struct {
 	cfg      Config
 	threads  []*Thread
 	events   chan *Thread
 	aborting bool
+
+	// pool recycles Thread handles across executions; pool[i] serves TID i.
+	// All goroutines of the previous execution have finished by the time
+	// Reset hands a Thread out again.
+	pool []*Thread
 }
 
 // New returns a scheduler for one execution.
 func New(cfg Config) *Scheduler {
 	return &Scheduler{cfg: cfg, events: make(chan *Thread)}
+}
+
+// Reset prepares the scheduler for a new execution. It must only be called
+// after the previous execution fully ended (all threads Finished, via normal
+// completion or Abort); the events channel is empty then, so the recycled
+// scheduler starts from a clean handoff state.
+func (s *Scheduler) Reset() {
+	s.threads = s.threads[:0]
+	s.aborting = false
 }
 
 // Threads returns all threads created so far, indexed by TID.
@@ -176,15 +193,28 @@ func (s *Scheduler) AliveCount() int {
 // settles (parks on its first operation, or finishes). body receives the
 // thread handle so the tool can wire up its Env.
 func (s *Scheduler) NewThread(name string, body func(*Thread)) *Thread {
-	t := &Thread{
-		ID:    memmodel.TID(len(s.threads)),
-		Name:  name,
-		sched: s,
-	}
-	if s.cfg.CondHandoff {
-		t.cond = sync.NewCond(&t.mu)
+	idx := len(s.threads)
+	var t *Thread
+	if idx < len(s.pool) {
+		t = s.pool[idx]
+		t.ID = memmodel.TID(idx)
+		t.Name = name
+		t.state = Ready
+		t.pending = nil
+		t.replied = false
+		t.PanicValue = nil
 	} else {
-		t.replyCh = make(chan struct{})
+		t = &Thread{
+			ID:    memmodel.TID(idx),
+			Name:  name,
+			sched: s,
+		}
+		if s.cfg.CondHandoff {
+			t.cond = sync.NewCond(&t.mu)
+		} else {
+			t.replyCh = make(chan struct{})
+		}
+		s.pool = append(s.pool, t)
 	}
 	s.threads = append(s.threads, t)
 	go func() {
@@ -239,7 +269,9 @@ func (s *Scheduler) waitSettle(t *Thread) {
 }
 
 // Abort unwinds every unfinished thread. After Abort returns, all threads
-// have finished and the scheduler must not be used again.
+// have finished; the execution is over and the scheduler must not be used
+// again until Reset recycles it for the next execution (Reset relies on
+// exactly this all-goroutines-joined state).
 func (s *Scheduler) Abort() {
 	s.aborting = true
 	for _, t := range s.threads {

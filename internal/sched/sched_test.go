@@ -149,3 +149,34 @@ func TestPanicCaptured(t *testing.T) {
 		t.Fatalf("panic value %v", th.PanicValue)
 	}
 }
+
+func TestSchedulerResetRecyclesThreads(t *testing.T) {
+	s := New(Config{})
+	runOnce := func(wantRecycled []*Thread) []*Thread {
+		var handles []*Thread
+		for i := 0; i < 3; i++ {
+			th := s.NewThread("t", func(t *Thread) {
+				t.Call(&capi.Op{Kind: memmodel.KYield})
+			})
+			handles = append(handles, th)
+			if wantRecycled != nil && th != wantRecycled[i] {
+				t.Fatalf("thread %d not recycled after Reset", i)
+			}
+		}
+		for _, th := range handles {
+			if th.State() != Ready {
+				t.Fatalf("thread %d state %v, want ready", th.ID, th.State())
+			}
+			if st := s.Reply(th); st != Finished {
+				t.Fatalf("thread %d state after reply %v, want finished", th.ID, st)
+			}
+		}
+		return handles
+	}
+	first := runOnce(nil)
+	s.Reset()
+	if len(s.Threads()) != 0 {
+		t.Fatalf("Reset must clear the thread list, got %d", len(s.Threads()))
+	}
+	runOnce(first)
+}
