@@ -36,10 +36,16 @@ func run(args []string, out *os.File) int {
 		warmup   = fs.Int("warmup", 5, "unmeasured warmup executions per cell (-1 for none)")
 		seed     = fs.Int64("seed", 1, "seed base; execution i runs with seed+i")
 		jsonPath = fs.String("json", "BENCH_perf.json", "perf artifact path ('' disables)")
+		compare  = fs.String("compare", "", "diff two perf artifacts: -compare old.json new.json (or old.json,new.json); exits 2 on regression")
+		nsTol    = fs.Float64("ns-tol", 20, "-compare: ns/exec tolerance band in percent (negative disables the timing leg)")
+		allocTol = fs.Float64("alloc-tol", 0, "-compare: allocation tolerance in percent (0 gates bytes/exec and objects/exec exactly)")
 		quiet    = fs.Bool("q", false, "suppress the human-readable report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
+	}
+	if *compare != "" {
+		return runCompare(*compare, fs.Args(), *nsTol, *allocTol, out)
 	}
 
 	spec := campaign.PerfSpec{Runs: *runs, Warmup: *warmup, SeedBase: *seed}
@@ -82,6 +88,33 @@ func run(args []string, out *os.File) int {
 		if !*quiet {
 			fmt.Fprintf(out, "\nwrote %s\n", *jsonPath)
 		}
+	}
+	return 0
+}
+
+// runCompare handles -compare old.json new.json: the new path may follow as
+// a positional argument or be joined with a comma (the same convention as
+// cmd/c11tester -compare).
+func runCompare(oldArg string, positional []string, nsTol, allocTol float64, out *os.File) int {
+	oldPath, newPath, err := campaign.SplitComparePaths(oldArg, positional)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c11bench:", err)
+		return 1
+	}
+	oldSum, err := campaign.LoadPerfSummary(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c11bench:", err)
+		return 1
+	}
+	newSum, err := campaign.LoadPerfSummary(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c11bench:", err)
+		return 1
+	}
+	cmp := campaign.ComparePerf(oldSum, newSum, nsTol, allocTol)
+	fmt.Fprint(out, cmp.String())
+	if cmp.Regressed() {
+		return 2
 	}
 	return 0
 }

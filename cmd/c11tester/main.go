@@ -11,8 +11,10 @@
 //	go run ./cmd/c11tester -list                              # show selectable names
 //
 // The command exits 2 when the campaign observed a memory-model soundness
-// problem: a forbidden litmus outcome, or a data race reported inside a
-// litmus program (which only performs atomic accesses).
+// problem: a forbidden litmus outcome, a data race reported inside a litmus
+// program (which only performs atomic accesses), an axiomatic-model
+// violation, or an execution the engine aborted with an infeasible
+// memory-model state.
 package main
 
 import (
@@ -49,6 +51,13 @@ func run(args []string, out *os.File) int {
 		maxSteps = fs.Uint64("max-steps", 0, "per-execution visible-operation cap (0 = default)")
 		faithful = fs.Bool("faithful-handoff", false, "run tsan11rec on kernel-thread handoff (Figure 14 regime)")
 		jsonPath = fs.String("json", "BENCH_campaign.json", "campaign artifact path ('' disables)")
+		policy   = fs.String("policy", "uniform", "per-cell budget policy: uniform, or converge (stop a cell early once its statistics stabilize and reassign the freed budget)")
+		minExecs = fs.Int("min-execs", 0, "converge policy: executions per cell before convergence may be declared (0 = default)")
+		window   = fs.Int("window", 0, "converge policy: trailing window size of the convergence test (0 = default)")
+		epsilon  = fs.Float64("epsilon", 0, "converge policy: max detection-rate/outcome-histogram movement the window may cause (0 = default)")
+		guide    = fs.String("guide", "", "directory of recorded traces for trace-guided exploration: matching cells replay a schedule prefix before exploring live ('' disables)")
+		guideMin = fs.Float64("guide-min", 0, "guided prefix depth lower bound, as a fraction of the recorded schedule (0 = default)")
+		guideMax = fs.Float64("guide-max", 0, "guided prefix depth upper bound, as a fraction of the recorded schedule (0 = default)")
 		record   = fs.String("record", "", "directory to persist portable traces of racy/forbidden executions ('' disables)")
 		recAll   = fs.Bool("record-all", false, "with -record, persist a trace for every execution")
 		validate = fs.Bool("validate", false, "axiom-check every explored execution against the Appendix A model")
@@ -90,11 +99,26 @@ func run(args []string, out *os.File) int {
 			return 1
 		}
 	}
+	pol, err := campaign.ParsePolicy(*policy, *minExecs, *window, *epsilon)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c11tester:", err)
+		return 1
+	}
 	spec := campaign.Spec{
 		Runs: *runs, SeedBase: *seed,
 		Workers: *workers, ShardSize: *shard,
+		Policy:       pol,
+		GuideMinFrac: *guideMin, GuideMaxFrac: *guideMax,
 		RecordDir: *record, RecordAll: *recAll,
 		ValidateAxioms: *validate,
+	}
+	if *guide != "" {
+		guides, err := campaign.LoadGuides(*guide)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "c11tester:", err)
+			return 1
+		}
+		spec.Guides = guides
 	}
 	for _, name := range campaign.SplitList(*tools) {
 		ts, err := campaign.StandardTool(name, opts)
@@ -165,8 +189,8 @@ func run(args []string, out *os.File) int {
 		}
 	}
 	if sum.Failed() {
-		fmt.Fprintf(os.Stderr, "c11tester: FAILED: %d forbidden outcome(s), %d unexpected race(s), %d axiom violation(s)\n",
-			len(sum.Forbidden()), len(sum.UnexpectedRaces()), sum.AxiomViolations())
+		fmt.Fprintf(os.Stderr, "c11tester: FAILED: %d forbidden outcome(s), %d unexpected race(s), %d axiom violation(s), %d engine failure(s)\n",
+			len(sum.Forbidden()), len(sum.UnexpectedRaces()), sum.AxiomViolations(), sum.EngineFailures())
 		return 2
 	}
 	if n := sum.RecordErrors(); n > 0 {
@@ -179,14 +203,9 @@ func run(args []string, out *os.File) int {
 // runCompare handles -compare old.json new.json: the new path may follow as
 // a positional argument or be joined with a comma.
 func runCompare(oldArg string, positional []string, out *os.File) int {
-	oldPath, newPath := oldArg, ""
-	if i := strings.IndexByte(oldArg, ','); i >= 0 {
-		oldPath, newPath = oldArg[:i], oldArg[i+1:]
-	} else if len(positional) == 1 {
-		newPath = positional[0]
-	}
-	if oldPath == "" || newPath == "" {
-		fmt.Fprintln(os.Stderr, "c11tester: -compare needs two artifacts: -compare old.json new.json")
+	oldPath, newPath, err := campaign.SplitComparePaths(oldArg, positional)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c11tester:", err)
 		return 1
 	}
 	oldSum, err := campaign.LoadSummary(oldPath)

@@ -29,12 +29,16 @@ func run(args []string, out *os.File) int {
 	fs := flag.NewFlagSet("litmus", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		tools   = fs.String("tools", strings.Join(campaign.StandardToolNames(), ","), "comma-separated tools to run")
-		tests   = fs.String("tests", "all", "comma-separated litmus tests or 'all'")
-		runs    = fs.Int("runs", 300, "executions per (tool, test) cell")
-		workers = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		seed    = fs.Int64("seed", 1, "seed base; execution i runs with seed+i")
-		list    = fs.Bool("list", false, "list the litmus suite and exit")
+		tools    = fs.String("tools", strings.Join(campaign.StandardToolNames(), ","), "comma-separated tools to run")
+		tests    = fs.String("tests", "all", "comma-separated litmus tests or 'all'")
+		runs     = fs.Int("runs", 300, "executions per (tool, test) cell")
+		workers  = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		seed     = fs.Int64("seed", 1, "seed base; execution i runs with seed+i")
+		policy   = fs.String("policy", "uniform", "per-cell budget policy: uniform or converge")
+		minExecs = fs.Int("min-execs", 0, "converge policy: executions per cell before convergence may be declared (0 = default)")
+		window   = fs.Int("window", 0, "converge policy: trailing window size (0 = default)")
+		epsilon  = fs.Float64("epsilon", 0, "converge policy: max statistic movement per window (0 = default)")
+		list     = fs.Bool("list", false, "list the litmus suite and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -46,7 +50,12 @@ func run(args []string, out *os.File) int {
 		return 0
 	}
 
-	spec := campaign.Spec{Runs: *runs, SeedBase: *seed, Workers: *workers}
+	pol, err := campaign.ParsePolicy(*policy, *minExecs, *window, *epsilon)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "litmus:", err)
+		return 1
+	}
+	spec := campaign.Spec{Runs: *runs, SeedBase: *seed, Workers: *workers, Policy: pol}
 	for _, name := range campaign.SplitList(*tools) {
 		ts, err := campaign.StandardTool(name, campaign.ToolOptions{})
 		if err != nil {
@@ -100,19 +109,31 @@ func run(args []string, out *os.File) int {
 		}
 	}
 
-	failed := false
 	for _, f := range sum.Forbidden() {
-		failed = true
 		fmt.Fprintf(out, "FORBIDDEN OUTCOME: %s %s=%q ×%d\n  repro: %s\n",
 			f.Repro.Tool, f.Test, f.Outcome, f.Count, f.Repro.Command())
 	}
 	for _, r := range sum.UnexpectedRaces() {
-		failed = true
 		fmt.Fprintf(out, "UNEXPECTED RACE: %s\n  repro: %s\n", r.Description, r.Repro.Command())
 	}
-	if failed {
+	for _, ts := range sum.Tools {
+		for _, f := range ts.FailureSamples {
+			fmt.Fprintf(out, "ENGINE FAILURE: %s: %s\n  repro: %s\n", ts.Tool, f.Error, f.Repro.Command())
+		}
+	}
+	// Failed also covers soundness signals with no detailed line above
+	// (e.g. axiom violations from a future -validate flag here).
+	if sum.Failed() {
 		return 2
 	}
-	fmt.Fprintf(out, "\nno forbidden outcomes in %d executions\n", *runs*len(spec.Tools)*len(spec.Litmus))
+	total := 0
+	for _, ts := range sum.Tools {
+		total += ts.Execs
+	}
+	fmt.Fprintf(out, "\nno forbidden outcomes in %d executions\n", total)
+	if used, planned, converged, cells, ok := sum.BudgetReport(); ok {
+		fmt.Fprintf(out, "budget: %d/%d executions (%.0f%% of uniform), %d/%d cells converged\n",
+			used, planned, 100*float64(used)/float64(planned), converged, cells)
+	}
 	return 0
 }

@@ -10,12 +10,19 @@
 // *what* it produces, and a K-worker campaign aggregates to byte-identical
 // results as a serial one (wall-clock timings excepted — those are
 // measurements, not model outcomes). The determinism test in this package
-// pins that property.
+// pins that property. Budget policies (internal/explore) preserve it: a
+// cell's stop point is a pure function of its own observation stream in
+// index order, and the freed-budget redistribution is computed at
+// deterministic barriers between waves, so adaptive campaigns are as
+// worker-count-independent as uniform ones. Trace-guided cells preserve it
+// too: the replayed prefix depth is derived from the execution's seed.
 //
-// Shards, not executions, are the unit of work: each shard constructs a
-// fresh tool instance from its ToolSpec factory (tool instances are
-// stateful and not goroutine-safe) and runs a contiguous range of
-// execution indices serially. Aggregation merges shard fragments with
+// Under the uniform policy, shards — contiguous execution-index ranges of
+// one cell — are the unit of work; under an adaptive policy the unit is a
+// whole-cell grant, run chunk-by-chunk with convergence checks between
+// chunks. Either way each unit constructs a fresh tool instance from its
+// ToolSpec factory (tool instances are stateful and not goroutine-safe) and
+// runs its execution indices serially. Aggregation merges fragments with
 // order-independent operations only — sums, histogram unions, and
 // min-by-execution-index winners for race reproduction metadata.
 package campaign
@@ -32,6 +39,7 @@ import (
 	"c11tester/internal/axiom"
 	"c11tester/internal/capi"
 	"c11tester/internal/core"
+	"c11tester/internal/explore"
 	"c11tester/internal/harness"
 	"c11tester/internal/litmus"
 	"c11tester/internal/trace"
@@ -72,7 +80,8 @@ type Spec struct {
 	Tools      []ToolSpec
 	Benchmarks []BenchmarkSpec
 	Litmus     []*litmus.Test
-	// Runs is the number of executions per (tool, program) cell.
+	// Runs is the number of executions per (tool, program) cell — under an
+	// adaptive policy, the cell's initial budget.
 	Runs int
 	// SeedBase seeds execution i of every cell with SeedBase+i.
 	SeedBase int64
@@ -80,6 +89,22 @@ type Spec struct {
 	Workers int
 	// ShardSize is the number of executions per shard; 0 means 25.
 	ShardSize int
+	// Policy selects the per-cell budget policy (internal/explore). Nil
+	// means explore.Uniform{}: every cell runs exactly Runs executions. An
+	// adaptive policy may stop a cell early once its statistics converge and
+	// reassigns the freed budget to still-diverging cells, keeping the
+	// campaign total at most Runs × cells.
+	Policy explore.Policy
+	// Guides supplies recorded traces for trace-guided exploration: engine
+	// cells whose (tool, program) matches a loaded trace replay a prefix of
+	// its schedule before handing control to the live strategy (see
+	// trace.PrefixGuide). Execution i of a guided cell follows trace i mod
+	// len(traces), with the prefix depth drawn from the execution's seed.
+	Guides *GuideSet
+	// GuideMinFrac and GuideMaxFrac bound the replayed prefix depth as
+	// fractions of the guiding schedule's choice count; zero means the
+	// trace.DefaultGuideMinFrac/MaxFrac skew-deep range.
+	GuideMinFrac, GuideMaxFrac float64
 	// RecordDir, when non-empty, persists a portable execution trace
 	// (internal/trace) for every execution that exhibited a detection
 	// signal, race, or forbidden outcome. RecordAll persists every
@@ -103,6 +128,9 @@ func (s Spec) withDefaults() Spec {
 	if s.Runs < 0 {
 		s.Runs = 0
 	}
+	if s.Policy == nil {
+		s.Policy = explore.Uniform{}
+	}
 	return s
 }
 
@@ -114,7 +142,7 @@ const (
 	jobLitmus
 )
 
-// job is one shard: a contiguous execution-index range of one cell.
+// job is one unit of work: a contiguous execution-index range of one cell.
 type job struct {
 	kind   jobKind
 	tool   int // index into Spec.Tools
@@ -128,7 +156,15 @@ type raceHit struct {
 	run    int // global execution index (seed = SeedBase+run)
 }
 
-// fragment is the result of one shard. Fields are aggregated with
+// execFailure is one execution the tool itself aborted (core.InfeasibleError
+// surfaced through capi.Result.EngineError, or an infeasible
+// modification-order lifting hit while validating/recording the execution).
+type execFailure struct {
+	run int // global execution index (seed = SeedBase+run)
+	err string
+}
+
+// fragment is the result of one unit of work. Fields are aggregated with
 // order-independent merges only, which is what keeps the campaign
 // deterministic under any worker count.
 type fragment struct {
@@ -141,6 +177,15 @@ type fragment struct {
 	outcomes  map[string]int
 	forbidden map[string]int // outcome → earliest global execution index
 	weak      map[string]int
+	// engine failures (see execFailure): failed counts them, failures
+	// samples the earliest few.
+	failed   int
+	failures []execFailure
+	// guided-exploration statistics (cells running under a PrefixGuide):
+	guidedExecs    int
+	prefixDepth    int64 // summed intended depths
+	prefixConsumed int64 // summed choices consumed before handoff
+	divergences    int   // executions whose prefix diverged
 	// trace/validation duties (Spec.RecordDir / Spec.ValidateAxioms):
 	checked    int
 	skipped    int
@@ -149,15 +194,15 @@ type fragment struct {
 	recorded   int
 	recordErrs int
 	// allocation counters: global heap-allocation deltas observed around
-	// this shard. Under concurrent workers they include other shards'
+	// this unit. Under concurrent workers they include other units'
 	// allocations; they are exact at Workers=1 and a regression signal
-	// otherwise (like the shard wall-clock they sit next to).
+	// otherwise (like the wall-clock they sit next to).
 	allocBytes uint64
 	allocObjs  uint64
 }
 
-// maxViolationSamples caps the axiom-violation details carried per shard and
-// per tool summary.
+// maxViolationSamples caps the axiom-violation and engine-failure details
+// carried per fragment and per tool summary.
 const maxViolationSamples = 5
 
 // readAllocCounters reads the process-wide heap allocation counters (cheap,
@@ -182,6 +227,59 @@ func Run(spec Spec) *Summary {
 	start := time.Now()
 
 	var jobs []job
+	var frags []fragment
+	var budgets map[cellKey]*BudgetSummary
+	if _, uniform := spec.Policy.(explore.Uniform); uniform {
+		jobs, frags = runUniform(spec)
+	} else {
+		jobs, frags, budgets = runAdaptive(spec)
+	}
+
+	wall := time.Since(start)
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+	gc := GCSummary{
+		AllocBytes:   ms1.TotalAlloc - ms0.TotalAlloc,
+		Mallocs:      ms1.Mallocs - ms0.Mallocs,
+		NumGC:        ms1.NumGC - ms0.NumGC,
+		PauseTotalNS: ms1.PauseTotalNs - ms0.PauseTotalNs,
+	}
+	return aggregate(spec, jobs, frags, budgets, wall, gc)
+}
+
+// runPool executes jobs[i] for every i via fn across the spec's worker pool.
+// Each worker writes only its own jobs' fragment slots, so the slice needs no
+// lock; the caller merges after the barrier, in job order.
+func runPool(spec Spec, n int, fn func(i int)) {
+	next := make(chan int)
+	var wg sync.WaitGroup
+	workers := spec.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// runUniform is the fixed-budget path: every cell is split into shards of
+// ShardSize executions, and shards are distributed over the worker pool.
+func runUniform(spec Spec) ([]job, []fragment) {
+	var jobs []job
 	shard := func(kind jobKind, tool, cell int) {
 		for lo := 0; lo < spec.Runs; lo += spec.ShardSize {
 			hi := lo + spec.ShardSize
@@ -199,155 +297,408 @@ func Run(spec Spec) *Summary {
 			shard(jobLitmus, t, l)
 		}
 	}
-
-	// Each worker writes only its own jobs' slots, so the fragment slice
-	// needs no lock; merging happens after the barrier, in job order.
 	frags := make([]fragment, len(jobs))
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < spec.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range next {
-				frags[j] = runShard(spec, jobs[j])
-			}
-		}()
-	}
-	for j := range jobs {
-		next <- j
-	}
-	close(next)
-	wg.Wait()
-
-	wall := time.Since(start)
-	var ms1 runtime.MemStats
-	runtime.ReadMemStats(&ms1)
-	gc := GCSummary{
-		AllocBytes:   ms1.TotalAlloc - ms0.TotalAlloc,
-		Mallocs:      ms1.Mallocs - ms0.Mallocs,
-		NumGC:        ms1.NumGC - ms0.NumGC,
-		PauseTotalNS: ms1.PauseTotalNs - ms0.PauseTotalNs,
-	}
-	return aggregate(spec, jobs, frags, wall, gc)
+	runPool(spec, len(jobs), func(i int) {
+		r := newCellRunner(spec, jobs[i])
+		r.run(jobs[i].lo, jobs[i].hi, nil)
+		frags[i] = r.frag
+	})
+	return jobs, frags
 }
 
-// runShard executes one shard with a fresh tool instance.
-func runShard(spec Spec, j job) fragment {
-	tool := spec.Tools[j.tool].New()
-	frag := fragment{races: map[string]raceHit{}}
+// cellPlan tracks one cell's budget state across adaptive waves.
+type cellPlan struct {
+	kind    jobKind
+	tool    int
+	cell    int
+	tracker explore.Tracker
+	used    int
+	stopped bool // converged: excluded from further grants
+}
 
-	// Trace duties: engines whose model exposes total modification orders
-	// run in trace mode for validation and event recording; the recorder
-	// strategy wrapper captures the schedule of every execution.
-	eng, isEngine := tool.(*core.Engine)
-	var mo core.MOProvider
-	if isEngine {
-		mo, _ = eng.Model().(core.MOProvider)
+// runAdaptive is the adaptive-budget path. Wave 0 gives every cell its
+// initial budget of Runs executions, run chunk-by-chunk with a convergence
+// check between chunks; cells that converge stop early. The unspent budget
+// of converged cells forms a pool that later waves grant, one chunk per
+// still-diverging cell per wave in matrix order, until the pool is exhausted
+// or every cell converged. The total never exceeds Runs × cells, and every
+// decision happens at a barrier from per-cell-deterministic state, so the
+// result is independent of the worker count.
+func runAdaptive(spec Spec) ([]job, []fragment, map[cellKey]*BudgetSummary) {
+	chunk := spec.Policy.Chunk()
+	if chunk <= 0 || chunk > spec.Runs {
+		chunk = spec.Runs
 	}
-	var rec *trace.Recorder
-	if isEngine && mo != nil && (spec.ValidateAxioms || spec.RecordDir != "") {
-		eng.SetTrace(true)
-	}
-	if isEngine && spec.RecordDir != "" {
-		rec = trace.NewRecorder(eng.Strategy())
-		eng.SetStrategy(rec)
-	}
-	// post runs after every execution: axiomatic validation and (for
-	// signal-bearing executions, or all of them with RecordAll) trace
-	// persistence. It must run before the engine's next Execute.
-	post := func(res *capi.Result, i int, program string, isLit bool, outcome string, hit bool) {
-		seed := spec.SeedBase + int64(i)
-		if spec.ValidateAxioms {
-			if mo != nil {
-				frag.checked++
-				if vs := axiom.Check(axiom.FromEngine(eng, mo)); len(vs) > 0 {
-					frag.violations += len(vs)
-					if len(frag.vioSamples) < maxViolationSamples {
-						frag.vioSamples = append(frag.vioSamples,
-							fmt.Sprintf("%s/%s seed %d: %v", tool.Name(), program, seed, vs[0]))
-					}
-				}
-			} else {
-				frag.skipped++
-			}
+
+	var plans []*cellPlan
+	for t := range spec.Tools {
+		for b := range spec.Benchmarks {
+			plans = append(plans, &cellPlan{kind: jobBench, tool: t, cell: b, tracker: spec.Policy.NewTracker()})
 		}
-		if rec != nil && (hit || spec.RecordAll) {
-			meta := trace.Meta{
-				Tool: spec.Tools[j.tool].TraceConfig, Program: program,
-				Litmus: isLit, Seed: seed, Outcome: outcome,
-			}
-			tr, err := trace.Record(eng, res, rec.Schedule(), meta)
-			if err == nil {
-				path := filepath.Join(spec.RecordDir, trace.FileName(tool.Name(), program, seed))
-				err = tr.WriteFile(path)
-			}
-			if err == nil {
-				frag.recorded++
-			} else {
-				// Counted and surfaced in the summary: a campaign asked to
-				// persist traces must not drop them silently.
-				frag.recordErrs++
-			}
+		for l := range spec.Litmus {
+			plans = append(plans, &cellPlan{kind: jobLitmus, tool: t, cell: l, tracker: spec.Policy.NewTracker()})
 		}
 	}
 
-	a0bytes, a0objs := readAllocCounters()
-	start := time.Now()
+	var jobs []job
+	var frags []fragment
+	type grant struct {
+		plan   *cellPlan
+		budget int
+	}
+	// runWave executes one grant per selected plan across the worker pool
+	// and folds the results into jobs/frags in plan order.
+	runWave := func(grants []grant) {
+		waveJobs := make([]job, len(grants))
+		waveFrags := make([]fragment, len(grants))
+		used := make([]int, len(grants))
+		for i, g := range grants {
+			waveJobs[i] = job{kind: g.plan.kind, tool: g.plan.tool, cell: g.plan.cell, lo: g.plan.used}
+		}
+		runPool(spec, len(grants), func(i int) {
+			r := newCellRunner(spec, waveJobs[i])
+			used[i] = r.runChunked(waveJobs[i].lo, grants[i].budget, chunk, grants[i].plan.tracker)
+			waveFrags[i] = r.frag
+		})
+		for i, g := range grants {
+			waveJobs[i].hi = waveJobs[i].lo + used[i]
+			g.plan.used += used[i]
+			g.plan.stopped = g.plan.tracker.Converged()
+			jobs = append(jobs, waveJobs[i])
+			frags = append(frags, waveFrags[i])
+		}
+	}
+
+	// Wave 0: initial budgets.
+	wave0 := make([]grant, len(plans))
+	for i, p := range plans {
+		wave0[i] = grant{plan: p, budget: spec.Runs}
+	}
+	runWave(wave0)
+
+	// Freed budget: what converged cells left unspent.
+	pool := 0
+	for _, p := range plans {
+		pool += spec.Runs - p.used
+	}
+
+	// Extension waves: grant one chunk per still-diverging cell per wave.
+	for pool > 0 {
+		var grants []grant
+		for _, p := range plans {
+			if p.stopped || pool <= 0 {
+				continue
+			}
+			g := chunk
+			if g > pool {
+				g = pool
+			}
+			pool -= g
+			grants = append(grants, grant{plan: p, budget: g})
+		}
+		if len(grants) == 0 {
+			break
+		}
+		runWave(grants)
+		// Recompute the pool from first principles — total budget minus
+		// spent — so a cell that converged mid-grant returns its unspent
+		// remainder.
+		pool = spec.Runs * len(plans)
+		for _, p := range plans {
+			pool -= p.used
+		}
+	}
+
+	budgets := map[cellKey]*BudgetSummary{}
+	for _, p := range plans {
+		extended := p.used - spec.Runs
+		if extended < 0 {
+			extended = 0
+		}
+		budgets[cellKey{kind: p.kind, tool: p.tool, cell: p.cell}] = &BudgetSummary{
+			Planned:   spec.Runs,
+			Used:      p.used,
+			Extended:  extended,
+			Converged: p.stopped,
+		}
+	}
+	return jobs, frags, budgets
+}
+
+// cellRunner executes a range of one cell's executions with a fresh tool
+// instance, folding results into its fragment.
+type cellRunner struct {
+	spec Spec
+	j    job
+	tool capi.Tool
+	frag fragment
+
+	// Engine plumbing (trace duties, guided exploration).
+	eng    *core.Engine
+	mo     core.MOProvider
+	rec    *trace.Recorder
+	pg     *trace.PrefixGuide
+	guides []*trace.Trace
+
+	// Program under test.
+	prog  capi.Program
+	bench BenchmarkSpec // jobBench
+	test  *litmus.Test  // jobLitmus
+	out   string        // litmus outcome cell
+}
+
+func newCellRunner(spec Spec, j job) *cellRunner {
+	r := &cellRunner{spec: spec, j: j, frag: fragment{races: map[string]raceHit{}}}
+	r.tool = spec.Tools[j.tool].New()
 	switch j.kind {
 	case jobBench:
-		b := spec.Benchmarks[j.cell]
-		for i := j.lo; i < j.hi; i++ {
-			res := tool.Execute(b.Prog, spec.SeedBase+int64(i))
-			frag.execs++
-			hit := b.Signal.Hit(res)
-			if hit {
-				frag.detected++
-			}
-			frag.ops.Add(res.Stats)
-			recordRaces(&frag, res, i)
-			post(res, i, b.Name, false, "", hit || len(res.Races) > 0)
-		}
+		r.bench = spec.Benchmarks[j.cell]
+		r.prog = r.bench.Prog
 	case jobLitmus:
-		test := spec.Litmus[j.cell]
-		frag.outcomes = map[string]int{}
-		frag.forbidden = map[string]int{}
-		frag.weak = map[string]int{}
-		var out string
-		prog := test.Make(&out)
-		for i := j.lo; i < j.hi; i++ {
-			out = ""
-			res := tool.Execute(prog, spec.SeedBase+int64(i))
-			frag.execs++
-			frag.ops.Add(res.Stats)
-			// Litmus programs only touch shared state atomically, so any
-			// race here is a detector soundness bug, not a finding.
-			recordRaces(&frag, res, i)
-			forbidden := false
-			if out != "" {
-				frag.outcomes[out]++
-				if isForbidden(test, out, spec.Tools[j.tool].Baseline) {
-					forbidden = true
-					if first, seen := frag.forbidden[out]; !seen || i < first {
-						frag.forbidden[out] = i
-					}
-				}
-				if test.Weak[out] {
-					frag.weak[out]++
+		r.test = spec.Litmus[j.cell]
+		r.prog = r.test.Make(&r.out)
+		r.frag.outcomes = map[string]int{}
+		r.frag.forbidden = map[string]int{}
+		r.frag.weak = map[string]int{}
+	}
+
+	r.eng, _ = r.tool.(*core.Engine)
+	if r.eng != nil {
+		r.mo, _ = r.eng.Model().(core.MOProvider)
+	}
+	// Guided exploration: wrap the tool's live strategy in a PrefixGuide
+	// when the guide set has traces for this cell.
+	if r.eng != nil && spec.Guides != nil {
+		r.guides = spec.Guides.For(spec.Tools[j.tool].Name, r.programName())
+		if len(r.guides) > 0 {
+			r.pg = trace.NewPrefixGuide(r.eng.Strategy())
+			if spec.GuideMinFrac > 0 {
+				r.pg.MinFrac = spec.GuideMinFrac
+			}
+			if spec.GuideMaxFrac > 0 {
+				r.pg.MaxFrac = spec.GuideMaxFrac
+				if spec.GuideMinFrac == 0 && r.pg.MaxFrac < r.pg.MinFrac {
+					// An explicit upper bound below the default skew-deep
+					// floor implies the whole shallow range.
+					r.pg.MinFrac = 0
 				}
 			}
-			post(res, i, test.Name, true, out, forbidden || len(res.Races) > 0)
+			r.eng.SetStrategy(r.pg)
 		}
 	}
-	frag.elapsed = time.Since(start)
-	a1bytes, a1objs := readAllocCounters()
-	frag.allocBytes = a1bytes - a0bytes
-	frag.allocObjs = a1objs - a0objs
-	return frag
+	// Trace duties: engines whose model exposes total modification orders
+	// run in trace mode for validation and event recording; the recorder
+	// strategy wrapper captures the (effective, guided included) schedule of
+	// every execution.
+	if r.eng != nil && r.mo != nil && (spec.ValidateAxioms || spec.RecordDir != "") {
+		r.eng.SetTrace(true)
+	}
+	if r.eng != nil && spec.RecordDir != "" {
+		r.rec = trace.NewRecorder(r.eng.Strategy())
+		r.eng.SetStrategy(r.rec)
+	}
+	return r
 }
 
-// recordRaces folds an execution's races into the shard fragment, keeping
-// the earliest execution index per race key.
+func (r *cellRunner) programName() string {
+	if r.test != nil {
+		return r.test.Name
+	}
+	return r.bench.Name
+}
+
+// recordFailure folds one aborted execution into the fragment.
+func (r *cellRunner) recordFailure(i int, err string) {
+	r.frag.failed++
+	if len(r.frag.failures) < maxViolationSamples {
+		r.frag.failures = append(r.frag.failures, execFailure{run: i, err: err})
+	}
+}
+
+// run executes global execution indices [lo, hi) serially, folding results
+// into the fragment. observe, when non-nil, receives each execution's
+// observation in index order (the budget-policy feed).
+func (r *cellRunner) run(lo, hi int, observe func(explore.Obs)) {
+	a0bytes, a0objs := readAllocCounters()
+	start := time.Now()
+	for i := lo; i < hi; i++ {
+		obs := r.runOne(i)
+		if observe != nil {
+			observe(obs)
+		}
+	}
+	r.frag.elapsed += time.Since(start)
+	a1bytes, a1objs := readAllocCounters()
+	r.frag.allocBytes += a1bytes - a0bytes
+	r.frag.allocObjs += a1objs - a0objs
+}
+
+// runChunked executes up to budget executions starting at global index lo,
+// in chunks, stopping early once the tracker reports convergence. It returns
+// the number of executions actually run.
+func (r *cellRunner) runChunked(lo, budget, chunk int, tracker explore.Tracker) int {
+	i, end := lo, lo+budget
+	for i < end {
+		hi := i + chunk
+		if hi > end {
+			hi = end
+		}
+		r.run(i, hi, tracker.Observe)
+		i = hi
+		if tracker.Converged() {
+			break
+		}
+	}
+	return i - lo
+}
+
+// runOne executes global index i and returns its observation.
+func (r *cellRunner) runOne(i int) explore.Obs {
+	if r.pg != nil {
+		r.pg.SetSchedule(r.guides[i%len(r.guides)].Schedule)
+	}
+	if r.test != nil {
+		r.out = ""
+	}
+	res := r.tool.Execute(r.prog, r.spec.SeedBase+int64(i))
+	if res.EngineError != nil {
+		// The tool aborted the execution (core.InfeasibleError). The partial
+		// result carries no trustworthy model state: record the failure with
+		// its seed and move on — the rest of the matrix keeps running. The
+		// execution is excluded from execs (the Detection.Runs denominator);
+		// failures are accounted separately.
+		r.recordFailure(i, res.EngineError.Error())
+		return explore.Obs{}
+	}
+	r.frag.execs++
+	if r.pg != nil {
+		depth, consumed, diverged := r.pg.Handoff()
+		r.frag.guidedExecs++
+		r.frag.prefixDepth += int64(depth)
+		r.frag.prefixConsumed += int64(consumed)
+		if diverged {
+			r.frag.divergences++
+		}
+	}
+
+	var obs explore.Obs
+	obs.RaceKeys = raceKeysOf(res)
+	switch r.j.kind {
+	case jobBench:
+		hit := r.bench.Signal.Hit(res)
+		if hit {
+			r.frag.detected++
+		}
+		r.frag.ops.Add(res.Stats)
+		recordRaces(&r.frag, res, i)
+		r.post(res, i, "", hit || len(res.Races) > 0)
+		obs.Detected = hit
+	case jobLitmus:
+		r.frag.ops.Add(res.Stats)
+		// Litmus programs only touch shared state atomically, so any race
+		// here is a detector soundness bug, not a finding.
+		recordRaces(&r.frag, res, i)
+		forbidden := false
+		if r.out != "" {
+			r.frag.outcomes[r.out]++
+			if isForbidden(r.test, r.out, r.spec.Tools[r.j.tool].Baseline) {
+				forbidden = true
+				if first, seen := r.frag.forbidden[r.out]; !seen || i < first {
+					r.frag.forbidden[r.out] = i
+				}
+			}
+			if r.test.Weak[r.out] {
+				r.frag.weak[r.out]++
+			}
+		}
+		r.post(res, i, r.out, forbidden || len(res.Races) > 0)
+		obs.Detected = forbidden
+		obs.Outcome = r.out
+	}
+	return obs
+}
+
+// post runs after every completed execution: axiomatic validation and (for
+// signal-bearing executions, or all of them with RecordAll) trace
+// persistence. It must run before the engine's next Execute. Both duties
+// call the model's TotalMO lifting, which can itself hit an infeasible state
+// (a modification-order cycle); RecoverInfeasible converts that into a
+// recorded failure instead of a dead worker.
+func (r *cellRunner) post(res *capi.Result, i int, outcome string, hit bool) {
+	spec := r.spec
+	seed := spec.SeedBase + int64(i)
+	if spec.ValidateAxioms {
+		if r.mo != nil {
+			r.frag.checked++
+			var vs []axiom.Violation
+			if ie := core.RecoverInfeasible(func() {
+				vs = axiom.Check(axiom.FromEngine(r.eng, r.mo))
+			}); ie != nil {
+				r.recordFailure(i, ie.Error())
+				// Recording below would hit the same infeasible lifting; if
+				// this execution's trace was owed, count it as dropped.
+				if r.rec != nil && (hit || spec.RecordAll) {
+					r.frag.recordErrs++
+				}
+				return
+			}
+			if len(vs) > 0 {
+				r.frag.violations += len(vs)
+				if len(r.frag.vioSamples) < maxViolationSamples {
+					r.frag.vioSamples = append(r.frag.vioSamples,
+						fmt.Sprintf("%s/%s seed %d: %v", r.tool.Name(), r.programName(), seed, vs[0]))
+				}
+			}
+		} else {
+			r.frag.skipped++
+		}
+	}
+	if r.rec != nil && (hit || spec.RecordAll) {
+		meta := trace.Meta{
+			Tool: spec.Tools[r.j.tool].TraceConfig, Program: r.programName(),
+			Litmus: r.test != nil, Seed: seed, Outcome: outcome,
+		}
+		var tr *trace.Trace
+		var err error
+		if ie := core.RecoverInfeasible(func() {
+			tr, err = trace.Record(r.eng, res, r.rec.Schedule(), meta)
+		}); ie != nil {
+			r.recordFailure(i, ie.Error())
+			r.frag.recordErrs++
+			return
+		}
+		if err == nil {
+			path := filepath.Join(spec.RecordDir, trace.FileName(r.tool.Name(), r.programName(), seed))
+			err = tr.WriteFile(path)
+		}
+		if err == nil {
+			r.frag.recorded++
+		} else {
+			// Counted and surfaced in the summary: a campaign asked to
+			// persist traces must not drop them silently.
+			r.frag.recordErrs++
+		}
+	}
+}
+
+// raceKeysOf returns the deduplicated race keys of one execution.
+func raceKeysOf(res *capi.Result) []string {
+	if len(res.Races) == 0 {
+		return nil
+	}
+	seen := map[string]bool{}
+	var keys []string
+	for _, r := range res.Races {
+		if k := r.Key(); !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// recordRaces folds an execution's races into the fragment, keeping the
+// earliest execution index per race key.
 func recordRaces(frag *fragment, res *capi.Result, run int) {
 	for _, r := range res.Races {
 		key := r.Key()
@@ -389,6 +740,11 @@ func (s Spec) Validate() error {
 	}
 	if s.Runs <= 0 {
 		return fmt.Errorf("campaign: runs must be positive, got %d", s.Runs)
+	}
+	if s.GuideMinFrac < 0 || s.GuideMinFrac > 1 || s.GuideMaxFrac > 1 ||
+		(s.GuideMaxFrac > 0 && s.GuideMinFrac > s.GuideMaxFrac) {
+		return fmt.Errorf("campaign: guide prefix fractions [%g, %g] outside 0 ≤ min ≤ max ≤ 1",
+			s.GuideMinFrac, s.GuideMaxFrac)
 	}
 	seen := map[string]bool{}
 	for _, t := range s.Tools {

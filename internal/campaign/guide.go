@@ -1,0 +1,73 @@
+package campaign
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"c11tester/internal/trace"
+)
+
+// GuideSet is a directory of recorded traces indexed for trace-guided
+// exploration: campaign cells whose (tool, program) matches a trace replay a
+// prefix of its schedule before handing control to the live strategy
+// (trace.PrefixGuide), concentrating executions near known — typically racy —
+// schedules instead of sampling uniformly.
+type GuideSet struct {
+	dir   string
+	byKey map[string][]*trace.Trace
+	total int
+}
+
+func guideKey(tool, program string) string { return tool + "\x00" + program }
+
+// LoadGuides reads every trace_*.json file in dir. The per-cell trace lists
+// are sorted by (seed, schedule length), so guided campaigns are
+// deterministic regardless of directory iteration order.
+func LoadGuides(dir string) (*GuideSet, error) {
+	files, err := filepath.Glob(filepath.Join(dir, "trace_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		if _, statErr := os.Stat(dir); statErr != nil {
+			return nil, fmt.Errorf("campaign: guide directory: %v", statErr)
+		}
+		return nil, fmt.Errorf("campaign: guide directory %s contains no trace_*.json files", dir)
+	}
+	g := &GuideSet{dir: dir, byKey: map[string][]*trace.Trace{}}
+	for _, f := range files {
+		tr, err := trace.ReadFile(f)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: guide %s: %v", f, err)
+		}
+		key := guideKey(tr.Tool.Name, tr.Program)
+		g.byKey[key] = append(g.byKey[key], tr)
+		g.total++
+	}
+	for _, list := range g.byKey {
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].Seed != list[j].Seed {
+				return list[i].Seed < list[j].Seed
+			}
+			return list[i].Schedule.Len() < list[j].Schedule.Len()
+		})
+	}
+	return g, nil
+}
+
+// For returns the traces guiding the (tool, program) cell, sorted; nil when
+// the set holds none.
+func (g *GuideSet) For(tool, program string) []*trace.Trace {
+	if g == nil {
+		return nil
+	}
+	return g.byKey[guideKey(tool, program)]
+}
+
+// Dir returns the directory the set was loaded from.
+func (g *GuideSet) Dir() string { return g.dir }
+
+// Len returns the total number of loaded traces.
+func (g *GuideSet) Len() int { return g.total }

@@ -170,6 +170,12 @@ func measureCell(spec PerfSpec, ti int, program string, isLit bool, prog capi.Pr
 	for i := 0; i < spec.Warmup; i++ {
 		run(i)
 	}
+	// A forced collection pins the GC phase at the window boundary, so
+	// whether a background cycle lands inside the measured window — and the
+	// runtime-internal allocations that come with it — does not vary run to
+	// run. This is what lets the trajectory gate hold alloc counters to a
+	// tight tolerance.
+	runtime.GC()
 	var atomicOps uint64
 	b0, o0 := readAllocCounters()
 	start := time.Now()

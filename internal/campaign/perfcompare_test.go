@@ -1,0 +1,105 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+)
+
+func perfSum(ns, bytes, objs float64) *PerfSummary {
+	return &PerfSummary{
+		Schema: PerfSchemaName, SchemaVersion: PerfSchemaVersion, GoVersion: "go1.24.0",
+		Tools: []PerfToolSummary{{
+			Tool: "c11tester", Execs: 100,
+			NsPerExec: ns, AllocBytesPerExec: bytes, AllocObjectsPerExec: objs,
+		}},
+	}
+}
+
+func TestComparePerfExactAllocGate(t *testing.T) {
+	old := perfSum(1000, 2048, 20)
+
+	// Identical counters: no regression at zero tolerance.
+	if c := ComparePerf(old, perfSum(1000, 2048, 20), 20, 0); c.Regressed() {
+		t.Errorf("identical artifacts flagged as regressed:\n%s", c)
+	}
+	// Any byte growth trips the exact gate.
+	if c := ComparePerf(old, perfSum(1000, 2049, 20), 20, 0); !c.Regressed() {
+		t.Error("bytes/exec growth passed the exact gate")
+	}
+	// Any object growth trips the exact gate.
+	c := ComparePerf(old, perfSum(1000, 2048, 20.5), 20, 0)
+	if !c.Regressed() {
+		t.Error("objects/exec growth passed the exact gate")
+	}
+	if !strings.Contains(c.String(), "ALLOC REGRESSION") {
+		t.Errorf("report does not name the alloc regression:\n%s", c)
+	}
+	// A tolerance band admits growth within it.
+	if c := ComparePerf(old, perfSum(1000, 2100, 20.5), 20, 5); c.Regressed() {
+		t.Error("growth within a 5% alloc tolerance flagged as regression")
+	}
+	// Shrinking counters are an improvement, not a regression — but flag the
+	// artifact as stale.
+	c = ComparePerf(old, perfSum(1000, 1024, 10), 20, 0)
+	if c.Regressed() {
+		t.Error("allocation improvement flagged as regression")
+	}
+	if !c.StaleAllocs() || !strings.Contains(c.String(), "regenerate") {
+		t.Errorf("allocation improvement not flagged as a stale artifact:\n%s", c)
+	}
+}
+
+func TestComparePerfNsToleranceBand(t *testing.T) {
+	old := perfSum(1000, 2048, 20)
+
+	// Within the band: fine either direction.
+	if c := ComparePerf(old, perfSum(1150, 2048, 20), 20, 0); c.Regressed() {
+		t.Error("1.15× inside a ±20% band flagged as regression")
+	}
+	if c := ComparePerf(old, perfSum(700, 2048, 20), 20, 0); c.Regressed() {
+		t.Error("a speedup flagged as regression")
+	}
+	// Beyond the band: regression.
+	c := ComparePerf(old, perfSum(1300, 2048, 20), 20, 0)
+	if !c.Regressed() {
+		t.Error("1.3× outside a ±20% band passed")
+	}
+	if !strings.Contains(c.String(), "TIMING REGRESSION") {
+		t.Errorf("report does not name the timing regression:\n%s", c)
+	}
+	// Negative tolerance disables the timing leg entirely.
+	if c := ComparePerf(old, perfSum(9000, 2048, 20), -1, 0); c.Regressed() {
+		t.Error("timing leg not disabled by a negative tolerance")
+	}
+}
+
+func TestComparePerfUnmatchedToolsAndGoVersionWarning(t *testing.T) {
+	old := perfSum(1000, 2048, 20)
+	new := perfSum(1000, 2048, 20)
+	new.Tools[0].Tool = "tsan11"
+	new.GoVersion = "go1.22"
+	c := ComparePerf(old, new, 20, 0)
+	if len(c.UnmatchedOld) != 1 || len(c.UnmatchedNew) != 1 {
+		t.Fatalf("unmatched = %v / %v, want one each", c.UnmatchedOld, c.UnmatchedNew)
+	}
+	if !strings.Contains(c.String(), "different Go versions") {
+		t.Errorf("report does not warn about Go version skew:\n%s", c)
+	}
+}
+
+// TestComparePerfCommittedArtifactSelfDiff closes the gate loop on the real
+// committed artifact: it must load under the current schema and self-diff
+// clean at zero tolerance (the identity case of the CI trajectory gate).
+func TestComparePerfCommittedArtifactSelfDiff(t *testing.T) {
+	sum, err := LoadPerfSummary("../../BENCH_perf.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ComparePerf(sum, sum, 20, 0)
+	if c.Regressed() || c.StaleAllocs() {
+		t.Fatalf("committed artifact does not self-diff clean:\n%s", c)
+	}
+	if len(c.Tools) != len(sum.Tools) {
+		t.Fatalf("matched %d of %d tools", len(c.Tools), len(sum.Tools))
+	}
+}

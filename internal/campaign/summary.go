@@ -17,9 +17,15 @@ import (
 // v2: per-tool allocation counters ("perf"), campaign-level GC stats
 // ("gc"), optional axiomatic-validation results ("validation"), recorded
 // trace counts, and the record/validate spec echo.
+//
+// v3: budget-policy echo ("policy") and per-cell budget accounting
+// ("budget") for adaptive campaigns, trace-guided exploration echo
+// ("guide_dir"/"guide_traces") with per-cell prefix-depth and divergence
+// statistics ("guided"), and per-tool engine-failure counts with repro
+// samples ("engine_failures"/"failure_samples").
 const (
 	SchemaName    = "c11tester/campaign"
-	SchemaVersion = 2
+	SchemaVersion = 3
 )
 
 // SpecInfo echoes the campaign parameters into the summary, making every
@@ -33,9 +39,55 @@ type SpecInfo struct {
 	SeedBase   int64    `json:"seed_base"`
 	Workers    int      `json:"workers"`
 	ShardSize  int      `json:"shard_size"`
-	RecordDir  string   `json:"record_dir,omitempty"`
-	RecordAll  bool     `json:"record_all,omitempty"`
-	Validate   bool     `json:"validate,omitempty"`
+	// Policy echoes the budget policy and its parameters (schema v3);
+	// "uniform" is the fixed Runs-per-cell matrix.
+	Policy string `json:"policy,omitempty"`
+	// GuideDir and GuideTraces echo the trace-guided exploration input
+	// (schema v3).
+	GuideDir    string `json:"guide_dir,omitempty"`
+	GuideTraces int    `json:"guide_traces,omitempty"`
+	RecordDir   string `json:"record_dir,omitempty"`
+	RecordAll   bool   `json:"record_all,omitempty"`
+	Validate    bool   `json:"validate,omitempty"`
+}
+
+// BudgetSummary is the budget accounting of one cell under an adaptive
+// policy (schema v3): how many executions its initial budget planned, how
+// many actually ran, how many of those were reassigned from other cells'
+// freed budget, and whether the cell's statistics converged.
+type BudgetSummary struct {
+	Planned   int  `json:"planned"`
+	Used      int  `json:"used"`
+	Extended  int  `json:"extended,omitempty"`
+	Converged bool `json:"converged"`
+}
+
+// GuideStats reports the trace-guided exploration of one cell (schema v3):
+// how many traces guided it, how many executions ran guided, the mean
+// intended prefix depth and mean choices actually consumed before handoff
+// (in combined schedule choices), and how many prefixes diverged (a recorded
+// choice was not takeable and forced an early handoff).
+type GuideStats struct {
+	Traces          int     `json:"traces"`
+	GuidedExecs     int     `json:"guided_execs"`
+	MeanPrefixDepth float64 `json:"mean_prefix_depth"`
+	MeanConsumed    float64 `json:"mean_consumed"`
+	Divergences     int     `json:"divergences"`
+}
+
+// EngineFailure is one sampled execution the tool itself aborted (schema
+// v3): an infeasible memory-model state (core.InfeasibleError), with the
+// reproduction triple of the failing execution.
+type EngineFailure struct {
+	Error string        `json:"error"`
+	Repro harness.Repro `json:"repro"`
+}
+
+// cellKey identifies one (kind, tool, cell) of the campaign matrix.
+type cellKey struct {
+	kind jobKind
+	tool int
+	cell int
 }
 
 // CellSummary aggregates one (tool, benchmark) cell.
@@ -44,6 +96,13 @@ type CellSummary struct {
 	Detection harness.DetectionSummary `json:"detection"`
 	// RaceKeys are the deduplicated race keys this cell exhibited, sorted.
 	RaceKeys []string `json:"race_keys"`
+	// Budget is the cell's budget accounting under an adaptive policy
+	// (schema v3; absent under the uniform policy).
+	Budget *BudgetSummary `json:"budget,omitempty"`
+	// Guided is present when the cell ran trace-guided (schema v3).
+	Guided *GuideStats `json:"guided,omitempty"`
+	// Failed counts executions the tool itself aborted (schema v3).
+	Failed int `json:"failed,omitempty"`
 }
 
 // ForbiddenOutcome is one observed litmus outcome the memory model must
@@ -71,6 +130,10 @@ type LitmusSummary struct {
 	// is what separates the full fragment from the baselines'.
 	WeakSeen    []string `json:"weak_seen"`
 	WeakDefined int      `json:"weak_defined"`
+	// Budget, Guided, and Failed mirror CellSummary's schema v3 fields.
+	Budget *BudgetSummary `json:"budget,omitempty"`
+	Guided *GuideStats    `json:"guided,omitempty"`
+	Failed int            `json:"failed,omitempty"`
 }
 
 // ToolPerf carries the allocation counters of one tool's campaign: global
@@ -125,6 +188,13 @@ type ToolSummary struct {
 	// written (any nonzero value is surfaced as a warning in the report).
 	RecordedTraces int `json:"recorded_traces,omitempty"`
 	RecordErrors   int `json:"record_errors,omitempty"`
+	// EngineFailures counts executions this tool aborted with an infeasible
+	// memory-model state (schema v3); FailureSamples carries the earliest
+	// few with repro triples. Any failure is a model soundness bug and fails
+	// the campaign — but only the failing executions, not the worker, so the
+	// rest of the matrix still runs.
+	EngineFailures int             `json:"engine_failures,omitempty"`
+	FailureSamples []EngineFailure `json:"failure_samples,omitempty"`
 
 	Benchmarks []CellSummary   `json:"benchmarks,omitempty"`
 	Litmus     []LitmusSummary `json:"litmus,omitempty"`
@@ -167,6 +237,14 @@ type cellAcc struct {
 	recordErrs int
 	allocBytes uint64
 	allocObjs  uint64
+
+	failed   int
+	failures []execFailure
+
+	guidedExecs    int
+	prefixDepth    int64
+	prefixConsumed int64
+	divergences    int
 }
 
 func newCellAcc() *cellAcc {
@@ -208,12 +286,28 @@ func (a *cellAcc) merge(f fragment) {
 	a.recordErrs += f.recordErrs
 	a.allocBytes += f.allocBytes
 	a.allocObjs += f.allocObjs
+	a.failed += f.failed
+	// Keep the earliest-run failure samples; fragments merge in job order
+	// (execution-index order within a cell), so insertion order is already
+	// by run, independent of worker scheduling.
+	for _, fl := range f.failures {
+		if len(a.failures) >= maxViolationSamples {
+			break
+		}
+		a.failures = append(a.failures, fl)
+	}
+	a.guidedExecs += f.guidedExecs
+	a.prefixDepth += f.prefixDepth
+	a.prefixConsumed += f.prefixConsumed
+	a.divergences += f.divergences
 }
 
 // aggregate folds the shard fragments into the Summary. Every merge is
 // order-independent (sums, histogram unions, min-by-index winners), so the
-// result does not depend on how jobs were scheduled across workers.
-func aggregate(spec Spec, jobs []job, frags []fragment, wall time.Duration, gc GCSummary) *Summary {
+// result does not depend on how jobs were scheduled across workers. budgets
+// carries the per-cell budget accounting of an adaptive policy (nil under
+// uniform).
+func aggregate(spec Spec, jobs []job, frags []fragment, budgets map[cellKey]*BudgetSummary, wall time.Duration, gc GCSummary) *Summary {
 	benchAcc := make([][]*cellAcc, len(spec.Tools))
 	litAcc := make([][]*cellAcc, len(spec.Tools))
 	for t := range spec.Tools {
@@ -239,8 +333,13 @@ func aggregate(spec Spec, jobs []job, frags []fragment, wall time.Duration, gc G
 		Runs: spec.Runs, SeedBase: spec.SeedBase,
 		Workers: spec.Workers, ShardSize: spec.ShardSize,
 		Benchmarks: []string{}, Litmus: []string{},
+		Policy:    spec.Policy.Name(),
 		RecordDir: spec.RecordDir, RecordAll: spec.RecordAll,
 		Validate: spec.ValidateAxioms,
+	}
+	if spec.Guides != nil {
+		info.GuideDir = spec.Guides.Dir()
+		info.GuideTraces = spec.Guides.Len()
 	}
 	for _, t := range spec.Tools {
 		info.Tools = append(info.Tools, t.Name)
@@ -281,6 +380,24 @@ func aggregate(spec Spec, jobs []job, frags []fragment, wall time.Duration, gc G
 		}
 		toolRaces := map[string]toolRace{}
 
+		// addFailures folds a cell's sampled engine failures into the tool
+		// summary with their repro triples (cells visited in matrix order,
+		// samples already in run order, so the result is deterministic).
+		addFailures := func(program string, inLitmus bool, acc *cellAcc) {
+			ts.EngineFailures += acc.failed
+			for _, fl := range acc.failures {
+				if len(ts.FailureSamples) >= maxViolationSamples {
+					break
+				}
+				ts.FailureSamples = append(ts.FailureSamples, EngineFailure{
+					Error: fl.err,
+					Repro: harness.Repro{Tool: toolSpec.Name, Program: program,
+						Seed: spec.SeedBase + int64(fl.run), Litmus: inLitmus,
+						Flags: toolSpec.ReproFlags},
+				})
+			}
+		}
+
 		for b, bench := range spec.Benchmarks {
 			acc := benchAcc[t][b]
 			meanTime := time.Duration(0)
@@ -294,9 +411,13 @@ func aggregate(spec Spec, jobs []job, frags []fragment, wall time.Duration, gc G
 					Time: meanTime, Ops: acc.ops,
 				}.Summary(),
 				RaceKeys: harness.SortedKeys(acc.races),
+				Budget:   budgets[cellKey{kind: jobBench, tool: t, cell: b}],
+				Guided:   guideStatsOf(spec, toolSpec.Name, bench.Name, acc),
+				Failed:   acc.failed,
 			}
 			ts.Benchmarks = append(ts.Benchmarks, cell)
 			addRaces(toolRaces, b, bench.Name, false, acc.races)
+			addFailures(bench.Name, false, acc)
 			ts.Execs += acc.execs
 			ts.WorkNS += int64(acc.elapsed)
 			ts.AtomicOps += acc.ops.AtomicOps
@@ -315,6 +436,9 @@ func aggregate(spec Spec, jobs []job, frags []fragment, wall time.Duration, gc G
 				Outcomes:    acc.outcomes,
 				WeakSeen:    harness.SortedKeys(acc.weak),
 				WeakDefined: len(test.Weak),
+				Budget:      budgets[cellKey{kind: jobLitmus, tool: t, cell: l}],
+				Guided:      guideStatsOf(spec, toolSpec.Name, test.Name, acc),
+				Failed:      acc.failed,
 			}
 			for _, out := range harness.SortedKeys(acc.forbidden) {
 				ls.ForbiddenSeen = append(ls.ForbiddenSeen, ForbiddenOutcome{
@@ -326,6 +450,7 @@ func aggregate(spec Spec, jobs []job, frags []fragment, wall time.Duration, gc G
 			}
 			ts.Litmus = append(ts.Litmus, ls)
 			addRaces(unexpected, l, test.Name, true, acc.races)
+			addFailures(test.Name, true, acc)
 			ts.Execs += acc.execs
 			ts.WorkNS += int64(acc.elapsed)
 			ts.AtomicOps += acc.ops.AtomicOps
@@ -362,6 +487,23 @@ func addToolAcc(ts *ToolSummary, val *ValidationSummary, acc *cellAcc) {
 			break
 		}
 		val.Samples = append(val.Samples, s)
+	}
+}
+
+// guideStatsOf renders a cell's guided-exploration statistics, or nil when
+// the cell did not run guided.
+func guideStatsOf(spec Spec, tool, program string, acc *cellAcc) *GuideStats {
+	traces := spec.Guides.For(tool, program)
+	if len(traces) == 0 || acc.guidedExecs == 0 {
+		return nil
+	}
+	n := float64(acc.guidedExecs)
+	return &GuideStats{
+		Traces:          len(traces),
+		GuidedExecs:     acc.guidedExecs,
+		MeanPrefixDepth: float64(acc.prefixDepth) / n,
+		MeanConsumed:    float64(acc.prefixConsumed) / n,
+		Divergences:     acc.divergences,
 	}
 }
 
@@ -409,11 +551,23 @@ func (s *Summary) AxiomViolations() int {
 	return n
 }
 
+// EngineFailures returns the total number of executions the tools themselves
+// aborted (infeasible memory-model states), across all tools.
+func (s *Summary) EngineFailures() int {
+	n := 0
+	for _, ts := range s.Tools {
+		n += ts.EngineFailures
+	}
+	return n
+}
+
 // Failed reports whether the campaign found a soundness problem: a forbidden
-// litmus outcome, a race in a race-free litmus program, or an execution that
-// violated the axiomatic model.
+// litmus outcome, a race in a race-free litmus program, an execution that
+// violated the axiomatic model, or an execution the tool itself aborted with
+// an infeasible memory-model state.
 func (s *Summary) Failed() bool {
-	return len(s.Forbidden()) > 0 || len(s.UnexpectedRaces()) > 0 || s.AxiomViolations() > 0
+	return len(s.Forbidden()) > 0 || len(s.UnexpectedRaces()) > 0 ||
+		s.AxiomViolations() > 0 || s.EngineFailures() > 0
 }
 
 // DetectionTable renders the Table 2-style detection-rate matrix: one row
@@ -472,13 +626,51 @@ func (s *Summary) ThroughputTable() *harness.Table {
 	return tb
 }
 
+// BudgetReport summarizes an adaptive campaign's budget accounting: total
+// executions run vs. the uniform plan, and how many cells converged. ok is
+// false when the campaign ran under the uniform policy (no budget data).
+func (s *Summary) BudgetReport() (used, planned, converged, cells int, ok bool) {
+	each := func(b *BudgetSummary) {
+		if b == nil {
+			return
+		}
+		ok = true
+		cells++
+		used += b.Used
+		planned += b.Planned
+		if b.Converged {
+			converged++
+		}
+	}
+	for _, ts := range s.Tools {
+		for _, cell := range ts.Benchmarks {
+			each(cell.Budget)
+		}
+		for _, ls := range ts.Litmus {
+			each(ls.Budget)
+		}
+	}
+	return used, planned, converged, cells, ok
+}
+
 // String renders the human-readable campaign report.
 func (s *Summary) String() string {
-	out := fmt.Sprintf("campaign: %d tool(s) × (%d benchmark(s) + %d litmus test(s)) × %d runs, %d workers, seed base %d\nwall clock: %s\n\n",
+	out := fmt.Sprintf("campaign: %d tool(s) × (%d benchmark(s) + %d litmus test(s)) × %d runs, %d workers, seed base %d\nwall clock: %s\n",
 		len(s.Spec.Tools), len(s.Spec.Benchmarks), len(s.Spec.Litmus),
 		s.Spec.Runs, s.Spec.Workers, s.Spec.SeedBase,
 		harness.FmtDuration(time.Duration(s.WallNS)))
-	out += s.ThroughputTable().String()
+	if p := s.Spec.Policy; p != "" && p != "uniform" {
+		out += fmt.Sprintf("policy: %s", p)
+		if used, planned, converged, cells, ok := s.BudgetReport(); ok && planned > 0 {
+			out += fmt.Sprintf(" — %d/%d executions (%.0f%% of uniform), %d/%d cells converged",
+				used, planned, 100*float64(used)/float64(planned), converged, cells)
+		}
+		out += "\n"
+	}
+	if s.Spec.GuideDir != "" {
+		out += fmt.Sprintf("guided by %d trace(s) from %s\n", s.Spec.GuideTraces, s.Spec.GuideDir)
+	}
+	out += "\n" + s.ThroughputTable().String()
 	if len(s.Spec.Benchmarks) > 0 {
 		out += "\n" + s.DetectionTable().String()
 	}
@@ -506,6 +698,13 @@ func (s *Summary) String() string {
 		}
 		if ts.RecordErrors > 0 {
 			out += fmt.Sprintf("\n%s: WARNING: failed to record %d trace(s) to %s\n", ts.Tool, ts.RecordErrors, s.Spec.RecordDir)
+		}
+		if ts.EngineFailures > 0 {
+			out += fmt.Sprintf("\n%s: ENGINE FAILURE: %d execution(s) aborted with an infeasible model state\n",
+				ts.Tool, ts.EngineFailures)
+			for _, f := range ts.FailureSamples {
+				out += fmt.Sprintf("  %s\n    repro: %s\n", f.Error, f.Repro.Command())
+			}
 		}
 	}
 	for _, f := range s.Forbidden() {

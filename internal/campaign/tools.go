@@ -7,6 +7,7 @@ import (
 	"c11tester/internal/baseline"
 	"c11tester/internal/capi"
 	"c11tester/internal/core"
+	"c11tester/internal/explore"
 	"c11tester/internal/harness"
 	"c11tester/internal/litmus"
 	"c11tester/internal/structures"
@@ -121,6 +122,19 @@ func StandardToolFromConfig(tc trace.ToolConfig) (ToolSpec, error) {
 		MaxSteps:        tc.MaxSteps,
 		FaithfulHandoff: tc.FaithfulHandoff,
 	})
+}
+
+// ParsePolicy parses a -policy flag value into a budget policy. minExecs,
+// window, and epsilon parameterize the converge policy; zero values mean its
+// defaults.
+func ParsePolicy(name string, minExecs, window int, epsilon float64) (explore.Policy, error) {
+	switch name {
+	case "", "uniform":
+		return explore.Uniform{}, nil
+	case "converge":
+		return explore.Converge{MinExecs: minExecs, Window: window, Epsilon: epsilon}, nil
+	}
+	return nil, fmt.Errorf("unknown policy %q (want uniform or converge)", name)
 }
 
 // ParsePrune parses a -prune flag value.

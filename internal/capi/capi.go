@@ -181,6 +181,12 @@ type Result struct {
 	Deadlocked bool
 	// Truncated reports that the execution hit the tool's step limit.
 	Truncated bool
+	// EngineError reports that the tool itself aborted the execution (e.g.
+	// an infeasible memory-model state, see core.InfeasibleError). The other
+	// fields cover only the prefix that ran before the abort; campaigns
+	// record the execution as failed instead of folding it into the
+	// detection statistics.
+	EngineError error
 	// Stats counts the operations performed.
 	Stats OpStats
 }

@@ -90,6 +90,24 @@ type Strategy interface {
 	PickIndex(n int) int
 }
 
+// PrefixedStrategy is the optional Strategy extension implemented by
+// trace-guided wrappers (internal/trace.PrefixGuide): strategies that drive a
+// recorded schedule prefix and then hand control to a live inner strategy.
+// The engine's per-execution reset runs unconditionally before the strategy's
+// first decision either way — a guided prefix must never observe recycled
+// scheduler, action-arena, or mo-graph state from an earlier pooled
+// execution — and campaign summaries read the handoff statistics through this
+// interface after each guided execution.
+type PrefixedStrategy interface {
+	Strategy
+	// Handoff reports the last execution's prefix statistics: the depth the
+	// strategy intended to replay (in combined choices), how many recorded
+	// choices were actually consumed before control passed to the live
+	// strategy, and whether the prefix diverged (a recorded choice was not
+	// takeable and forced an early handoff).
+	Handoff() (depth, consumed int, diverged bool)
+}
+
 // RandomStrategy is the paper's default plugin: uniform random choices.
 type RandomStrategy struct{ rng *rand.Rand }
 
@@ -317,7 +335,47 @@ func (e *Engine) Strategy() Strategy { return e.cfg.Strategy }
 // reclaimed here. Anything read from the engine after an execution (Trace,
 // FinalValues, a model's TotalMO) must be consumed — or deep-copied, as the
 // trace recorder does — before the next Execute call.
-func (e *Engine) Execute(p capi.Program, seed int64) *capi.Result {
+//
+// If the memory model reaches an infeasible state mid-execution (see
+// InfeasibleError), Execute recovers the panic, unwinds the execution's
+// remaining threads through the scheduler, and returns the partial result
+// with Result.EngineError set; the engine stays usable for further Execute
+// calls. Any other panic propagates.
+func (e *Engine) Execute(p capi.Program, seed int64) (res *capi.Result) {
+	e.resetExecState(seed)
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		ie, ok := r.(*InfeasibleError)
+		if !ok {
+			panic(r)
+		}
+		// The panic unwound the exploration loop on this goroutine while the
+		// program's threads are still parked awaiting a reply; Abort unwinds
+		// them all, restoring the all-goroutines-finished state the next
+		// resetExecState relies on.
+		e.result.EngineError = ie
+		e.sch.Abort()
+		e.execIndex++
+		res = e.result
+	}()
+
+	e.spawnThread("main", p.Run, nil)
+	e.loop()
+
+	e.execIndex++
+	return e.result
+}
+
+// resetExecState resets every piece of per-execution state — scheduler,
+// thread/location/mutex/cond pools, execution-lifetime arenas, RNG, strategy,
+// and the model's own bookkeeping (mo-graph included, via Begin). It runs
+// unconditionally at the top of every Execute: pooled engines, trace
+// replayers, and guided prefix strategies (PrefixedStrategy) all rely on the
+// next execution never observing recycled state from the previous one.
+func (e *Engine) resetExecState(seed int64) {
 	if e.sch == nil {
 		e.sch = sched.New(e.cfg.Sched)
 	} else {
@@ -348,12 +406,6 @@ func (e *Engine) Execute(p capi.Program, seed int64) *capi.Result {
 	e.cfg.Strategy.Seed(seed)
 	e.result = &capi.Result{}
 	e.model.Begin(e)
-
-	e.spawnThread("main", p.Run, nil)
-	e.loop()
-
-	e.execIndex++
-	return e.result
 }
 
 // spawnThread creates a model thread. parent is nil for the main thread;

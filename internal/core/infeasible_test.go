@@ -1,0 +1,126 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"c11tester/internal/capi"
+	"c11tester/internal/memmodel"
+)
+
+// faultyModel wraps the real C11 model but panics with an InfeasibleError on
+// the Nth atomic load, reproducing the failure mode of a model soundness bug
+// mid-execution (the condition itself is unreachable through the real model,
+// by the paper's Section 4.3 argument).
+type faultyModel struct {
+	*C11Model
+	loads     int
+	failLoad  int // 1-based load index to fail on; 0 disables
+	armedOnly bool
+}
+
+func (m *faultyModel) AtomicLoad(t *ThreadState, op *capi.Op) memmodel.Value {
+	m.loads++
+	if m.failLoad > 0 && m.loads == m.failLoad {
+		panic(&InfeasibleError{Stage: "load", Loc: op.Loc, Detail: "injected for test"})
+	}
+	return m.C11Model.AtomicLoad(t, op)
+}
+
+// crossLoadProg exercises loads from two threads, so the injected failure
+// fires while another program thread is parked mid-execution.
+var crossLoadProg = capi.Program{Name: "cross-load", Run: func(env capi.Env) {
+	x := env.NewAtomic("x", 0)
+	th := env.Spawn("reader", func(env capi.Env) {
+		env.Load(x, memmodel.Acquire)
+		env.Load(x, memmodel.Acquire)
+	})
+	env.Store(x, 1, memmodel.Release)
+	env.Load(x, memmodel.Acquire)
+	env.Join(th)
+}}
+
+func TestInfeasiblePanicIsRecoveredAndEngineStaysUsable(t *testing.T) {
+	fm := &faultyModel{C11Model: NewC11Model(), failLoad: 2}
+	eng := New("c11tester", fm, Config{StoreBurst: true})
+
+	res := eng.Execute(crossLoadProg, 1)
+	if res == nil || res.EngineError == nil {
+		t.Fatalf("Execute with an infeasible model state returned %+v, want EngineError set", res)
+	}
+	var ie *InfeasibleError
+	if !errors.As(res.EngineError, &ie) {
+		t.Fatalf("EngineError = %v (%T), want *InfeasibleError", res.EngineError, res.EngineError)
+	}
+	if ie.Stage != "load" || !strings.Contains(ie.Error(), "infeasible") {
+		t.Errorf("error = %v, want a load-stage infeasibility", ie)
+	}
+
+	// The same engine must run clean executions afterwards: the recovery
+	// aborted the previous execution's threads, so the pooled scheduler and
+	// arenas reset as usual.
+	fm.failLoad = 0
+	for seed := int64(2); seed < 12; seed++ {
+		res := eng.Execute(crossLoadProg, seed)
+		if res.EngineError != nil {
+			t.Fatalf("seed %d: clean execution reported %v", seed, res.EngineError)
+		}
+		if res.Deadlocked || res.Truncated {
+			t.Fatalf("seed %d: clean execution deadlocked=%v truncated=%v", seed, res.Deadlocked, res.Truncated)
+		}
+	}
+
+	// And an infeasibility after clean runs is recovered again (pool reuse
+	// does not mask the recovery path).
+	fm.failLoad = 3
+	fm.loads = 0
+	if res := eng.Execute(crossLoadProg, 50); res.EngineError == nil {
+		t.Fatal("re-armed infeasibility not reported")
+	}
+	fm.failLoad = 0
+	if res := eng.Execute(crossLoadProg, 51); res.EngineError != nil {
+		t.Fatalf("engine unusable after second recovery: %v", res.EngineError)
+	}
+}
+
+func TestInfeasibleResultsMatchFreshEngineAfterRecovery(t *testing.T) {
+	// Executions after a recovery on a pooled engine must be byte-identical
+	// to a fresh engine's: the recovery path may not leak state into the
+	// pools or arenas.
+	fm := &faultyModel{C11Model: NewC11Model(), failLoad: 2}
+	pooled := New("c11tester", fm, Config{StoreBurst: true})
+	if res := pooled.Execute(crossLoadProg, 7); res.EngineError == nil {
+		t.Fatal("injected infeasibility not reported")
+	}
+	fm.failLoad = 0
+
+	for seed := int64(0); seed < 20; seed++ {
+		fresh := newTool(Config{})
+		want := fresh.Execute(crossLoadProg, seed)
+		got := pooled.Execute(crossLoadProg, seed)
+		if len(got.Races) != len(want.Races) || got.Stats != want.Stats ||
+			got.Deadlocked != want.Deadlocked || got.Truncated != want.Truncated {
+			t.Fatalf("seed %d: pooled-after-recovery result %+v != fresh %+v", seed, got, want)
+		}
+	}
+}
+
+func TestRecoverInfeasible(t *testing.T) {
+	if err := RecoverInfeasible(func() {}); err != nil {
+		t.Fatalf("clean call returned %v", err)
+	}
+	err := RecoverInfeasible(func() {
+		panic(&InfeasibleError{Stage: "total-mo", Loc: 3, Detail: "cycle"})
+	})
+	if err == nil || err.Stage != "total-mo" {
+		t.Fatalf("RecoverInfeasible = %v, want the panicked total-mo error", err)
+	}
+	// Other panics must propagate untouched.
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("foreign panic = %v, want boom", r)
+		}
+	}()
+	_ = RecoverInfeasible(func() { panic("boom") })
+}

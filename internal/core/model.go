@@ -246,7 +246,7 @@ func (m *C11Model) AtomicLoad(t *ThreadState, op *capi.Op) memmodel.Value {
 		m.e.TraceAppend(act)
 		return s.Value
 	}
-	panic(fmt.Sprintf("c11model: no feasible store for load of loc %d", op.Loc))
+	panic(&InfeasibleError{Stage: "load", Loc: op.Loc, Detail: "no feasible store in the may-read-from set"})
 }
 
 // AtomicRMW implements MemModel ([ATOMIC RMW] of Figure 11). A failed
@@ -324,7 +324,7 @@ func (m *C11Model) AtomicRMW(t *ThreadState, op *capi.Op) (memmodel.Value, bool)
 		m.e.TraceAppend(act)
 		return s.Value, true
 	}
-	panic(fmt.Sprintf("c11model: no feasible store for RMW of loc %d", op.Loc))
+	panic(&InfeasibleError{Stage: "rmw", Loc: op.Loc, Detail: "no feasible store in the may-read-from set"})
 }
 
 // Fence implements MemModel ([ACQUIRE FENCE] / [RELEASE FENCE] of Figure 9;
@@ -660,7 +660,8 @@ func (m *C11Model) TotalMO(loc memmodel.LocID) []*Action {
 		}
 	}
 	if emitted != len(stores) {
-		panic(fmt.Sprintf("c11model: modification order of loc %d contains a cycle", loc))
+		panic(&InfeasibleError{Stage: "total-mo", Loc: loc,
+			Detail: fmt.Sprintf("modification order contains a cycle (%d of %d stores ordered)", emitted, len(stores))})
 	}
 	return out
 }

@@ -1,0 +1,238 @@
+// Package explore implements campaign-level budget policies: the logic that
+// decides how many executions each (tool, program) cell of a campaign matrix
+// deserves. The paper's evaluation (and this repository's campaigns up to
+// summary schema v2) spends a uniform N executions per cell; a Converge
+// policy instead stops a cell once its observable statistics — detection
+// rate, distinct race keys, litmus outcome histogram — have stabilized, and
+// the campaign reassigns the freed budget to cells that are still diverging.
+//
+// Determinism contract: a policy's stopping decision for a cell is a pure
+// function of that cell's own observation stream in execution-index order.
+// Executions themselves are pure functions of (tool, program, seed), so a
+// cell's stop point — and therefore the whole campaign's budget assignment —
+// is independent of worker count and scheduling, preserving the campaign
+// invariant that workers=1 and workers=K aggregate identically.
+package explore
+
+import "fmt"
+
+// Obs is the per-execution observation a tracker consumes, in execution
+// index order.
+type Obs struct {
+	// Detected reports whether the execution exhibited the cell's detection
+	// signal (a race for the data-structure suite, an assertion violation
+	// for the injected-bug suite, a forbidden outcome for litmus cells).
+	Detected bool
+	// RaceKeys are the deduplicated race keys of this execution.
+	RaceKeys []string
+	// Outcome is the litmus outcome string ("" for benchmark cells and
+	// starved litmus executions).
+	Outcome string
+}
+
+// Tracker follows one cell's observation stream and decides convergence.
+// Trackers are confined to one cell and observe executions strictly in
+// index order; they are not goroutine-safe.
+type Tracker interface {
+	// Observe folds the next execution's observation into the tracker.
+	Observe(Obs)
+	// Converged reports whether the cell's statistics have stabilized and
+	// further executions may be cut. A converged tracker may keep observing
+	// (budget-reassignment waves re-check convergence) but must stay
+	// deterministic.
+	Converged() bool
+}
+
+// Policy decides per-cell budgets.
+type Policy interface {
+	// Name renders the policy and its parameters for the summary spec echo.
+	Name() string
+	// NewTracker returns a fresh tracker for one cell.
+	NewTracker() Tracker
+	// Chunk is the number of executions a cell runs between convergence
+	// checks; 0 means the cell's whole budget at once (no early stopping).
+	Chunk() int
+}
+
+// Uniform is the fixed-budget policy: every cell runs its full budget, the
+// schema v1/v2 behaviour.
+type Uniform struct{}
+
+// Name implements Policy.
+func (Uniform) Name() string { return "uniform" }
+
+// NewTracker implements Policy.
+func (Uniform) NewTracker() Tracker { return neverConverged{} }
+
+// Chunk implements Policy.
+func (Uniform) Chunk() int { return 0 }
+
+type neverConverged struct{}
+
+func (neverConverged) Observe(Obs)     {}
+func (neverConverged) Converged() bool { return false }
+
+// Converge stops a cell once its race-detection rate and litmus-outcome
+// histogram converge. The zero value means the defaults below.
+type Converge struct {
+	// MinExecs is the floor before convergence may be declared (default 20).
+	MinExecs int
+	// Window is the trailing window the convergence test compares against
+	// the preceding history (default 10).
+	Window int
+	// Epsilon bounds the movement the trailing window may cause: the
+	// detection rate (as a fraction) may shift by at most Epsilon, and the
+	// L1 distance between the normalized outcome distributions with and
+	// without the window must stay within Epsilon (default 0.02).
+	Epsilon float64
+}
+
+// DefaultConverge are the Converge defaults.
+const (
+	DefaultConvergeMinExecs = 20
+	DefaultConvergeWindow   = 10
+	DefaultConvergeEpsilon  = 0.02
+)
+
+func (c Converge) withDefaults() Converge {
+	if c.MinExecs <= 0 {
+		c.MinExecs = DefaultConvergeMinExecs
+	}
+	if c.Window <= 0 {
+		c.Window = DefaultConvergeWindow
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = DefaultConvergeEpsilon
+	}
+	if c.MinExecs < c.Window {
+		c.MinExecs = c.Window
+	}
+	return c
+}
+
+// Name implements Policy.
+func (c Converge) Name() string {
+	c = c.withDefaults()
+	return fmt.Sprintf("converge(min=%d,window=%d,eps=%g)", c.MinExecs, c.Window, c.Epsilon)
+}
+
+// Chunk implements Policy.
+func (c Converge) Chunk() int { return c.withDefaults().Window }
+
+// NewTracker implements Policy.
+func (c Converge) NewTracker() Tracker {
+	c = c.withDefaults()
+	return &convergeTracker{cfg: c, raceSeen: map[string]bool{}, outcomes: map[string]int{}}
+}
+
+// windowObs is the digest of one observed execution kept in the trailing
+// window ring: whether it hit the signal, its outcome, and whether it
+// introduced a race key or outcome never seen before in this cell.
+type windowObs struct {
+	detected bool
+	outcome  string
+	newInfo  bool
+}
+
+type convergeTracker struct {
+	cfg Converge
+
+	n        int
+	detected int
+	raceSeen map[string]bool
+	outcomes map[string]int // full histogram, "" excluded
+
+	// ring holds the trailing Window observations.
+	ring []windowObs
+	next int
+}
+
+// Observe implements Tracker.
+func (t *convergeTracker) Observe(o Obs) {
+	w := windowObs{detected: o.Detected, outcome: o.Outcome}
+	for _, k := range o.RaceKeys {
+		if !t.raceSeen[k] {
+			t.raceSeen[k] = true
+			w.newInfo = true
+		}
+	}
+	if o.Outcome != "" {
+		if t.outcomes[o.Outcome] == 0 {
+			w.newInfo = true
+		}
+		t.outcomes[o.Outcome]++
+	}
+	t.n++
+	if o.Detected {
+		t.detected++
+	}
+	if len(t.ring) < t.cfg.Window {
+		t.ring = append(t.ring, w)
+	} else {
+		t.ring[t.next] = w
+		t.next = (t.next + 1) % len(t.ring)
+	}
+}
+
+// Converged implements Tracker: the cell has run its floor, the trailing
+// window introduced no new race key or outcome, and removing the window
+// moves neither the detection rate nor the outcome distribution by more
+// than Epsilon.
+func (t *convergeTracker) Converged() bool {
+	if t.n < t.cfg.MinExecs || len(t.ring) < t.cfg.Window {
+		return false
+	}
+	winDetected, winOutcomes := 0, map[string]int{}
+	for _, w := range t.ring {
+		if w.newInfo {
+			return false
+		}
+		if w.detected {
+			winDetected++
+		}
+		if w.outcome != "" {
+			winOutcomes[w.outcome]++
+		}
+	}
+	// Detection-rate movement. With no history before the window (n ==
+	// Window) there is nothing to compare against, and the leg is skipped;
+	// the new-information test above still vetoes windows that introduced
+	// unseen race keys or outcomes.
+	if base := t.n - t.cfg.Window; base > 0 {
+		full := float64(t.detected) / float64(t.n)
+		prior := float64(t.detected-winDetected) / float64(base)
+		if diff := full - prior; diff > t.cfg.Epsilon || diff < -t.cfg.Epsilon {
+			return false
+		}
+	}
+
+	// Outcome-distribution movement (L1 over normalized histograms). Cells
+	// with no outcomes at all (benchmarks) skip this leg.
+	tot := 0
+	for _, n := range t.outcomes {
+		tot += n
+	}
+	if tot > 0 {
+		priorTot := 0
+		for out, n := range t.outcomes {
+			priorTot += n - winOutcomes[out]
+		}
+		if priorTot == 0 {
+			return false // all outcomes arrived inside the window
+		}
+		var l1 float64
+		for out, n := range t.outcomes {
+			p := float64(n) / float64(tot)
+			q := float64(n-winOutcomes[out]) / float64(priorTot)
+			if d := p - q; d >= 0 {
+				l1 += d
+			} else {
+				l1 -= d
+			}
+		}
+		if l1 > t.cfg.Epsilon {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,155 @@
+package explore
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestUniformNeverConverges(t *testing.T) {
+	p := Uniform{}
+	if p.Chunk() != 0 {
+		t.Fatalf("Uniform.Chunk() = %d, want 0 (whole budget)", p.Chunk())
+	}
+	tr := p.NewTracker()
+	for i := 0; i < 1000; i++ {
+		tr.Observe(Obs{Detected: true, Outcome: "x"})
+		if tr.Converged() {
+			t.Fatalf("uniform tracker converged after %d observations", i+1)
+		}
+	}
+}
+
+func TestConvergeStableStreamConvergesAtFloor(t *testing.T) {
+	c := Converge{MinExecs: 20, Window: 10, Epsilon: 0.02}
+	tr := c.NewTracker()
+	for i := 0; i < 19; i++ {
+		tr.Observe(Obs{Detected: true, RaceKeys: []string{"r1"}, Outcome: "a"})
+		if tr.Converged() {
+			t.Fatalf("converged after %d < MinExecs observations", i+1)
+		}
+	}
+	tr.Observe(Obs{Detected: true, RaceKeys: []string{"r1"}, Outcome: "a"})
+	if !tr.Converged() {
+		t.Fatal("perfectly stable stream did not converge at the MinExecs floor")
+	}
+}
+
+func TestConvergeNewRaceKeyInWindowBlocksConvergence(t *testing.T) {
+	c := Converge{MinExecs: 20, Window: 10, Epsilon: 1} // epsilon wide open
+	tr := c.NewTracker()
+	for i := 0; i < 25; i++ {
+		tr.Observe(Obs{Detected: true, RaceKeys: []string{"r1"}})
+	}
+	if !tr.Converged() {
+		t.Fatal("stable race stream did not converge")
+	}
+	tr.Observe(Obs{Detected: true, RaceKeys: []string{"r1", "r2"}})
+	if tr.Converged() {
+		t.Fatal("a first-seen race key inside the window must block convergence")
+	}
+	// Once the novelty leaves the trailing window, convergence returns.
+	for i := 0; i < 10; i++ {
+		tr.Observe(Obs{Detected: true, RaceKeys: []string{"r1", "r2"}})
+	}
+	if !tr.Converged() {
+		t.Fatal("novelty outside the window must not block convergence forever")
+	}
+}
+
+func TestConvergeNewOutcomeInWindowBlocksConvergence(t *testing.T) {
+	c := Converge{MinExecs: 20, Window: 10, Epsilon: 1}
+	tr := c.NewTracker()
+	for i := 0; i < 30; i++ {
+		tr.Observe(Obs{Outcome: fmt.Sprintf("o%d", i%2)})
+	}
+	if !tr.Converged() {
+		t.Fatal("two-outcome alternating stream did not converge")
+	}
+	tr.Observe(Obs{Outcome: "fresh"})
+	if tr.Converged() {
+		t.Fatal("a first-seen outcome inside the window must block convergence")
+	}
+}
+
+func TestConvergeRateDriftBlocksConvergence(t *testing.T) {
+	c := Converge{MinExecs: 20, Window: 10, Epsilon: 0.02}
+	tr := c.NewTracker()
+	// 20 undetected executions, then a trailing window full of detections:
+	// the rate is still climbing, so the cell must not stop.
+	for i := 0; i < 20; i++ {
+		tr.Observe(Obs{})
+	}
+	if !tr.Converged() {
+		t.Fatal("flat zero-rate stream did not converge")
+	}
+	for i := 0; i < 10; i++ {
+		tr.Observe(Obs{Detected: true, RaceKeys: []string{"r"}})
+	}
+	if tr.Converged() {
+		t.Fatal("rate climbing through the window must block convergence")
+	}
+}
+
+func TestConvergeOutcomeDistributionDriftBlocksConvergence(t *testing.T) {
+	c := Converge{MinExecs: 40, Window: 20, Epsilon: 0.05}
+	tr := c.NewTracker()
+	// 40 executions split 50/50 over two outcomes...
+	for i := 0; i < 40; i++ {
+		tr.Observe(Obs{Outcome: fmt.Sprintf("o%d", i%2)})
+	}
+	if !tr.Converged() {
+		t.Fatal("balanced histogram did not converge")
+	}
+	// ...then a window that is all o0: the distribution is shifting.
+	for i := 0; i < 20; i++ {
+		tr.Observe(Obs{Outcome: "o0"})
+	}
+	if tr.Converged() {
+		t.Fatal("histogram drift through the window must block convergence")
+	}
+}
+
+func TestConvergeDefaultsAndName(t *testing.T) {
+	var c Converge
+	if c.Chunk() != DefaultConvergeWindow {
+		t.Errorf("zero-value Chunk() = %d, want %d", c.Chunk(), DefaultConvergeWindow)
+	}
+	if want := "converge(min=20,window=10,eps=0.02)"; c.Name() != want {
+		t.Errorf("Name() = %q, want %q", c.Name(), want)
+	}
+	// MinExecs below Window is raised to Window.
+	c = Converge{MinExecs: 3, Window: 10}
+	tr := c.NewTracker()
+	for i := 0; i < 9; i++ {
+		tr.Observe(Obs{})
+		if tr.Converged() {
+			t.Fatal("converged before a full window was observed")
+		}
+	}
+	tr.Observe(Obs{})
+	if !tr.Converged() {
+		t.Fatal("flat stream with a full window did not converge")
+	}
+}
+
+// TestConvergeDeterministicReplay pins the policy determinism contract: two
+// trackers fed the same stream agree at every step.
+func TestConvergeDeterministicReplay(t *testing.T) {
+	c := Converge{}
+	a, b := c.NewTracker(), c.NewTracker()
+	stream := make([]Obs, 200)
+	for i := range stream {
+		o := Obs{Detected: i%3 == 0, Outcome: fmt.Sprintf("o%d", i%4)}
+		if i%3 == 0 {
+			o.RaceKeys = []string{fmt.Sprintf("r%d", i%5)}
+		}
+		stream[i] = o
+	}
+	for i, o := range stream {
+		a.Observe(o)
+		b.Observe(o)
+		if a.Converged() != b.Converged() {
+			t.Fatalf("trackers disagree at step %d", i)
+		}
+	}
+}

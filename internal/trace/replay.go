@@ -70,6 +70,12 @@ func replayOnce(tr *Trace, s Subject, eng *core.Engine, rp *Replayer) (*ReplayRe
 		s.Reset()
 	}
 	res := eng.Execute(s.Prog, tr.Seed)
+	if res.EngineError != nil {
+		// The engine aborted mid-execution (core.InfeasibleError); the model
+		// state behind it is half-unwound, so recording or verifying against
+		// it would misdiagnose the failure. Surface it as what it is.
+		return nil, fmt.Errorf("trace: replay aborted by the engine: %w", res.EngineError)
+	}
 	rr := &ReplayResult{
 		RaceKeys:       raceKeys(res),
 		FinalValues:    finalValues(eng),
