@@ -6,11 +6,19 @@
 // artifact, the perf counterpart of cmd/c11tester's BENCH_campaign.json:
 // committed numbers track the hot-path trajectory across PRs.
 //
+// The scheduler dimension of the paper's Figure 14 is exposed directly:
+// -handoff selects the handoff regime (channel ≈ swapcontext fibers, cond ≈
+// condition-variable sequencing, osthread ≈ kernel-thread sequencing),
+// -respawn disables the fiber pool, and -fig14 appends the full regime ×
+// {pooled, respawn} matrix to the artifact.
+//
 // Examples:
 //
 //	go run ./cmd/c11bench                         # full matrix, 30 execs/cell
 //	go run ./cmd/c11bench -tools c11tester -bench ms-queue -runs 200
 //	go run ./cmd/c11bench -litmus none -runs 100 -json ''
+//	go run ./cmd/c11bench -handoff cond -q        # Figure 14 cond regime
+//	go run ./cmd/c11bench -tools c11tester -litmus SB+rlx,CoRR,MP+rlx -bench none -fig14
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"os"
 
 	"c11tester/internal/campaign"
+	"c11tester/internal/sched"
 )
 
 func main() {
@@ -33,9 +42,12 @@ func run(args []string, out *os.File) int {
 		bench    = fs.String("bench", "all", "comma-separated benchmarks, 'all', or 'none'")
 		lit      = fs.String("litmus", "all", "comma-separated litmus tests, 'all', or 'none'")
 		runs     = fs.Int("runs", 30, "measured executions per (tool, program) cell")
-		warmup   = fs.Int("warmup", 5, "unmeasured warmup executions per cell (-1 for none)")
+		warmup   = fs.Int("warmup", 1, "unmeasured warmup sweeps of the measured seed range per cell (0 for none)")
 		seed     = fs.Int64("seed", 1, "seed base; execution i runs with seed+i")
 		jsonPath = fs.String("json", "BENCH_perf.json", "perf artifact path ('' disables)")
+		handoff  = fs.String("handoff", "channel", "scheduler handoff regime: channel, cond, or osthread (Figure 14)")
+		respawn  = fs.Bool("respawn", false, "disable the fiber pool: respawn worker goroutines per execution (Figure 14)")
+		fig14    = fs.Bool("fig14", false, "append the Figure 14 handoff × scheduler matrix over the selected programs")
 		compare  = fs.String("compare", "", "diff two perf artifacts: -compare old.json new.json (or old.json,new.json); exits 2 on regression")
 		nsTol    = fs.Float64("ns-tol", 20, "-compare: ns/exec tolerance band in percent (negative disables the timing leg)")
 		allocTol = fs.Float64("alloc-tol", 0, "-compare: allocation tolerance in percent (0 gates bytes/exec and objects/exec exactly)")
@@ -47,18 +59,28 @@ func run(args []string, out *os.File) int {
 	if *compare != "" {
 		return runCompare(*compare, fs.Args(), *nsTol, *allocTol, out)
 	}
+	if _, err := sched.ParseHandoff(*handoff); err != nil {
+		fmt.Fprintln(os.Stderr, "c11bench:", err)
+		return 1
+	}
 
-	spec := campaign.PerfSpec{Runs: *runs, Warmup: *warmup, SeedBase: *seed}
+	toolOpts := campaign.ToolOptions{Handoff: *handoff, Respawn: *respawn}
+	spec := campaign.PerfSpec{
+		Runs: *runs, Warmup: *warmup, SeedBase: *seed,
+		Handoff: *handoff, Respawn: *respawn,
+	}
 	if *warmup == 0 {
 		spec.Warmup = -1 // flag 0 means literally none; PerfSpec 0 means default
 	}
+	var toolNames []string
 	for _, name := range campaign.SplitList(*tools) {
-		ts, err := campaign.StandardTool(name, campaign.ToolOptions{})
+		ts, err := campaign.StandardTool(name, toolOpts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "c11bench:", err)
 			return 1
 		}
 		spec.Tools = append(spec.Tools, ts)
+		toolNames = append(toolNames, name)
 	}
 	var err error
 	spec.Benchmarks, err = campaign.SelectBenchmarks(*bench)
@@ -77,6 +99,14 @@ func run(args []string, out *os.File) int {
 	}
 
 	sum := campaign.RunPerf(spec)
+	if *fig14 {
+		matrix, err := campaign.RunHandoffMatrix(spec, toolNames, campaign.ToolOptions{}, sum)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "c11bench:", err)
+			return 1
+		}
+		sum.HandoffMatrix = matrix
+	}
 	if !*quiet {
 		fmt.Fprint(out, sum.String())
 	}

@@ -301,6 +301,24 @@ type Options struct {
 	// kernel threads (useful in tests; performance experiments use the
 	// faithful regime).
 	FastHandoff bool
+	// Handoff, when non-empty, overrides the tool's handoff regime outright
+	// (sched.ParseHandoff names; it takes precedence over FastHandoff).
+	// Unknown names panic — validate with sched.ParseHandoff first, as
+	// campaign.StandardTool does.
+	Handoff string
+	// Respawn disables the scheduler's fiber pool (see sched.Config.Respawn).
+	Respawn bool
+}
+
+// schedConfig resolves the options' scheduler configuration from the tool's
+// default regime.
+func (o Options) schedConfig(def sched.Config) sched.Config {
+	cfg := def
+	if o.Handoff != "" {
+		cfg = sched.MustHandoff(o.Handoff)
+	}
+	cfg.Respawn = o.Respawn
+	return cfg
 }
 
 // NewTsan11 builds the tsan11 baseline: commit-order memory model,
@@ -313,6 +331,7 @@ func NewTsan11(opts Options) *core.Engine {
 	m := NewCommitModel(opts.HistoryLimit, false)
 	m.SetConservativeSync(!opts.PreciseSync)
 	return core.New("tsan11", m, core.Config{
+		Sched:          opts.schedConfig(sched.Config{}),
 		Strategy:       core.NewQuantumStrategy(mean),
 		MaxSteps:       opts.MaxSteps,
 		VolatileAcqRel: opts.VolatileAcqRel,
@@ -325,13 +344,13 @@ func NewTsan11(opts Options) *core.Engine {
 func NewTsan11rec(opts Options) *core.Engine {
 	m := NewCommitModel(opts.HistoryLimit, true)
 	m.SetConservativeSync(!opts.PreciseSync)
-	cfg := core.Config{
-		Sched:          sched.Config{LockOSThread: true, CondHandoff: true},
+	def := sched.Config{LockOSThread: true, CondHandoff: true}
+	if opts.FastHandoff {
+		def = sched.Config{}
+	}
+	return core.New("tsan11rec", m, core.Config{
+		Sched:          opts.schedConfig(def),
 		MaxSteps:       opts.MaxSteps,
 		VolatileAcqRel: opts.VolatileAcqRel,
-	}
-	if opts.FastHandoff {
-		cfg.Sched = sched.Config{}
-	}
-	return core.New("tsan11rec", m, cfg)
+	})
 }

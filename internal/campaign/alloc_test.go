@@ -1,0 +1,168 @@
+package campaign
+
+import (
+	"testing"
+
+	"c11tester/internal/capi"
+	"c11tester/internal/sched"
+)
+
+// TestZeroAllocSteadyState pins the fiber-pool tentpole target exactly: once
+// a tool instance's pools, arenas, fiber workers, and program instance are
+// warm, an execution allocates NOTHING — no goroutines, closures, results,
+// race reports, or outcome strings — on every tool × program cell of the
+// standard matrix. testing.AllocsPerRun counts mallocs exactly (unlike the
+// span-granular runtime/metrics counters BENCH_perf.json reports), so this
+// is the strictest form of the ≤ 64 B/exec acceptance gate.
+func TestZeroAllocSteadyState(t *testing.T) {
+	benches, err := SelectBenchmarks("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lits, err := SelectLitmus("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range StandardToolNames() {
+		spec, err := StandardTool(name, ToolOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(program string, prog capi.Program, reset func()) {
+			tool := spec.New()
+			defer closeTool(tool)
+			run := func(seed int64) {
+				if reset != nil {
+					reset()
+				}
+				tool.Execute(prog, seed)
+			}
+			// Warm the pools across several seeds so capacity growth and the
+			// race-dedup map are settled before measuring.
+			for seed := int64(1); seed <= 6; seed++ {
+				run(seed)
+			}
+			if n := testing.AllocsPerRun(10, func() { run(3) }); n != 0 {
+				t.Errorf("%s/%s: %.1f allocs/exec in steady state, want 0", name, program, n)
+			}
+		}
+		for _, b := range benches {
+			check(b.Name, b.New(), nil)
+		}
+		for _, l := range lits {
+			var out string
+			prog := l.Make(&out)
+			check(l.Name, prog, func() { out = "" })
+		}
+	}
+}
+
+// TestHandoffRegimeEquivalence pins the Figure 14 invariant that makes the
+// handoff matrix a pure performance comparison: scheduling decisions are
+// driven by the strategy alone, so campaign outcomes are byte-identical
+// across every handoff regime × {pooled, respawn} scheduler combination.
+func TestHandoffRegimeEquivalence(t *testing.T) {
+	benches, err := SelectBenchmarks("ms-queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lits, err := SelectLitmus("IRIW+acq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 3
+	type cellDigests []execDigest
+	digestsFor := func(opts ToolOptions) cellDigests {
+		spec, err := StandardTool("c11tester", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []execDigest
+		tool, eng, rec := newTracedTool(spec)
+		prog := benches[0].New()
+		for i := 0; i < runs; i++ {
+			res := tool.Execute(prog, int64(i+1))
+			out = append(out, digestOf(t, eng, rec, res, benches[0].Name, false, "", int64(i+1)))
+		}
+		var lit string
+		litProg := lits[0].Make(&lit)
+		for i := 0; i < runs; i++ {
+			lit = ""
+			res := tool.Execute(litProg, int64(i+1))
+			out = append(out, digestOf(t, eng, rec, res, lits[0].Name, true, lit, int64(i+1)))
+		}
+		eng.Close()
+		return out
+	}
+
+	base := digestsFor(ToolOptions{})
+	for _, regime := range sched.HandoffRegimes() {
+		for _, respawn := range []bool{false, true} {
+			got := digestsFor(ToolOptions{Handoff: regime, Respawn: respawn})
+			for i := range base {
+				if diff := digestEqual(base[i], got[i]); diff != "" {
+					t.Fatalf("%s/respawn=%v: execution %d diverged from the default regime: %s",
+						regime, respawn, i, diff)
+				}
+			}
+		}
+	}
+}
+
+// TestRunHandoffMatrix exercises the Figure 14 measurement path end to end
+// at a tiny run count.
+func TestRunHandoffMatrix(t *testing.T) {
+	lits, err := SelectLitmus("SB+rlx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := RunHandoffMatrix(PerfSpec{Litmus: lits, Runs: 2, Warmup: 1, SeedBase: 1},
+		[]string{"c11tester"}, ToolOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(sched.HandoffRegimes())*2 {
+		t.Fatalf("matrix has %d cells, want %d", len(cells), len(sched.HandoffRegimes())*2)
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if c.Execs != 2 || c.NsPerExec <= 0 {
+			t.Errorf("cell %+v: want 2 execs and positive ns/exec", c)
+		}
+		key := c.Handoff
+		if c.Pooled {
+			key += "/pooled"
+		} else {
+			key += "/respawn"
+		}
+		if seen[key] {
+			t.Errorf("duplicate matrix cell %s", key)
+		}
+		seen[key] = true
+	}
+	if HandoffMatrixString(cells) == "" {
+		t.Error("empty matrix table")
+	}
+
+	// A prior summary over the same spec short-circuits its own regime
+	// combination instead of re-measuring it.
+	prior := &PerfSummary{
+		SchemaVersion: PerfSchemaVersion,
+		Spec:          PerfSpecInfo{Handoff: "channel", Pooled: true},
+		Tools:         []PerfToolSummary{{Tool: "c11tester", Execs: 99, NsPerExec: 123}},
+	}
+	cells, err = RunHandoffMatrix(PerfSpec{Litmus: lits, Runs: 2, Warmup: 1, SeedBase: 1},
+		[]string{"c11tester"}, ToolOptions{}, prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.Handoff == "channel" && c.Pooled {
+			if c.Execs != 99 || c.NsPerExec != 123 {
+				t.Errorf("prior aggregate not reused: %+v", c)
+			}
+		} else if c.Execs != 2 {
+			t.Errorf("non-prior cell not measured: %+v", c)
+		}
+	}
+}

@@ -68,7 +68,10 @@ type ToolSpec struct {
 // BenchmarkSpec is one program cell of the campaign matrix.
 type BenchmarkSpec struct {
 	Name string
-	Prog capi.Program
+	// New builds a fresh program instance. Instances carry reusable state
+	// across executions (see structures.Benchmark), so each unit of work
+	// builds its own, exactly as it builds its own tool instance.
+	New func() capi.Program
 	// Signal selects which bug signal counts as a detection for this
 	// benchmark (races for the data-structure suite, assertion violations
 	// for the injected-bug suite).
@@ -301,6 +304,7 @@ func runUniform(spec Spec) ([]job, []fragment) {
 	runPool(spec, len(jobs), func(i int) {
 		r := newCellRunner(spec, jobs[i])
 		r.run(jobs[i].lo, jobs[i].hi, nil)
+		r.close()
 		frags[i] = r.frag
 	})
 	return jobs, frags
@@ -358,6 +362,7 @@ func runAdaptive(spec Spec) ([]job, []fragment, map[cellKey]*BudgetSummary) {
 		runPool(spec, len(grants), func(i int) {
 			r := newCellRunner(spec, waveJobs[i])
 			used[i] = r.runChunked(waveJobs[i].lo, grants[i].budget, chunk, grants[i].plan.tracker)
+			r.close()
 			waveFrags[i] = r.frag
 		})
 		for i, g := range grants {
@@ -453,7 +458,7 @@ func newCellRunner(spec Spec, j job) *cellRunner {
 	switch j.kind {
 	case jobBench:
 		r.bench = spec.Benchmarks[j.cell]
-		r.prog = r.bench.Prog
+		r.prog = r.bench.New()
 	case jobLitmus:
 		r.test = spec.Litmus[j.cell]
 		r.prog = r.test.Make(&r.out)
@@ -506,6 +511,19 @@ func (r *cellRunner) programName() string {
 	}
 	return r.bench.Name
 }
+
+// closeTool releases a tool instance: engines retire their fiber-pool
+// workers (core.Engine.Close), so long-lived processes do not accumulate
+// parked goroutines across the many tool instances campaigns and perf runs
+// construct.
+func closeTool(t capi.Tool) {
+	if c, ok := t.(interface{ Close() }); ok {
+		c.Close()
+	}
+}
+
+// close releases the runner's tool instance once its unit of work is done.
+func (r *cellRunner) close() { closeTool(r.tool) }
 
 // recordFailure folds one aborted execution into the fragment.
 func (r *cellRunner) recordFailure(i int, err string) {

@@ -43,7 +43,7 @@ func benchSpec(t *testing.T, name string) BenchmarkSpec {
 	if structures.IsInjected(name) {
 		sig = harness.SignalAssert
 	}
-	return BenchmarkSpec{Name: b.Name, Prog: b.Prog, Signal: sig}
+	return BenchmarkSpec{Name: b.Name, New: b.New, Signal: sig}
 }
 
 // canonicalize strips the fields that legitimately vary run to run — wall
@@ -153,7 +153,7 @@ func TestReproSeedReplays(t *testing.T) {
 	}
 	for _, r := range races {
 		tool := spec.Tools[0].New()
-		res := tool.Execute(spec.Benchmarks[0].Prog, r.Repro.Seed)
+		res := tool.Execute(spec.Benchmarks[0].New(), r.Repro.Seed)
 		found := false
 		for _, rep := range res.Races {
 			if rep.Key() == r.Key {

@@ -106,10 +106,12 @@ func newTracedTool(spec ToolSpec) (capi.Tool, *core.Engine, *trace.Recorder) {
 }
 
 // TestPooledEngineArenaEquivalence pins the tentpole invariant of the
-// execution arenas: N sequential Execute calls on ONE engine (exercising the
-// recycled Action/clock-vector/mo-graph/scheduler state) produce
-// byte-identical race keys, outcomes, final values, and serialized traces to
-// N fresh engines, across every tool × program cell of the standard matrix.
+// execution arenas and the fiber pool: N sequential Execute calls on ONE
+// engine (exercising the recycled Action/clock-vector/mo-graph state and the
+// re-bound pool workers) produce byte-identical race keys, outcomes, final
+// values, and serialized traces to N fresh engines AND to a
+// respawning-scheduler engine (sched.Config.Respawn) running the same
+// executions, across every tool × program cell of the standard matrix.
 func TestPooledEngineArenaEquivalence(t *testing.T) {
 	const runs = 3
 	benches, err := SelectBenchmarks("all")
@@ -126,6 +128,10 @@ func TestPooledEngineArenaEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		respawnSpec, err := StandardTool(name, ToolOptions{Respawn: true})
+		if err != nil {
+			t.Fatal(err)
+		}
 		type cell struct {
 			name   string
 			isLit  bool
@@ -135,7 +141,7 @@ func TestPooledEngineArenaEquivalence(t *testing.T) {
 		}
 		var cells []cell
 		for _, b := range benches {
-			cells = append(cells, cell{name: b.Name, prog: b.Prog, outStr: func() string { return "" }})
+			cells = append(cells, cell{name: b.Name, prog: b.New(), outStr: func() string { return "" }})
 		}
 		for _, l := range lits {
 			out := new(string)
@@ -167,6 +173,20 @@ func TestPooledEngineArenaEquivalence(t *testing.T) {
 					fresh := digestOf(t, freshEng, freshRec, res, c.name, c.isLit, c.outStr(), int64(i+1))
 					if diff := digestEqual(pooled[i], fresh); diff != "" {
 						t.Fatalf("execution %d (seed %d): pooled engine diverged from fresh engine: %s", i, i+1, diff)
+					}
+				}
+				// The fiber pool must be observationally invisible next to
+				// the goroutine-respawning scheduler: same engine-level
+				// recycling, workers respawned per execution.
+				respawnTool, respawnEng, respawnRec := newTracedTool(respawnSpec)
+				for i := 0; i < runs; i++ {
+					if c.reset != nil {
+						c.reset()
+					}
+					res := respawnTool.Execute(c.prog, int64(i+1))
+					respawn := digestOf(t, respawnEng, respawnRec, res, c.name, c.isLit, c.outStr(), int64(i+1))
+					if diff := digestEqual(pooled[i], respawn); diff != "" {
+						t.Fatalf("execution %d (seed %d): pooled scheduler diverged from respawning scheduler: %s", i, i+1, diff)
 					}
 				}
 			})

@@ -276,8 +276,8 @@ func TestEngineFailureRecordedAndCampaignContinues(t *testing.T) {
 			return core.New("stub", infeasibleModel{}, core.Config{})
 		}}},
 		Benchmarks: []BenchmarkSpec{
-			{Name: "loads", Prog: loads},
-			{Name: "stores", Prog: stores},
+			{Name: "loads", New: func() capi.Program { return loads }},
+			{Name: "stores", New: func() capi.Program { return stores }},
 		},
 		Runs:      12,
 		SeedBase:  5,

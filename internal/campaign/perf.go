@@ -10,6 +10,7 @@ import (
 	"c11tester/internal/capi"
 	"c11tester/internal/harness"
 	"c11tester/internal/litmus"
+	"c11tester/internal/sched"
 )
 
 // Schema identifiers of the serialized perf artifact (BENCH_perf.json). It
@@ -17,9 +18,14 @@ import (
 // tracks detection: ns/exec, allocated bytes/exec, and allocated objects/exec
 // per (tool, program) cell. Bump PerfSchemaVersion on any incompatible change
 // to the JSON shape.
+//
+// Schema v2 (the fiber-pool PR) adds the scheduler regime to the spec echo
+// (handoff, pooled) and the optional Figure 14 handoff matrix
+// (handoff_matrix): ns/exec and allocation counters for every handoff regime
+// × {pooled, respawn} scheduler combination.
 const (
 	PerfSchemaName    = "c11tester/perf"
-	PerfSchemaVersion = 1
+	PerfSchemaVersion = 2
 )
 
 // PerfSpec describes a perf measurement run. Unlike a campaign, it is always
@@ -31,13 +37,24 @@ type PerfSpec struct {
 	Litmus     []*litmus.Test
 	// Runs is the number of measured executions per (tool, program) cell.
 	Runs int
-	// Warmup is the number of unmeasured executions run first on each cell's
-	// tool instance, so the measured window sees the steady state of the
-	// engine's pools and arenas (negative means 0; 0 means the default of 5).
+	// Warmup is the number of unmeasured full sweeps of the measured seed
+	// range run first on each cell's tool instance (negative means 0; 0 means
+	// the default of 1). Sweeping the exact seed sequence the measurement
+	// will use brings every pool and arena to its high-water mark before the
+	// window opens, so the measured window reflects the true steady state —
+	// with the fiber pool, zero allocations — instead of charging one-time
+	// capacity growth at a late seed to the per-execution numbers.
 	Warmup int
-	// SeedBase seeds execution i of a cell with SeedBase+i (warmup included),
-	// mirroring the campaign runner's seeding invariant.
+	// SeedBase seeds measured execution i of a cell with SeedBase+i (warmup
+	// sweeps replay the same seeds), mirroring the campaign runner's seeding
+	// invariant.
 	SeedBase int64
+	// Handoff and Respawn echo the scheduler regime the spec's tools were
+	// built with (ToolOptions.Handoff/Respawn) into the artifact, so two
+	// BENCH_perf.json files are only compared like for like. They do not
+	// themselves configure the tools — the ToolSpec factories do.
+	Handoff string
+	Respawn bool
 }
 
 func (s PerfSpec) withDefaults() PerfSpec {
@@ -45,7 +62,7 @@ func (s PerfSpec) withDefaults() PerfSpec {
 		s.Runs = 30
 	}
 	if s.Warmup == 0 {
-		s.Warmup = 5
+		s.Warmup = 1
 	} else if s.Warmup < 0 {
 		s.Warmup = 0
 	}
@@ -75,13 +92,36 @@ type PerfToolSummary struct {
 	ExecsPerSec         float64 `json:"execs_per_sec"`
 }
 
-// PerfSpecInfo echoes the measurement parameters into the artifact.
+// PerfSpecInfo echoes the measurement parameters into the artifact. Handoff
+// and Pooled (schema v2) name the scheduler regime the main matrix ran in;
+// artifacts from different regimes are not comparable and the perf gate
+// warns on a mismatch.
 type PerfSpecInfo struct {
 	Tools    []string `json:"tools"`
 	Programs []string `json:"programs"`
 	Runs     int      `json:"runs"`
 	Warmup   int      `json:"warmup"`
 	SeedBase int64    `json:"seed_base"`
+	Handoff  string   `json:"handoff,omitempty"`
+	Pooled   bool     `json:"pooled,omitempty"`
+}
+
+// HandoffCell is one aggregated measurement of the Figure 14 handoff matrix:
+// one tool measured over the spec's programs under one handoff regime ×
+// scheduler (pooled fiber workers vs goroutine respawn) combination. The
+// matrix reproduces the paper's Figure 14 comparison — user-level switches
+// (channel ≈ swapcontext fibers) against condition-variable sequencing on
+// green and kernel threads — with the pool dimension isolating what worker
+// reuse itself buys.
+type HandoffCell struct {
+	Handoff string `json:"handoff"`
+	Pooled  bool   `json:"pooled"`
+	Tool    string `json:"tool"`
+	Execs   int    `json:"execs"`
+
+	NsPerExec           float64 `json:"ns_per_exec"`
+	AllocBytesPerExec   float64 `json:"alloc_bytes_per_exec"`
+	AllocObjectsPerExec float64 `json:"alloc_objects_per_exec"`
 }
 
 // PerfSummary is the versioned perf artifact serialized to BENCH_perf.json.
@@ -92,6 +132,9 @@ type PerfSummary struct {
 	Spec          PerfSpecInfo      `json:"spec"`
 	Cells         []PerfCell        `json:"cells"`
 	Tools         []PerfToolSummary `json:"tools"`
+	// HandoffMatrix is the Figure 14 regime comparison (schema v2, optional:
+	// cmd/c11bench -fig14).
+	HandoffMatrix []HandoffCell `json:"handoff_matrix,omitempty"`
 }
 
 // RunPerf measures every (tool, program) cell serially and aggregates the
@@ -106,6 +149,7 @@ func RunPerf(spec PerfSpec) *PerfSummary {
 		GoVersion:     runtime.Version(),
 		Spec: PerfSpecInfo{
 			Runs: spec.Runs, Warmup: spec.Warmup, SeedBase: spec.SeedBase,
+			Handoff: handoffOrDefault(spec.Handoff), Pooled: !spec.Respawn,
 			Tools: []string{}, Programs: []string{},
 		},
 	}
@@ -122,7 +166,7 @@ func RunPerf(spec PerfSpec) *PerfSummary {
 	for ti := range spec.Tools {
 		var tot PerfCell
 		for _, b := range spec.Benchmarks {
-			cell := measureCell(spec, ti, b.Name, false, b.Prog, nil)
+			cell := measureCell(spec, ti, b.Name, false, b.New(), nil)
 			sum.Cells = append(sum.Cells, cell)
 			accumulate(&tot, cell)
 		}
@@ -161,14 +205,19 @@ func accumulate(tot *PerfCell, cell PerfCell) {
 // the cell (the same convention as the campaign's Workers=1 counters).
 func measureCell(spec PerfSpec, ti int, program string, isLit bool, prog capi.Program, reset func()) PerfCell {
 	tool := spec.Tools[ti].New()
+	defer closeTool(tool)
 	run := func(i int) *capi.Result {
 		if reset != nil {
 			reset()
 		}
 		return tool.Execute(prog, spec.SeedBase+int64(i))
 	}
-	for i := 0; i < spec.Warmup; i++ {
-		run(i)
+	// Warmup sweeps replay the exact seed sequence the measured window uses,
+	// so every capacity high-water mark is reached before measurement.
+	for s := 0; s < spec.Warmup; s++ {
+		for i := 0; i < spec.Runs; i++ {
+			run(i)
+		}
 	}
 	// A forced collection pins the GC phase at the window boundary, so
 	// whether a background cycle lands inside the measured window — and the
@@ -180,7 +229,7 @@ func measureCell(spec PerfSpec, ti int, program string, isLit bool, prog capi.Pr
 	b0, o0 := readAllocCounters()
 	start := time.Now()
 	for i := 0; i < spec.Runs; i++ {
-		res := run(spec.Warmup + i)
+		res := run(i)
 		atomicOps += res.Stats.AtomicOps
 	}
 	elapsed := time.Since(start)
@@ -197,10 +246,105 @@ func measureCell(spec PerfSpec, ti int, program string, isLit bool, prog capi.Pr
 	}
 }
 
+// handoffOrDefault normalizes an empty handoff name to the default regime
+// (sched.HandoffName of the zero Config).
+func handoffOrDefault(name string) string {
+	if name == "" {
+		return sched.HandoffName(sched.Config{})
+	}
+	return name
+}
+
+// schedLabel renders the pool dimension of a scheduler regime.
+func schedLabel(pooled bool) string {
+	if pooled {
+		return "pooled"
+	}
+	return "respawn"
+}
+
+// RunHandoffMatrix measures the Figure 14 design space: every handoff regime
+// (channel, cond, osthread) × {pooled, respawn} scheduler, for each named
+// tool, over the spec's programs. Each combination reuses the serial RunPerf
+// machinery with tools rebuilt under the regime, and is aggregated to one
+// HandoffCell. base supplies the non-scheduler tool options. prior, when
+// non-nil, is a summary already measured over the same spec (cmd/c11bench's
+// main run); its regime combination is copied from its per-tool aggregates
+// instead of being measured a second time.
+func RunHandoffMatrix(spec PerfSpec, toolNames []string, base ToolOptions, prior *PerfSummary) ([]HandoffCell, error) {
+	var out []HandoffCell
+	for _, regime := range sched.HandoffRegimes() {
+		for _, pooled := range []bool{true, false} {
+			for _, name := range toolNames {
+				if cell, ok := priorCell(prior, regime, pooled, name); ok {
+					out = append(out, cell)
+					continue
+				}
+				opts := base
+				opts.Handoff = regime
+				opts.Respawn = !pooled
+				ts, err := StandardTool(name, opts)
+				if err != nil {
+					return nil, err
+				}
+				sub := spec
+				sub.Tools = []ToolSpec{ts}
+				sub.Handoff = regime
+				sub.Respawn = !pooled
+				sum := RunPerf(sub)
+				out = append(out, cellFromAgg(regime, pooled, sum.Tools[0]))
+			}
+		}
+	}
+	return out, nil
+}
+
+// cellFromAgg builds a matrix cell from a per-tool RunPerf aggregate.
+func cellFromAgg(regime string, pooled bool, agg PerfToolSummary) HandoffCell {
+	return HandoffCell{
+		Handoff: regime, Pooled: pooled, Tool: agg.Tool,
+		Execs:               agg.Execs,
+		NsPerExec:           agg.NsPerExec,
+		AllocBytesPerExec:   agg.AllocBytesPerExec,
+		AllocObjectsPerExec: agg.AllocObjectsPerExec,
+	}
+}
+
+// priorCell extracts the (regime, pooled, tool) matrix cell from an
+// already-measured summary, if it covers that combination.
+func priorCell(prior *PerfSummary, regime string, pooled bool, tool string) (HandoffCell, bool) {
+	if prior == nil || handoffOrDefault(prior.Spec.Handoff) != regime || prior.Spec.Pooled != pooled {
+		return HandoffCell{}, false
+	}
+	for _, agg := range prior.Tools {
+		if agg.Tool == tool {
+			return cellFromAgg(regime, pooled, agg), true
+		}
+	}
+	return HandoffCell{}, false
+}
+
+// HandoffMatrixString renders the Figure 14 matrix table.
+func HandoffMatrixString(cells []HandoffCell) string {
+	tb := &harness.Table{Header: []string{"handoff", "scheduler", "tool", "ns/exec", "bytes/exec", "objects/exec"}}
+	for _, c := range cells {
+		tb.AddRow(c.Handoff, schedLabel(c.Pooled), c.Tool,
+			fmt.Sprintf("%.0f", c.NsPerExec),
+			fmt.Sprintf("%.0f", c.AllocBytesPerExec),
+			fmt.Sprintf("%.1f", c.AllocObjectsPerExec))
+	}
+	return tb.String()
+}
+
 // String renders the human-readable perf report.
 func (s *PerfSummary) String() string {
-	out := fmt.Sprintf("perf: %d tool(s) × %d program(s), %d measured execs/cell (%d warmup), seed base %d, %s\n\n",
-		len(s.Spec.Tools), len(s.Spec.Programs), s.Spec.Runs, s.Spec.Warmup, s.Spec.SeedBase, s.GoVersion)
+	regime := handoffOrDefault(s.Spec.Handoff)
+	schedName := schedLabel(s.Spec.Pooled)
+	if s.SchemaVersion == 1 {
+		schedName = "pre-pool" // v1 artifacts predate the fiber pool
+	}
+	out := fmt.Sprintf("perf: %d tool(s) × %d program(s), %d measured execs/cell (%d warmup), seed base %d, %s handoff (%s), %s\n\n",
+		len(s.Spec.Tools), len(s.Spec.Programs), s.Spec.Runs, s.Spec.Warmup, s.Spec.SeedBase, regime, schedName, s.GoVersion)
 	tb := &harness.Table{Header: []string{"tool", "execs", "ns/exec", "bytes/exec", "objects/exec", "execs/sec"}}
 	for _, ts := range s.Tools {
 		tb.AddRow(ts.Tool,
@@ -220,6 +364,9 @@ func (s *PerfSummary) String() string {
 			fmt.Sprintf("%.1f", c.AtomicOpsPerExec))
 	}
 	out += "\nper-cell costs:\n" + ct.String()
+	if len(s.HandoffMatrix) > 0 {
+		out += "\nFigure 14 handoff matrix:\n" + HandoffMatrixString(s.HandoffMatrix)
+	}
 	return out
 }
 

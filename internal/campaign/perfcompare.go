@@ -65,6 +65,20 @@ type PerfComparison struct {
 	// comparable between identical Go versions.
 	GoVersionOld string `json:"go_version_old"`
 	GoVersionNew string `json:"go_version_new"`
+	// RegimeOld/New flag scheduler-regime skew ("<handoff>/<pooled|respawn>",
+	// schema v2): comparing artifacts from different handoff regimes measures
+	// the regime, not the code change.
+	RegimeOld string `json:"regime_old,omitempty"`
+	RegimeNew string `json:"regime_new,omitempty"`
+}
+
+// regimeOf renders a summary's scheduler regime for skew warnings; schema v1
+// artifacts predate the fields.
+func regimeOf(s *PerfSummary) string {
+	if s.SchemaVersion < 2 {
+		return ""
+	}
+	return handoffOrDefault(s.Spec.Handoff) + "/" + schedLabel(s.Spec.Pooled)
 }
 
 // ComparePerf diffs two perf artifacts. nsTolPct is the ns/exec tolerance
@@ -75,6 +89,7 @@ func ComparePerf(old, new *PerfSummary, nsTolPct, allocTolPct float64) *PerfComp
 	c := &PerfComparison{
 		NsTolPct: nsTolPct, AllocTolPct: allocTolPct,
 		GoVersionOld: old.GoVersion, GoVersionNew: new.GoVersion,
+		RegimeOld: regimeOf(old), RegimeNew: regimeOf(new),
 	}
 	oldTools := map[string]*PerfToolSummary{}
 	for i := range old.Tools {
@@ -143,6 +158,10 @@ func (c *PerfComparison) String() string {
 		c.NsTolPct, c.AllocTolPct, c.GoVersionOld, c.GoVersionNew)
 	if c.GoVersionOld != c.GoVersionNew {
 		out += "WARNING: artifacts were produced by different Go versions; allocation counts may differ for toolchain reasons\n"
+	}
+	if c.RegimeOld != c.RegimeNew && c.RegimeOld != "" && c.RegimeNew != "" {
+		out += fmt.Sprintf("WARNING: scheduler regimes differ (%s vs %s); the comparison measures the regime, not the change\n",
+			c.RegimeOld, c.RegimeNew)
 	}
 	tb := &harness.Table{Header: []string{"tool", "ns/exec old", "ns/exec new", "ratio", "bytes/exec old", "bytes/exec new", "objs/exec old", "objs/exec new"}}
 	for _, d := range c.Tools {

@@ -33,6 +33,6 @@ func TraceSubject(tr *trace.Trace) (trace.Subject, error) {
 	if err != nil {
 		return trace.Subject{}, err
 	}
-	s.Prog = b.Prog
+	s.Prog = b.New()
 	return s, nil
 }

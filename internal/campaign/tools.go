@@ -10,6 +10,7 @@ import (
 	"c11tester/internal/explore"
 	"c11tester/internal/harness"
 	"c11tester/internal/litmus"
+	"c11tester/internal/sched"
 	"c11tester/internal/structures"
 	"c11tester/internal/trace"
 )
@@ -76,6 +77,16 @@ type ToolOptions struct {
 	// FaithfulHandoff runs tsan11rec on kernel-thread condition-variable
 	// handoff (the Figure 14 regime) instead of the cheap channel handoff.
 	FaithfulHandoff bool
+	// Handoff, when non-empty, overrides every tool's scheduler handoff
+	// regime ("channel", "cond", "osthread" — see sched.ParseHandoff); it
+	// takes precedence over FaithfulHandoff. Scheduling decisions and
+	// campaign outcomes are identical across regimes; only the handoff cost
+	// changes (the Figure 14 dimension cmd/c11bench measures).
+	Handoff string
+	// Respawn disables the scheduler's fiber pool (fresh goroutine per model
+	// thread per execution, see sched.Config.Respawn) — the pre-pool regime,
+	// kept as the second Figure 14 benchmark dimension.
+	Respawn bool
 }
 
 // pruneName renders a PruneMode as its -prune flag value ("" for off).
@@ -161,7 +172,7 @@ func SelectBenchmarks(sel string) ([]BenchmarkSpec, error) {
 		if structures.IsInjected(b.Name) {
 			sig = harness.SignalAssert
 		}
-		specs = append(specs, BenchmarkSpec{Name: b.Name, Prog: b.Prog, Signal: sig})
+		specs = append(specs, BenchmarkSpec{Name: b.Name, New: b.New, Signal: sig})
 	}
 	switch sel {
 	case "none", "":
@@ -209,6 +220,11 @@ func StandardToolNames() []string {
 
 // StandardTool builds the ToolSpec for one of the paper's three tools.
 func StandardTool(name string, opts ToolOptions) (ToolSpec, error) {
+	// Validate the handoff override once here; the factories below run on
+	// worker goroutines where an error has nowhere to go.
+	if _, err := sched.ParseHandoff(opts.Handoff); err != nil {
+		return ToolSpec{}, err
+	}
 	switch name {
 	case "c11tester":
 		strategy := opts.Strategy
@@ -229,7 +245,10 @@ func StandardTool(name string, opts ToolOptions) (ToolSpec, error) {
 			} else {
 				strat = core.NewRandomStrategy()
 			}
+			schedCfg := sched.MustHandoff(opts.Handoff) // "" is the channel default
+			schedCfg.Respawn = opts.Respawn
 			return core.New(name, core.NewC11Model(), core.Config{
+				Sched:      schedCfg,
 				StoreBurst: true,
 				Prune:      opts.Prune,
 				Strategy:   strat,
@@ -241,6 +260,8 @@ func StandardTool(name string, opts ToolOptions) (ToolSpec, error) {
 			return baseline.NewTsan11(baseline.Options{
 				QuantumMean: opts.QuantumMean,
 				MaxSteps:    opts.MaxSteps,
+				Handoff:     opts.Handoff,
+				Respawn:     opts.Respawn,
 			})
 		}}, nil
 	case "tsan11rec":
@@ -248,6 +269,8 @@ func StandardTool(name string, opts ToolOptions) (ToolSpec, error) {
 			return baseline.NewTsan11rec(baseline.Options{
 				MaxSteps:    opts.MaxSteps,
 				FastHandoff: !opts.FaithfulHandoff,
+				Handoff:     opts.Handoff,
+				Respawn:     opts.Respawn,
 			})
 		}}, nil
 	}

@@ -168,6 +168,15 @@ func (s *OpStats) Add(other OpStats) {
 }
 
 // Result is the outcome of one execution of a program under a tool.
+//
+// Ownership: tools recycle one Result per instance across executions (the
+// engine resets it in place via Reset), so a Result returned by Execute —
+// including its Races/NewRaces/AssertFailures backing arrays — is only valid
+// until the same tool's next Execute call. Consumers that keep anything past
+// that point must copy it (the report values themselves are plain values;
+// copying an element or appending it to a consumer-owned slice is enough).
+// Campaign runners, the trace recorder, and the harness all consume results
+// before re-executing.
 type Result struct {
 	// Races holds the races observed during this execution (including ones
 	// seen in earlier executions of the same tool instance).
@@ -195,6 +204,19 @@ type Result struct {
 // race, an assertion violation, or a deadlock.
 func (r *Result) Buggy() bool {
 	return len(r.Races) > 0 || len(r.AssertFailures) > 0 || r.Deadlocked
+}
+
+// Reset recycles the Result for a new execution, truncating the report
+// slices in place so their backing arrays (and capacity) survive. Tools call
+// it at the top of every execution; see the ownership rules above.
+func (r *Result) Reset() {
+	r.Races = r.Races[:0]
+	r.NewRaces = r.NewRaces[:0]
+	r.AssertFailures = r.AssertFailures[:0]
+	r.Deadlocked = false
+	r.Truncated = false
+	r.EngineError = nil
+	r.Stats = OpStats{}
 }
 
 // Tool is a testing tool: something that can repeatedly execute a program

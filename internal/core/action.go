@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"c11tester/internal/capi"
 	"c11tester/internal/memmodel"
 	"c11tester/internal/mograph"
 	"c11tester/internal/race"
@@ -140,6 +141,13 @@ type ThreadState struct {
 	eng  *Engine
 	envv env
 
+	// fn is the program function the thread currently runs; bodyFn is the
+	// runBody method value built once per pooled ThreadState, so re-binding
+	// the thread to a new fn each execution allocates neither a closure nor
+	// a goroutine (the scheduler's fiber pool serves the binding).
+	fn     func(capi.Env)
+	bodyFn func(*sched.Thread)
+
 	// SCFences lists the thread's seq_cst fences in order (used by the
 	// prior-set procedures of Figure 13).
 	SCFences []*Action
@@ -177,6 +185,7 @@ func (t *ThreadState) reset(name string, clockSlots int) {
 	}
 	t.SCFences = t.SCFences[:0]
 	t.thr = nil
+	t.fn = nil
 	t.finished = false
 	t.woken = false
 	t.opSeq = 0
@@ -215,3 +224,13 @@ func (t *ThreadState) LastSCFence() *Action {
 // dispatched for this thread (memory-model plugins use it to stamp the
 // actions they create).
 func (t *ThreadState) OpSeq() memmodel.SeqNum { return t.opSeq }
+
+// runBody is the thread's scheduler binding: it wires the sched handle into
+// the ThreadState and runs the thread's current program function. spawnThread
+// caches one method value of it per pooled ThreadState (bodyFn) and re-binds
+// fn per execution.
+func (t *ThreadState) runBody(thr *sched.Thread) {
+	t.thr = thr
+	t.ID = thr.ID
+	t.fn(&t.envv)
+}

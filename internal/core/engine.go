@@ -220,8 +220,11 @@ type Engine struct {
 	name  string
 	model MemModel
 
-	// Persistent tool state across executions.
-	seenRaces map[string]struct{}
+	// Persistent tool state across executions. seenRaces is keyed by a
+	// comparable struct rather than RaceReport.Key()'s string so the
+	// per-conflict dedup check never formats (and never allocates) on the
+	// hot path.
+	seenRaces map[raceKey]struct{}
 	execIndex int
 
 	// Per-execution state.
@@ -232,13 +235,27 @@ type Engine struct {
 	conds   []*condState
 	nextSeq memmodel.SeqNum
 	scCount int
-	rng     *rand.Rand
-	result  *capi.Result
+	// rng is the workload randomness source behind env.RandUint64, seeded
+	// lazily (rngSeed/rngSeeded): most programs never draw from it, and
+	// re-initializing the ~5KB lagged-Fibonacci state on every execution was
+	// one of the largest remaining per-execution costs after the fiber pool.
+	rng       *rand.Rand
+	rngSeed   int64
+	rngSeeded bool
+	result    *capi.Result
 	steps   uint64
 	trace   []*Action
 	burstT  *ThreadState // thread eligible for a store burst
 
 	readyBuf []*ThreadState
+
+	// Dispatch scratch: the race-conflict buffer handed to the shadow-word
+	// checks (conflicts are copied into the result before the next dispatch)
+	// and the synthetic Op backing NewAtomic's initializing store. Both are
+	// reused so race-bearing operations and location creation allocate
+	// nothing in steady state.
+	confBuf []raceConflict
+	initOp  capi.Op
 
 	// State pools: locState, ThreadState, mutexState, and condState objects
 	// (and their clock-vector buffers) are recycled across Execute calls of
@@ -251,6 +268,12 @@ type Engine struct {
 	threadPool []*ThreadState
 	mutexPool  []*mutexState
 	condPool   []*condState
+
+	// resultBuf is the engine-owned capi.Result recycled across Execute
+	// calls; result always points at it. See the ownership rules on
+	// capi.Result: a returned Result is valid until the engine's next
+	// Execute, and consumers copy what they keep.
+	resultBuf capi.Result
 
 	// Execution-lifetime arenas: every Action and every per-action
 	// clock-vector snapshot created during Execute dies at the next Execute's
@@ -266,7 +289,7 @@ func New(name string, model MemModel, cfg Config) *Engine {
 		cfg:       cfg.withDefaults(),
 		name:      name,
 		model:     model,
-		seenRaces: map[string]struct{}{},
+		seenRaces: map[raceKey]struct{}{},
 	}
 }
 
@@ -322,8 +345,23 @@ func (e *Engine) Threads() []*ThreadState { return e.threads }
 // Trace returns the recorded execution when Config.Trace is set.
 func (e *Engine) Trace() []*Action { return e.trace }
 
-// Rand returns the engine's per-execution random source.
-func (e *Engine) Rand() *rand.Rand { return e.rng }
+// Rand returns the engine's per-execution random source, materializing it on
+// first use in the execution (the source is a pure function of the execution
+// seed either way).
+func (e *Engine) Rand() *rand.Rand {
+	if !e.rngSeeded {
+		if e.rng == nil {
+			e.rng = rand.New(rand.NewSource(e.rngSeed))
+		} else {
+			// Re-seeding in place re-initializes the source to the exact
+			// state a fresh rand.New(rand.NewSource(seed)) would have,
+			// without re-allocating its state table.
+			e.rng.Seed(e.rngSeed)
+		}
+		e.rngSeeded = true
+	}
+	return e.rng
+}
 
 // Strategy returns the engine's exploration strategy.
 func (e *Engine) Strategy() Strategy { return e.cfg.Strategy }
@@ -395,24 +433,58 @@ func (e *Engine) resetExecState(seed int64) {
 	e.burstT = nil
 	e.actions.reset()
 	e.cvs.Reset()
-	if e.rng == nil {
-		e.rng = rand.New(rand.NewSource(seed))
-	} else {
-		// Re-seeding in place re-initializes the source to the exact state a
-		// fresh rand.New(rand.NewSource(seed)) would have, without
-		// re-allocating the source's ~5KB state table every execution.
-		e.rng.Seed(seed)
-	}
+	e.rngSeed = seed
+	e.rngSeeded = false
 	e.cfg.Strategy.Seed(seed)
-	e.result = &capi.Result{}
+	// The Result is recycled in place: its slices keep their capacity, so a
+	// steady-state execution appends races and assertion failures without
+	// allocating. The previous execution's Result contents die here — the
+	// ownership rule consumers see on capi.Result.
+	e.resultBuf.Reset()
+	e.result = &e.resultBuf
 	e.model.Begin(e)
+}
+
+// Close retires the engine's scheduler workers (see sched.Shutdown), so
+// discarding a pooled engine does not leave parked goroutines behind in a
+// long-lived process. Campaign runners close every tool instance when its
+// unit of work completes. Close is idempotent; a later Execute transparently
+// builds a fresh scheduler (and pool) again.
+func (e *Engine) Close() {
+	if e.sch != nil {
+		e.sch.Shutdown()
+		e.sch = nil
+	}
+}
+
+// Workers returns the number of live pooled scheduler workers (0 before the
+// first execution) and WorkerSpawns the number of goroutines the scheduler
+// has ever started. The fiber-pool tests pin the tentpole invariant with
+// them: spawns stop growing once the pool is warm, and retirements (panics)
+// replace workers instead of leaking them.
+func (e *Engine) Workers() int {
+	if e.sch == nil {
+		return 0
+	}
+	return e.sch.WorkerCount()
+}
+
+// WorkerSpawns returns the scheduler's lifetime goroutine-start count; see
+// Workers.
+func (e *Engine) WorkerSpawns() int {
+	if e.sch == nil {
+		return 0
+	}
+	return e.sch.Spawns()
 }
 
 // spawnThread creates a model thread. parent is nil for the main thread;
 // otherwise the child inherits the parent's clock (the asw edge of the
 // paper's lifting, Section A.2). ThreadState objects are recycled from the
-// engine's pool across executions; all goroutines of the previous execution
-// have finished by the time Execute reuses them.
+// engine's pool across executions; all thread bindings of the previous
+// execution have settled by the time Execute reuses them. The sched binding
+// is the ThreadState's cached runBody method value — re-binding a pooled
+// thread to a new fn allocates nothing.
 func (e *Engine) spawnThread(name string, fn func(capi.Env), parent *ThreadState) *ThreadState {
 	idx := len(e.threads)
 	var ts *ThreadState
@@ -424,20 +496,18 @@ func (e *Engine) spawnThread(name string, fn func(capi.Env), parent *ThreadState
 			Name: name,
 			C:    memmodel.NewClockVector(idx + 1),
 		}
+		ts.bodyFn = ts.runBody
 		e.threadPool = append(e.threadPool, ts)
 	}
 	ts.eng = e
 	ts.envv = env{e: e, ts: ts}
+	ts.fn = fn
 	if parent != nil {
 		ts.C.Merge(parent.C)
 	}
-	// The handle must be wired up inside the body: the thread runs to its
-	// first operation before NewThread returns.
-	e.sch.NewThread(name, func(t *sched.Thread) {
-		ts.thr = t
-		ts.ID = t.ID
-		fn(&ts.envv)
-	})
+	// The handle must be wired up inside the body (runBody): the thread runs
+	// to its first operation before NewThread returns.
+	e.sch.NewThread(name, ts.bodyFn)
 	ts.thr = e.sch.Threads()[len(e.sch.Threads())-1]
 	ts.ID = ts.thr.ID
 	e.threads = append(e.threads, ts)
@@ -595,8 +665,10 @@ func (e *Engine) ActionCount() int { return e.actions.len() }
 // loc returns the location state for id.
 func (e *Engine) loc(id memmodel.LocID) *locState { return e.locs[id] }
 
-// newLocState returns a zeroed locState for id, recycled from the engine's
-// pool when a previous execution already allocated one at this slot.
+// newLocState returns a reset locState for id, recycled from the engine's
+// pool when a previous execution already allocated one at this slot. The
+// reset is field-wise: zeroing the struct would discard the race-detector
+// shadow's spilled record, re-allocating it on the next expansion.
 func (e *Engine) newLocState(id memmodel.LocID, name string) *locState {
 	for len(e.locPool) <= int(id) {
 		e.locPool = append(e.locPool, nil)
@@ -606,7 +678,11 @@ func (e *Engine) newLocState(id memmodel.LocID, name string) *locState {
 		l = &locState{}
 		e.locPool[id] = l
 	}
-	*l = locState{id: id, name: name}
+	l.id = id
+	l.name = name
+	l.naValue = 0
+	l.promoted = false
+	l.shadow.Reset()
 	return l
 }
 
@@ -648,6 +724,14 @@ func (e *Engine) LocName(id memmodel.LocID) string {
 	return fmt.Sprintf("loc#%d", id)
 }
 
+// raceKey is the comparable form of capi.RaceReport.Key(): the cross-
+// execution race identity (location name, access-kind pair). Using a struct
+// map key keeps the per-conflict dedup lookup allocation-free.
+type raceKey struct {
+	loc         string
+	prior, kind memmodel.Kind
+}
+
 // reportConflicts converts race-detector conflicts on loc into reports,
 // deduplicating across executions (Section 7.6: races are reported once).
 func (e *Engine) reportConflicts(ts *ThreadState, l *locState, kind memmodel.Kind, conflicts []raceConflict) {
@@ -671,8 +755,9 @@ func (e *Engine) reportConflicts(ts *ThreadState, l *locState, kind memmodel.Kin
 			Execution: e.execIndex,
 		}
 		e.result.Races = append(e.result.Races, r)
-		if _, seen := e.seenRaces[r.Key()]; !seen {
-			e.seenRaces[r.Key()] = struct{}{}
+		k := raceKey{loc: l.name, prior: priorKind, kind: kind}
+		if _, seen := e.seenRaces[k]; !seen {
+			e.seenRaces[k] = struct{}{}
 			e.result.NewRaces = append(e.result.NewRaces, r)
 		}
 	}

@@ -195,12 +195,16 @@ func (v *env) Assert(cond bool, format string, args ...any) {
 	if cond {
 		return
 	}
+	msg := format
+	if len(args) > 0 {
+		msg = fmt.Sprintf(format, args...)
+	}
 	op := v.prep()
-	op.Kind, op.AssertMsg = memmodel.KAssert, fmt.Sprintf(format, args...)
+	op.Kind, op.AssertMsg = memmodel.KAssert, msg
 	v.call(op)
 }
 
 // RandUint64 draws from the engine's per-execution source. Threads run one
 // at a time and are totally ordered by the handoff channels, so the shared
 // source is safe to use here without additional synchronization.
-func (v *env) RandUint64() uint64 { return v.e.rng.Uint64() }
+func (v *env) RandUint64() uint64 { return v.e.Rand().Uint64() }

@@ -10,9 +10,6 @@ import (
 
 type raceConflict = race.Conflict
 
-// confBuf is reused across dispatches to avoid per-op allocations.
-var _ = raceConflict{}
-
 // dispatch executes the pending operation of ts: the "Execute(s, t, b)" step
 // of Figure 3. Handlers either complete the operation (replying to the
 // thread) or block it; blocked operations are re-dispatched after a wake.
@@ -102,11 +99,12 @@ func (e *Engine) doAlloc(ts *ThreadState, op *capi.Op) {
 	e.locs = append(e.locs, l)
 	op.Val = memmodel.Value(id)
 	if op.NewAtomic {
-		// Initialise with a relaxed atomic store.
-		init := &capi.Op{Kind: memmodel.KStore, MO: memmodel.Relaxed, Loc: id, Operand: op.Operand}
+		// Initialise with a relaxed atomic store, backed by the engine's
+		// scratch Op (the model reads it synchronously and keeps nothing).
+		e.initOp = capi.Op{Kind: memmodel.KStore, MO: memmodel.Relaxed, Loc: id, Operand: op.Operand}
 		e.assignSeq(ts)
-		l.shadow.OnWrite(ts.ID, ts.opSeq, true, e.hbCheck(ts), nil)
-		e.model.AtomicStore(ts, init)
+		e.confBuf = l.shadow.OnWrite(ts.ID, ts.opSeq, true, e.hbCheck(ts), e.confBuf[:0])
+		e.model.AtomicStore(ts, &e.initOp)
 		l.naValue = op.Operand
 		l.promoted = true
 		e.result.Stats.AtomicOps++
@@ -114,7 +112,7 @@ func (e *Engine) doAlloc(ts *ThreadState, op *capi.Op) {
 		// atomic_init is implemented as a non-atomic store (Section 7.2);
 		// it may race with concurrent atomic accesses.
 		e.assignSeq(ts)
-		l.shadow.OnWrite(ts.ID, ts.opSeq, false, e.hbCheck(ts), nil)
+		e.confBuf = l.shadow.OnWrite(ts.ID, ts.opSeq, false, e.hbCheck(ts), e.confBuf[:0])
 		l.naValue = op.Operand
 		e.result.Stats.NormalOps++
 	}
@@ -124,7 +122,8 @@ func (e *Engine) doAlloc(ts *ThreadState, op *capi.Op) {
 func (e *Engine) doNAStore(ts *ThreadState, op *capi.Op) {
 	e.assignSeq(ts)
 	l := e.loc(op.Loc)
-	conf := l.shadow.OnWrite(ts.ID, ts.opSeq, false, e.hbCheck(ts), nil)
+	conf := l.shadow.OnWrite(ts.ID, ts.opSeq, false, e.hbCheck(ts), e.confBuf[:0])
+	e.confBuf = conf
 	e.reportConflicts(ts, l, memmodel.KNAStore, conf)
 	l.naValue = op.Operand
 	l.promoted = false
@@ -135,7 +134,8 @@ func (e *Engine) doNAStore(ts *ThreadState, op *capi.Op) {
 func (e *Engine) doNALoad(ts *ThreadState, op *capi.Op) {
 	e.assignSeq(ts)
 	l := e.loc(op.Loc)
-	conf := l.shadow.OnRead(ts.ID, ts.opSeq, false, e.hbCheck(ts), nil)
+	conf := l.shadow.OnRead(ts.ID, ts.opSeq, false, e.hbCheck(ts), e.confBuf[:0])
+	e.confBuf = conf
 	e.reportConflicts(ts, l, memmodel.KNALoad, conf)
 	op.Val = l.naValue
 	e.result.Stats.NormalOps++
@@ -146,7 +146,8 @@ func (e *Engine) doAtomicLoad(ts *ThreadState, op *capi.Op) {
 	e.assignSeq(ts)
 	l := e.loc(op.Loc)
 	e.maybePromote(ts, l)
-	conf := l.shadow.OnRead(ts.ID, ts.opSeq, true, e.hbCheck(ts), nil)
+	conf := l.shadow.OnRead(ts.ID, ts.opSeq, true, e.hbCheck(ts), e.confBuf[:0])
+	e.confBuf = conf
 	e.reportConflicts(ts, l, memmodel.KLoad, conf)
 	op.Val = e.model.AtomicLoad(ts, op)
 	e.result.Stats.AtomicOps++
@@ -157,7 +158,8 @@ func (e *Engine) doAtomicStore(ts *ThreadState, op *capi.Op) {
 	e.assignSeq(ts)
 	l := e.loc(op.Loc)
 	e.maybePromote(ts, l)
-	conf := l.shadow.OnWrite(ts.ID, ts.opSeq, true, e.hbCheck(ts), nil)
+	conf := l.shadow.OnWrite(ts.ID, ts.opSeq, true, e.hbCheck(ts), e.confBuf[:0])
+	e.confBuf = conf
 	e.reportConflicts(ts, l, memmodel.KStore, conf)
 	e.model.AtomicStore(ts, op)
 	l.naValue = op.Operand
@@ -191,7 +193,7 @@ func (e *Engine) doAtomicRMW(ts *ThreadState, op *capi.Op) {
 	l := e.loc(op.Loc)
 	e.maybePromote(ts, l)
 	hb := e.hbCheck(ts)
-	conf := l.shadow.OnRead(ts.ID, ts.opSeq, true, hb, nil)
+	conf := l.shadow.OnRead(ts.ID, ts.opSeq, true, hb, e.confBuf[:0])
 	old, stored := e.model.AtomicRMW(ts, op)
 	op.Val = old
 	op.OK = stored
@@ -199,6 +201,7 @@ func (e *Engine) doAtomicRMW(ts *ThreadState, op *capi.Op) {
 		conf = l.shadow.OnWrite(ts.ID, ts.opSeq, true, hb, conf)
 		l.naValue = rmwNewValue(op, old)
 	}
+	e.confBuf = conf
 	e.reportConflicts(ts, l, memmodel.KRMW, conf)
 	e.result.Stats.AtomicOps++
 	e.complete(ts)

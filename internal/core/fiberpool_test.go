@@ -1,0 +1,129 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"c11tester/internal/capi"
+)
+
+// cleanCrossProg is a short racy two-thread program used as the "healthy"
+// counterpart in pool-recycling tests.
+var cleanCrossProg = capi.Program{Name: "clean-cross", Run: func(env capi.Env) {
+	x := env.NewAtomic("x", 0)
+	d := env.NewLoc("d", 0)
+	th := env.Spawn("w", func(env capi.Env) {
+		env.Write(d, 1)
+		env.Store(x, 1, rel)
+	})
+	env.Read(d)
+	env.Load(x, acq)
+	env.Join(th)
+}}
+
+// poolDigest is the comparable outcome of one execution for pool tests.
+type poolDigest struct {
+	Races      []string
+	Finals     map[string]uint64
+	Asserts    int
+	Deadlocked bool
+	Truncated  bool
+	Atomic     uint64
+}
+
+func poolDigestOf(eng *Engine, res *capi.Result) poolDigest {
+	keys := []string{}
+	seen := map[string]bool{}
+	for _, r := range res.Races {
+		if k := r.Key(); !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	finals := map[string]uint64{}
+	for k, v := range eng.FinalValues() {
+		finals[k] = uint64(v)
+	}
+	return poolDigest{
+		Races: keys, Finals: finals, Asserts: len(res.AssertFailures),
+		Deadlocked: res.Deadlocked, Truncated: res.Truncated,
+		Atomic: res.Stats.AtomicOps,
+	}
+}
+
+// TestPanickingProgramAlternationOnPooledEngine is the regression test for
+// worker retirement: a program thread that panics (a non-abort PanicValue)
+// must retire its fiber-pool worker, and the next execution on the same
+// engine must run on a fresh worker with no stale panic state — alternating
+// a panicking program with a clean one stays byte-identical to fresh
+// engines throughout.
+func TestPanickingProgramAlternationOnPooledEngine(t *testing.T) {
+	bomb := capi.Program{Name: "bomb", Run: func(env capi.Env) {
+		x := env.NewAtomic("x", 0)
+		th := env.Spawn("p", func(env capi.Env) {
+			env.Load(x, rlx)
+			panic("kaboom")
+		})
+		env.Join(th)
+	}}
+
+	eng := newTool(Config{})
+	for round := 0; round < 12; round++ {
+		seed := int64(round)
+		if round%2 == 0 {
+			res := eng.Execute(bomb, seed)
+			if res.EngineError != nil {
+				t.Fatalf("round %d: program panic surfaced as engine error %v", round, res.EngineError)
+			}
+			if len(res.AssertFailures) != 1 || !strings.Contains(res.AssertFailures[0].Message, "kaboom") {
+				t.Fatalf("round %d: panic not surfaced as failure: %+v", round, res.AssertFailures)
+			}
+			continue
+		}
+		res := eng.Execute(cleanCrossProg, seed)
+		if len(res.AssertFailures) != 0 {
+			t.Fatalf("round %d: stale panic leaked into a clean execution: %+v", round, res.AssertFailures)
+		}
+		fresh := newTool(Config{})
+		want := fresh.Execute(cleanCrossProg, seed)
+		got, wantD := poolDigestOf(eng, res), poolDigestOf(fresh, want)
+		// FinalValues must be read before the comparison engine executes
+		// again, but both are consumed immediately here.
+		if !reflect.DeepEqual(got, wantD) {
+			t.Fatalf("round %d: pooled-after-panic %+v != fresh %+v", round, got, wantD)
+		}
+		fresh.Close()
+	}
+	// The bomb program uses 2 threads; every panic retires the panicking
+	// worker and the pool replaces it on the next binding, so the live
+	// worker count stays bounded by the widest program.
+	if w := eng.Workers(); w > 2 {
+		t.Errorf("worker count %d after alternation, want ≤ 2", w)
+	}
+	// 6 bomb rounds retire 6 workers; spawns = 2 initial + 6 replacements.
+	if s := eng.WorkerSpawns(); s > 8 {
+		t.Errorf("worker spawns = %d, want ≤ 8 (clean executions must not spawn)", s)
+	}
+	eng.Close()
+	if w := eng.Workers(); w != 0 {
+		t.Errorf("worker count %d after Close, want 0", w)
+	}
+}
+
+// TestResultRecycledAcrossExecutions pins the capi.Result ownership rule: the
+// engine returns the same Result object every execution, reset in place, and
+// its report slices reuse their backing arrays.
+func TestResultRecycledAcrossExecutions(t *testing.T) {
+	eng := newTool(Config{})
+	res1 := eng.Execute(cleanCrossProg, 1)
+	res2 := eng.Execute(cleanCrossProg, 2)
+	if res1 != res2 {
+		t.Fatal("engine allocated a fresh Result instead of recycling")
+	}
+	res3 := eng.Execute(capi.Program{Name: "empty", Run: func(env capi.Env) {}}, 3)
+	if len(res3.Races) != 0 || res3.Stats.AtomicOps != 0 || res3.EngineError != nil {
+		t.Fatalf("recycled result not reset: %+v", res3)
+	}
+	eng.Close()
+}

@@ -145,7 +145,7 @@ func (e *Engine) doCondSignal(ts *ThreadState, op *capi.Op, broadcast bool) {
 			}
 			c.waiters = c.waiters[:0]
 		} else {
-			i := e.rng.Intn(len(c.waiters))
+			i := e.Rand().Intn(len(c.waiters))
 			w := c.waiters[i]
 			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
 			w.condPhase = condReacquire

@@ -4,6 +4,13 @@
 // consistent) under the C11Tester memory-model fragment (Section 2.2).
 // They validate the engine, differentiate the baselines, and drive
 // cmd/litmus.
+//
+// Each Test.Make call builds a fresh program *instance*: the location
+// handles, outcome registers, and thread bodies live in the instance (they
+// are rebound by Run at the start of every execution), so steady-state
+// executions of an instance allocate nothing — outcome strings are interned
+// and thread bodies are closures built once at Make time. An instance runs
+// one execution at a time; concurrent campaign cells each make their own.
 package litmus
 
 import (
@@ -20,6 +27,73 @@ const (
 	sc  = memmodel.SeqCst
 )
 
+// internMax bounds the per-register values covered by the interned outcome
+// tables; litmus registers only ever hold tiny constants (0..3).
+const internMax = 4
+
+var (
+	rrOut   [internMax][internMax]string                       // "r1=%d r2=%d"
+	d2Out   [internMax][internMax]string                       // "%d%d"
+	d3Out   [internMax][internMax][internMax]string            // "%d%d%d"
+	d4Out   [internMax][internMax][internMax][internMax]string // "%d%d%d%d"
+	winsOut [internMax]string                                  // "wins=%d"
+)
+
+func init() {
+	for i := 0; i < internMax; i++ {
+		winsOut[i] = fmt.Sprintf("wins=%d", i)
+		for j := 0; j < internMax; j++ {
+			rrOut[i][j] = fmt.Sprintf("r1=%d r2=%d", i, j)
+			d2Out[i][j] = fmt.Sprintf("%d%d", i, j)
+			for k := 0; k < internMax; k++ {
+				d3Out[i][j][k] = fmt.Sprintf("%d%d%d", i, j, k)
+				for l := 0; l < internMax; l++ {
+					d4Out[i][j][k][l] = fmt.Sprintf("%d%d%d%d", i, j, k, l)
+				}
+			}
+		}
+	}
+}
+
+// outRR interns the "r1=%d r2=%d" outcome; recording an outcome must not
+// allocate per execution (the zero-alloc steady-state invariant of the
+// fiber-pool perf matrix). The Sprintf fallbacks are unreachable for the
+// suite's programs and only guard future tests with larger constants.
+func outRR(r1, r2 memmodel.Value) string {
+	if r1 < internMax && r2 < internMax {
+		return rrOut[r1][r2]
+	}
+	return fmt.Sprintf("r1=%d r2=%d", r1, r2)
+}
+
+func outD2(a, b memmodel.Value) string {
+	if a < internMax && b < internMax {
+		return d2Out[a][b]
+	}
+	return fmt.Sprintf("%d%d", a, b)
+}
+
+func outD3(a, b, c memmodel.Value) string {
+	if a < internMax && b < internMax && c < internMax {
+		return d3Out[a][b][c]
+	}
+	return fmt.Sprintf("%d%d%d", a, b, c)
+}
+
+func outD4(a, b, c, d memmodel.Value) string {
+	if a < internMax && b < internMax && c < internMax && d < internMax {
+		return d4Out[a][b][c][d]
+	}
+	return fmt.Sprintf("%d%d%d%d", a, b, c, d)
+}
+
+func outWins(n memmodel.Value) string {
+	if n < internMax {
+		return winsOut[n]
+	}
+	return fmt.Sprintf("wins=%d", n)
+}
+
 // Test is one litmus test.
 type Test struct {
 	Name string
@@ -34,8 +108,9 @@ type Test struct {
 	// tsan11/tsan11rec fragment (hb ∪ sc ∪ rf ∪ mo acyclic): the fragment
 	// gap of Section 1.1.
 	BaselineForbidden map[string]bool
-	// Make builds the program; each execution writes its outcome to *out
-	// ("" means the run was skipped, e.g. a bounded spin starved).
+	// Make builds a program instance; each execution writes its outcome to
+	// *out ("" means the run was skipped, e.g. a bounded spin starved). An
+	// instance must only run one execution at a time.
 	Make func(out *string) capi.Program
 }
 
@@ -65,7 +140,7 @@ func Tests() []*Test {
 				}, func(env capi.Env, x, y capi.Loc) string {
 					r1 := env.Load(y, rlx)
 					r2 := env.Load(x, rlx)
-					return fmt.Sprintf("r1=%d r2=%d", r1, r2)
+					return outRR(r1, r2)
 				})
 			},
 		},
@@ -80,7 +155,7 @@ func Tests() []*Test {
 				}, func(env capi.Env, x, y capi.Loc) string {
 					r1 := env.Load(y, acq)
 					r2 := env.Load(x, rlx)
-					return fmt.Sprintf("r1=%d r2=%d", r1, r2)
+					return outRR(r1, r2)
 				})
 			},
 		},
@@ -101,21 +176,25 @@ func Tests() []*Test {
 			Doc:       "load buffering: r1=r2=1 forbidden by hb ∪ sc ∪ rf acyclicity (no OOTA)",
 			Forbidden: map[string]bool{"r1=1 r2=1": true},
 			Make: func(out *string) capi.Program {
+				var x, y capi.Loc
+				var r1, r2 memmodel.Value
+				aBody := func(env capi.Env) {
+					r1 = env.Load(y, rlx)
+					env.Store(x, 1, rlx)
+				}
+				bBody := func(env capi.Env) {
+					r2 = env.Load(x, rlx)
+					env.Store(y, 1, rlx)
+				}
 				return capi.Program{Name: "LB+rlx", Run: func(env capi.Env) {
-					x := env.NewAtomic("x", 0)
-					y := env.NewAtomic("y", 0)
-					var r1, r2 memmodel.Value
-					a := env.Spawn("A", func(env capi.Env) {
-						r1 = env.Load(y, rlx)
-						env.Store(x, 1, rlx)
-					})
-					b := env.Spawn("B", func(env capi.Env) {
-						r2 = env.Load(x, rlx)
-						env.Store(y, 1, rlx)
-					})
+					x = env.NewAtomic("x", 0)
+					y = env.NewAtomic("y", 0)
+					r1, r2 = 0, 0
+					a := env.Spawn("A", aBody)
+					b := env.Spawn("B", bBody)
 					env.Join(a)
 					env.Join(b)
-					*out = fmt.Sprintf("r1=%d r2=%d", r1, r2)
+					*out = outRR(r1, r2)
 				}}
 			},
 		},
@@ -125,17 +204,20 @@ func Tests() []*Test {
 			Forbidden: map[string]bool{"21": true, "10": true, "20": true},
 			Weak:      map[string]bool{"01": true, "02": true},
 			Make: func(out *string) capi.Program {
+				var x capi.Loc
+				aBody := func(env capi.Env) {
+					env.Store(x, 1, rlx)
+					env.Store(x, 2, rlx)
+				}
+				bBody := func(env capi.Env) {
+					r1 := env.Load(x, rlx)
+					r2 := env.Load(x, rlx)
+					*out = outD2(r1, r2)
+				}
 				return capi.Program{Name: "CoRR", Run: func(env capi.Env) {
-					x := env.NewAtomic("x", 0)
-					a := env.Spawn("A", func(env capi.Env) {
-						env.Store(x, 1, rlx)
-						env.Store(x, 2, rlx)
-					})
-					b := env.Spawn("B", func(env capi.Env) {
-						r1 := env.Load(x, rlx)
-						r2 := env.Load(x, rlx)
-						*out = fmt.Sprintf("%d%d", r1, r2)
-					})
+					x = env.NewAtomic("x", 0)
+					a := env.Spawn("A", aBody)
+					b := env.Spawn("B", bBody)
 					env.Join(a)
 					env.Join(b)
 				}}
@@ -159,25 +241,29 @@ func Tests() []*Test {
 			Forbidden: map[string]bool{"sync-miss": true},
 			Weak:      map[string]bool{"synced": true},
 			Make: func(out *string) capi.Program {
-				return capi.Program{Name: "RelSeq+rmw", Run: func(env capi.Env) {
-					d := env.NewAtomic("d", 0)
-					f := env.NewAtomic("f", 0)
-					a := env.Spawn("A", func(env capi.Env) {
-						env.Store(d, 7, rlx)
-						env.Store(f, 1, rel)
-					})
-					b := env.Spawn("B", func(env capi.Env) {
-						env.FetchAdd(f, 1, rlx)
-					})
-					c := env.Spawn("C", func(env capi.Env) {
-						if env.Load(f, acq) == 2 {
-							if env.Load(d, rlx) == 7 {
-								*out = "synced"
-							} else {
-								*out = "sync-miss"
-							}
+				var d, f capi.Loc
+				aBody := func(env capi.Env) {
+					env.Store(d, 7, rlx)
+					env.Store(f, 1, rel)
+				}
+				bBody := func(env capi.Env) {
+					env.FetchAdd(f, 1, rlx)
+				}
+				cBody := func(env capi.Env) {
+					if env.Load(f, acq) == 2 {
+						if env.Load(d, rlx) == 7 {
+							*out = "synced"
+						} else {
+							*out = "sync-miss"
 						}
-					})
+					}
+				}
+				return capi.Program{Name: "RelSeq+rmw", Run: func(env capi.Env) {
+					d = env.NewAtomic("d", 0)
+					f = env.NewAtomic("f", 0)
+					a := env.Spawn("A", aBody)
+					b := env.Spawn("B", bBody)
+					c := env.Spawn("C", cBody)
 					env.Join(a)
 					env.Join(b)
 					env.Join(c)
@@ -197,7 +283,7 @@ func Tests() []*Test {
 					r1 := env.Load(y, rlx)
 					env.Fence(acq)
 					r2 := env.Load(x, rlx)
-					return fmt.Sprintf("r1=%d r2=%d", r1, r2)
+					return outRR(r1, r2)
 				})
 			},
 		},
@@ -208,29 +294,33 @@ func Tests() []*Test {
 			Weak:              map[string]bool{"21": true},
 			BaselineForbidden: map[string]bool{"21": true},
 			Make: func(out *string) capi.Program {
+				var x, f, g capi.Loc
+				w1Body := func(env capi.Env) {
+					env.Store(x, 1, rlx)
+					env.Store(f, 1, rlx)
+				}
+				w2Body := func(env capi.Env) {
+					if !spin(env, f, rlx) {
+						return
+					}
+					env.Store(x, 2, rlx)
+					env.Store(g, 1, rlx)
+				}
+				rBody := func(env capi.Env) {
+					if !spin(env, g, rlx) {
+						return
+					}
+					a := env.Load(x, rlx)
+					b := env.Load(x, rlx)
+					*out = outD2(a, b)
+				}
 				return capi.Program{Name: "CoRR+opposed", Run: func(env capi.Env) {
-					x := env.NewAtomic("x", 0)
-					f := env.NewAtomic("f", 0)
-					g := env.NewAtomic("g", 0)
-					w1 := env.Spawn("w1", func(env capi.Env) {
-						env.Store(x, 1, rlx)
-						env.Store(f, 1, rlx)
-					})
-					w2 := env.Spawn("w2", func(env capi.Env) {
-						if !spin(env, f, rlx) {
-							return
-						}
-						env.Store(x, 2, rlx)
-						env.Store(g, 1, rlx)
-					})
-					r := env.Spawn("r", func(env capi.Env) {
-						if !spin(env, g, rlx) {
-							return
-						}
-						a := env.Load(x, rlx)
-						b := env.Load(x, rlx)
-						*out = fmt.Sprintf("%d%d", a, b)
-					})
+					x = env.NewAtomic("x", 0)
+					f = env.NewAtomic("f", 0)
+					g = env.NewAtomic("g", 0)
+					w1 := env.Spawn("w1", w1Body)
+					w2 := env.Spawn("w2", w2Body)
+					r := env.Spawn("r", rBody)
 					env.Join(w1)
 					env.Join(w2)
 					env.Join(r)
@@ -242,23 +332,28 @@ func Tests() []*Test {
 			Doc:       "write-to-read causality with seq_cst accesses: the non-SC outcome is forbidden",
 			Forbidden: map[string]bool{"100": true},
 			Make: func(out *string) capi.Program {
+				var x, y capi.Loc
+				var a1, b1, c1 memmodel.Value
+				aBody := func(env capi.Env) { env.Store(x, 1, sc) }
+				bBody := func(env capi.Env) {
+					a1 = env.Load(x, sc)
+					b1 = env.Load(y, sc)
+				}
+				cBody := func(env capi.Env) {
+					env.Store(y, 1, sc)
+					c1 = env.Load(x, sc)
+				}
 				return capi.Program{Name: "W+RWC", Run: func(env capi.Env) {
-					x := env.NewAtomic("x", 0)
-					y := env.NewAtomic("y", 0)
-					var a1, b1, c1 memmodel.Value
-					ta := env.Spawn("a", func(env capi.Env) { env.Store(x, 1, sc) })
-					tb := env.Spawn("b", func(env capi.Env) {
-						a1 = env.Load(x, sc)
-						b1 = env.Load(y, sc)
-					})
-					tc := env.Spawn("c", func(env capi.Env) {
-						env.Store(y, 1, sc)
-						c1 = env.Load(x, sc)
-					})
+					x = env.NewAtomic("x", 0)
+					y = env.NewAtomic("y", 0)
+					a1, b1, c1 = 0, 0, 0
+					ta := env.Spawn("a", aBody)
+					tb := env.Spawn("b", bBody)
+					tc := env.Spawn("c", cBody)
 					env.Join(ta)
 					env.Join(tb)
 					env.Join(tc)
-					*out = fmt.Sprintf("%d%d%d", a1, b1, c1)
+					*out = outD3(a1, b1, c1)
 				}}
 			},
 		},
@@ -267,21 +362,24 @@ func Tests() []*Test {
 			Doc:       "a strong CAS from the initial value has exactly one winner",
 			Forbidden: map[string]bool{"wins=0": true, "wins=2": true, "wins=3": true},
 			Make: func(out *string) capi.Program {
+				var x capi.Loc
+				var wins memmodel.Value
+				body := func(env capi.Env) {
+					if _, ok := env.CompareExchange(x, 0, 1, sc, sc); ok {
+						wins++
+					}
+				}
+				var threads [3]capi.Thread
 				return capi.Program{Name: "CAS+winner", Run: func(env capi.Env) {
-					x := env.NewAtomic("x", 0)
-					wins := 0
-					var threads []capi.Thread
-					for i := 0; i < 3; i++ {
-						threads = append(threads, env.Spawn("t", func(env capi.Env) {
-							if _, ok := env.CompareExchange(x, 0, 1, sc, sc); ok {
-								wins++
-							}
-						}))
+					x = env.NewAtomic("x", 0)
+					wins = 0
+					for i := range threads {
+						threads[i] = env.Spawn("t", body)
 					}
 					for _, th := range threads {
 						env.Join(th)
 					}
-					*out = fmt.Sprintf("wins=%d", wins)
+					*out = outWins(wins)
 				}}
 			},
 		},
@@ -308,14 +406,18 @@ func Names() []string {
 	return names
 }
 
-// prog2 builds a two-location, two-thread program whose reader thread
-// produces the outcome.
+// prog2 builds a two-location, two-thread program instance whose reader
+// thread produces the outcome. The location handles and thread bodies are
+// instance state, rebound at the start of every Run.
 func prog2(out *string, writer func(capi.Env, capi.Loc, capi.Loc), reader func(capi.Env, capi.Loc, capi.Loc) string) capi.Program {
+	var x, y capi.Loc
+	wBody := func(env capi.Env) { writer(env, x, y) }
+	rBody := func(env capi.Env) { *out = reader(env, x, y) }
 	return capi.Program{Name: "litmus", Run: func(env capi.Env) {
-		x := env.NewAtomic("x", 0)
-		y := env.NewAtomic("y", 0)
-		a := env.Spawn("A", func(env capi.Env) { writer(env, x, y) })
-		b := env.Spawn("B", func(env capi.Env) { *out = reader(env, x, y) })
+		x = env.NewAtomic("x", 0)
+		y = env.NewAtomic("y", 0)
+		a := env.Spawn("A", wBody)
+		b := env.Spawn("B", rBody)
 		env.Join(a)
 		env.Join(b)
 	}}
@@ -323,39 +425,50 @@ func prog2(out *string, writer func(capi.Env, capi.Loc, capi.Loc), reader func(c
 
 func sbProgram(mo memmodel.MemoryOrder) func(out *string) capi.Program {
 	return func(out *string) capi.Program {
+		var x, y capi.Loc
+		var r1, r2 memmodel.Value
+		aBody := func(env capi.Env) {
+			env.Store(x, 1, mo)
+			r1 = env.Load(y, mo)
+		}
+		bBody := func(env capi.Env) {
+			env.Store(y, 1, mo)
+			r2 = env.Load(x, mo)
+		}
 		return capi.Program{Name: "SB", Run: func(env capi.Env) {
-			x := env.NewAtomic("x", 0)
-			y := env.NewAtomic("y", 0)
-			var r1, r2 memmodel.Value
-			a := env.Spawn("A", func(env capi.Env) {
-				env.Store(x, 1, mo)
-				r1 = env.Load(y, mo)
-			})
-			b := env.Spawn("B", func(env capi.Env) {
-				env.Store(y, 1, mo)
-				r2 = env.Load(x, mo)
-			})
+			x = env.NewAtomic("x", 0)
+			y = env.NewAtomic("y", 0)
+			r1, r2 = 0, 0
+			a := env.Spawn("A", aBody)
+			b := env.Spawn("B", bBody)
 			env.Join(a)
 			env.Join(b)
-			*out = fmt.Sprintf("r1=%d r2=%d", r1, r2)
+			*out = outRR(r1, r2)
 		}}
 	}
 }
 
 func iriwProgram(w, r memmodel.MemoryOrder) func(out *string) capi.Program {
 	return func(out *string) capi.Program {
+		var x, y capi.Loc
+		var a1, a2, b1, b2 memmodel.Value
+		w1Body := func(env capi.Env) { env.Store(x, 1, w) }
+		w2Body := func(env capi.Env) { env.Store(y, 1, w) }
+		r1Body := func(env capi.Env) { a1 = env.Load(x, r); a2 = env.Load(y, r) }
+		r2Body := func(env capi.Env) { b1 = env.Load(y, r); b2 = env.Load(x, r) }
 		return capi.Program{Name: "IRIW", Run: func(env capi.Env) {
-			x := env.NewAtomic("x", 0)
-			y := env.NewAtomic("y", 0)
-			var a1, a2, b1, b2 memmodel.Value
-			w1 := env.Spawn("w1", func(env capi.Env) { env.Store(x, 1, w) })
-			w2 := env.Spawn("w2", func(env capi.Env) { env.Store(y, 1, w) })
-			r1 := env.Spawn("r1", func(env capi.Env) { a1 = env.Load(x, r); a2 = env.Load(y, r) })
-			r2 := env.Spawn("r2", func(env capi.Env) { b1 = env.Load(y, r); b2 = env.Load(x, r) })
-			for _, th := range []capi.Thread{w1, w2, r1, r2} {
-				env.Join(th)
-			}
-			*out = fmt.Sprintf("%d%d%d%d", a1, a2, b1, b2)
+			x = env.NewAtomic("x", 0)
+			y = env.NewAtomic("y", 0)
+			a1, a2, b1, b2 = 0, 0, 0, 0
+			w1 := env.Spawn("w1", w1Body)
+			w2 := env.Spawn("w2", w2Body)
+			r1 := env.Spawn("r1", r1Body)
+			r2 := env.Spawn("r2", r2Body)
+			env.Join(w1)
+			env.Join(w2)
+			env.Join(r1)
+			env.Join(r2)
+			*out = outD4(a1, a2, b1, b2)
 		}}
 	}
 }

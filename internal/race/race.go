@@ -94,6 +94,21 @@ type HB func(memmodel.TID, memmodel.SeqNum) bool
 type Shadow struct {
 	word uint64
 	ext  *expanded
+	// spare retains a spilled record across Reset calls, so a pooled
+	// location that expands again in a later execution reuses the record
+	// (and its reads capacity) instead of allocating.
+	spare *expanded
+}
+
+// Reset clears the shadow for a new execution, keeping a previously spilled
+// expanded record for reuse. Location pools call it instead of zeroing the
+// struct, which would discard the record's backing memory.
+func (s *Shadow) Reset() {
+	s.word = 0
+	if s.ext != nil {
+		s.spare = s.ext
+		s.ext = nil
+	}
 }
 
 // LastWrite returns the recorded last write, if any.
@@ -117,7 +132,15 @@ func (s *Shadow) expand() *expanded {
 	if s.ext != nil {
 		return s.ext
 	}
-	e := &expanded{}
+	e := s.spare
+	if e != nil {
+		s.spare = nil
+		e.write = access{}
+		e.hasWrite = false
+		e.reads = e.reads[:0]
+	} else {
+		e = &expanded{}
+	}
 	if wTID, wClock, wNA := unpackWrite(s.word); wClock != 0 || wTID != 0 {
 		e.write = access{wTID, wClock, wNA}
 		e.hasWrite = true

@@ -1,20 +1,30 @@
 // Package sched implements the controlled scheduler that stands in for
 // C11Tester's fibers (Sections 7.3–7.4 of the paper).
 //
-// Every thread of the program under test runs in its own goroutine, but at
+// Every thread of the program under test runs in a worker goroutine, but at
 // most one of them executes at a time: a thread runs until its next visible
 // operation, parks itself while handing the operation to the tool, and
 // resumes only when the tool replies. The tool (engine) therefore has full
 // control of the interleaving, exactly like C11Tester's fiber scheduler.
+//
+// Workers form a fiber pool: a Scheduler creates each worker goroutine once
+// and parks it between executions; NewThread re-binds a parked worker to a
+// fresh (name, body) instead of spawning a goroutine. Steady-state executions
+// therefore start zero goroutines and allocate nothing — the analogue of
+// C11Tester reusing its fiber stacks across executions rather than paying
+// thread creation per run (Section 7.3). Config.Respawn restores the
+// spawn-per-thread regime as a benchmark dimension.
 //
 // The handoff mechanism is configurable, mirroring the design space the
 // paper measures in Figure 14:
 //
 //   - channel handoff between ordinary goroutines (the default) is the
 //     analogue of swapcontext fibers — a cheap user-level switch;
+//   - condition-variable handoff ("cond") swaps the resume path for a
+//     sync.Cond, the pthread-condvar sequencing discipline on green threads;
 //   - condition-variable handoff between goroutines pinned to kernel threads
-//     (LockOSThread) is the analogue of sequentializing kernel threads with
-//     pthread condition variables, the regime tsan11rec operates in.
+//     ("osthread", LockOSThread) makes every handoff a real OS context
+//     switch, the regime tsan11rec operates in.
 package sched
 
 import (
@@ -56,7 +66,10 @@ func (s State) String() string {
 // scheduler aborts the execution (step-limit hit or deadlock).
 type abortSignal struct{}
 
-// Config selects the handoff regime.
+// Config selects the handoff regime and the worker lifecycle. The named
+// Figure 14 regimes are the supported LockOSThread/CondHandoff combinations
+// (see ParseHandoff): LockOSThread without CondHandoff is not a named regime
+// and HandoffName does not distinguish it from "osthread".
 type Config struct {
 	// LockOSThread pins every program thread to its own kernel thread, so
 	// each handoff costs a real OS context switch (the kernel-thread regime
@@ -65,9 +78,59 @@ type Config struct {
 	// CondHandoff switches the resume path from an unbuffered channel to a
 	// sync.Cond, the analogue of pthread condition-variable sequencing.
 	CondHandoff bool
+	// Respawn disables the fiber pool: every NewThread starts a fresh
+	// goroutine that exits when its body returns, instead of re-binding a
+	// parked worker. This is the pre-pool regime, kept as a benchmark
+	// dimension of the Figure 14 handoff matrix (pooled vs respawn).
+	Respawn bool
 }
 
-// Thread is one managed thread of the program under test.
+// HandoffRegimes lists the Figure 14 handoff regime names in the paper's
+// order: user-level switches first, full kernel-thread sequencing last.
+func HandoffRegimes() []string { return []string{"channel", "cond", "osthread"} }
+
+// ParseHandoff maps a handoff regime name onto a scheduler configuration:
+// "channel" (or "") is the default channel handoff, "cond" condition-variable
+// handoff on green threads, "osthread" condition-variable handoff on pinned
+// kernel threads. The Respawn bit is orthogonal and left false.
+func ParseHandoff(name string) (Config, error) {
+	switch name {
+	case "", "channel":
+		return Config{}, nil
+	case "cond":
+		return Config{CondHandoff: true}, nil
+	case "osthread":
+		return Config{LockOSThread: true, CondHandoff: true}, nil
+	}
+	return Config{}, fmt.Errorf("sched: unknown handoff regime %q (want channel, cond, or osthread)", name)
+}
+
+// MustHandoff is ParseHandoff for already-validated names; it panics on an
+// unknown regime.
+func MustHandoff(name string) Config {
+	cfg, err := ParseHandoff(name)
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
+// HandoffName renders a Config's handoff regime as its ParseHandoff name. It
+// is only an inverse of ParseHandoff for the named regimes (see Config);
+// hand-built hybrid configs collapse to the nearest name.
+func HandoffName(cfg Config) string {
+	switch {
+	case cfg.LockOSThread:
+		return "osthread"
+	case cfg.CondHandoff:
+		return "cond"
+	}
+	return "channel"
+}
+
+// Thread is one managed thread of the program under test. In pooled mode the
+// handle owns a persistent worker goroutine that serves one thread binding
+// per execution and parks between executions.
 type Thread struct {
 	ID   memmodel.TID
 	Name string
@@ -75,6 +138,18 @@ type Thread struct {
 	sched   *Scheduler
 	state   State
 	pending *capi.Op
+
+	// body is the worker's current binding; NewThread sets it before waking
+	// the worker and the worker clears it when the binding finishes. A nil
+	// body at wakeup is the retirement sentinel (Shutdown).
+	body func(*Thread)
+
+	// dead marks a retired worker: its goroutine has exited (a non-abort
+	// panic escaped the body, or Shutdown retired it) and the handle must
+	// not be re-bound. Written by the worker before its finish event (or by
+	// Shutdown while the worker is parked), read by the tool goroutine after
+	// receiving that event — the events channel orders the two.
+	dead bool
 
 	// Channel handoff.
 	replyCh chan struct{}
@@ -135,31 +210,97 @@ func (t *Thread) signalReply() {
 	t.replyCh <- struct{}{}
 }
 
+// workerLoop is the body of a pooled worker goroutine: park until NewThread
+// binds a thread function, run it, and park again. The loop exits when the
+// binding signal carries no body (Shutdown) or when a non-abort panic escaped
+// the body — the goroutine's stack may then hold arbitrary half-unwound
+// program state, so it is retired rather than recycled (the tool observes
+// the retirement through Thread.PanicValue and the pool replaces the worker
+// on the next binding).
+func (t *Thread) workerLoop() {
+	if t.sched.cfg.LockOSThread {
+		runtime.LockOSThread()
+	}
+	for {
+		t.awaitReply()
+		if t.body == nil {
+			return // Shutdown retired this worker while it was parked.
+		}
+		if t.runOnce() {
+			return
+		}
+	}
+}
+
+// runRespawn is the body of a respawn-mode goroutine: one binding, then exit.
+func (t *Thread) runRespawn() {
+	if t.sched.cfg.LockOSThread {
+		runtime.LockOSThread()
+	}
+	t.runOnce()
+}
+
+// runOnce runs the worker's current binding to completion, converting an
+// abort unwind into a clean finish, and reports whether the worker must be
+// retired. Everything the tool goroutine may read — state, PanicValue, dead —
+// is written before the finish event is sent, so the events channel carries
+// the happens-before edge.
+func (t *Thread) runOnce() (retire bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSignal); !ok {
+				t.PanicValue = r
+				t.dead = true
+				retire = true
+			}
+		}
+		t.body = nil
+		t.state = Finished
+		t.pending = nil
+		t.sched.events <- t
+	}()
+	t.body(t)
+	return
+}
+
 // Scheduler sequences the threads of one execution. One Scheduler instance
-// can serve many executions in sequence: Reset recycles the Thread handles
-// (and their handoff channels / condition variables) for the next execution,
-// so repeated executions do not re-allocate the scheduling scaffolding.
+// serves many executions in sequence: its fiber pool keeps one parked worker
+// goroutine per thread slot, and Reset + NewThread re-bind those workers (and
+// their handoff channels / condition variables) to the next execution's
+// threads, so steady-state executions start no goroutines and allocate
+// nothing.
 type Scheduler struct {
 	cfg      Config
 	threads  []*Thread
 	events   chan *Thread
 	aborting bool
 
-	// pool recycles Thread handles across executions; pool[i] serves TID i.
-	// All goroutines of the previous execution have finished by the time
-	// Reset hands a Thread out again.
+	// pool recycles Thread handles (and, in pooled mode, their worker
+	// goroutines) across executions; pool[i] serves TID i. All threads of
+	// the previous execution have settled as Finished by the time Reset
+	// hands a slot out again.
 	pool []*Thread
+
+	// spawns counts goroutines started over the scheduler's lifetime. In
+	// pooled mode it stops growing once the pool covers the program's thread
+	// count — the tentpole invariant the fiber-pool tests pin.
+	spawns int
 }
 
-// New returns a scheduler for one execution.
+// New returns a scheduler. The same instance is reused across executions via
+// Reset; call Shutdown when discarding it so the pooled workers exit.
 func New(cfg Config) *Scheduler {
 	return &Scheduler{cfg: cfg, events: make(chan *Thread)}
 }
 
+// Config returns the scheduler's configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
 // Reset prepares the scheduler for a new execution. It must only be called
 // after the previous execution fully ended (all threads Finished, via normal
-// completion or Abort); the events channel is empty then, so the recycled
-// scheduler starts from a clean handoff state.
+// completion or Abort); the events channel is empty and every pooled worker
+// is parked then, so the recycled scheduler starts from a clean handoff
+// state.
 func (s *Scheduler) Reset() {
 	s.threads = s.threads[:0]
 	s.aborting = false
@@ -189,20 +330,49 @@ func (s *Scheduler) AliveCount() int {
 	return n
 }
 
+// WorkerCount returns the number of live pooled workers (retired workers
+// excluded). It is bounded by the widest execution the scheduler has run,
+// plus one replacement per retirement — the invariant the pool stress tests
+// assert.
+func (s *Scheduler) WorkerCount() int {
+	n := 0
+	for _, t := range s.pool {
+		if !t.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Spawns returns the number of goroutines the scheduler has ever started. In
+// pooled mode it is constant across steady-state executions; in respawn mode
+// it grows by the thread count every execution.
+func (s *Scheduler) Spawns() int { return s.spawns }
+
 // NewThread creates a managed thread running body and blocks until it
 // settles (parks on its first operation, or finishes). body receives the
 // thread handle so the tool can wire up its Env.
+//
+// In pooled mode the thread is served by the slot's parked worker goroutine;
+// a goroutine (and its handoff channel or condition variable) is only
+// created when the slot is new or its previous worker was retired.
 func (s *Scheduler) NewThread(name string, body func(*Thread)) *Thread {
 	idx := len(s.threads)
 	var t *Thread
-	if idx < len(s.pool) {
+	fresh := true
+	if idx < len(s.pool) && (s.cfg.Respawn || !s.pool[idx].dead) {
 		t = s.pool[idx]
 		t.ID = memmodel.TID(idx)
 		t.Name = name
 		t.state = Ready
 		t.pending = nil
-		t.replied = false
 		t.PanicValue = nil
+		t.dead = false
+		fresh = false
+		// t.replied is deliberately not touched: every signal is consumed by
+		// the worker before it parks (Call, abort unwind, or retirement), so
+		// the flag is false here — and the worker may concurrently be taking
+		// t.mu to park, so only the signal protocol itself may write it.
 	} else {
 		t = &Thread{
 			ID:    memmodel.TID(idx),
@@ -214,25 +384,27 @@ func (s *Scheduler) NewThread(name string, body func(*Thread)) *Thread {
 		} else {
 			t.replyCh = make(chan struct{})
 		}
-		s.pool = append(s.pool, t)
+		if idx < len(s.pool) {
+			s.pool[idx] = t // replace a retired worker's handle
+		} else {
+			s.pool = append(s.pool, t)
+		}
 	}
 	s.threads = append(s.threads, t)
-	go func() {
-		if s.cfg.LockOSThread {
-			runtime.LockOSThread()
+	t.body = body
+	if s.cfg.Respawn {
+		s.spawns++
+		go t.runRespawn()
+	} else {
+		if fresh {
+			s.spawns++
+			go t.workerLoop()
 		}
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(abortSignal); !ok {
-					t.PanicValue = r
-				}
-			}
-			t.state = Finished
-			t.pending = nil
-			s.events <- t
-		}()
-		body(t)
-	}()
+		// Hand the binding to the parked worker. For a fresh worker the
+		// channel send simply waits until the goroutine reaches its first
+		// park; the cond path records the signal in the replied flag.
+		t.signalReply()
+	}
 	s.waitSettle(t)
 	return t
 }
@@ -269,9 +441,11 @@ func (s *Scheduler) waitSettle(t *Thread) {
 }
 
 // Abort unwinds every unfinished thread. After Abort returns, all threads
-// have finished; the execution is over and the scheduler must not be used
-// again until Reset recycles it for the next execution (Reset relies on
-// exactly this all-goroutines-joined state).
+// have finished and every pooled worker is parked again awaiting its next
+// binding; the execution is over and the scheduler must not be used again
+// until Reset recycles it for the next execution (Reset relies on exactly
+// this all-settled state). Workers unwound by an abort are recycled — only a
+// non-abort panic retires one.
 func (s *Scheduler) Abort() {
 	s.aborting = true
 	for _, t := range s.threads {
@@ -281,4 +455,24 @@ func (s *Scheduler) Abort() {
 		t.signalReply()
 		s.waitSettle(t)
 	}
+}
+
+// Shutdown retires every pooled worker goroutine. Like Reset, it must only
+// be called in the quiescent all-threads-finished state. The scheduler must
+// not run further executions afterwards; tools call it when an engine is
+// discarded so long-lived processes (campaign runners) do not accumulate
+// parked goroutines.
+func (s *Scheduler) Shutdown() {
+	if !s.cfg.Respawn {
+		for _, t := range s.pool {
+			if t.dead {
+				continue
+			}
+			t.dead = true
+			t.body = nil
+			t.signalReply() // nil body: the worker exits its loop
+		}
+	}
+	s.pool = s.pool[:0]
+	s.threads = s.threads[:0]
 }

@@ -150,6 +150,111 @@ func TestPanicCaptured(t *testing.T) {
 	}
 }
 
+// TestFiberPoolReusesWorkers pins the tentpole invariant: after the first
+// execution warms the pool, further executions start zero goroutines, in
+// every handoff regime. Respawn mode, by contrast, spawns per thread per
+// execution.
+func TestFiberPoolReusesWorkers(t *testing.T) {
+	regimes := []Config{{}, {CondHandoff: true}, {CondHandoff: true, LockOSThread: true}}
+	for _, cfg := range regimes {
+		s := New(cfg)
+		runOnce := func() {
+			for i := 0; i < 3; i++ {
+				s.NewThread("t", func(t *Thread) {
+					t.Call(&capi.Op{Kind: memmodel.KYield})
+				})
+			}
+			for _, th := range s.Threads() {
+				s.Reply(th)
+			}
+		}
+		runOnce()
+		warm := s.Spawns()
+		if warm != 3 {
+			t.Fatalf("%s: first execution spawned %d goroutines, want 3", HandoffName(cfg), warm)
+		}
+		for i := 0; i < 5; i++ {
+			s.Reset()
+			runOnce()
+		}
+		if got := s.Spawns(); got != warm {
+			t.Errorf("%s: steady state spawned %d extra goroutines, want 0", HandoffName(cfg), got-warm)
+		}
+		if got := s.WorkerCount(); got != 3 {
+			t.Errorf("%s: worker count = %d, want 3", HandoffName(cfg), got)
+		}
+		s.Shutdown()
+		if got := s.WorkerCount(); got != 0 {
+			t.Errorf("%s: worker count after shutdown = %d, want 0", HandoffName(cfg), got)
+		}
+
+		s = New(Config{CondHandoff: cfg.CondHandoff, LockOSThread: cfg.LockOSThread, Respawn: true})
+		runOnce()
+		s.Reset()
+		runOnce()
+		if got := s.Spawns(); got != 6 {
+			t.Errorf("%s respawn: spawns = %d, want 6 (one per thread per execution)", HandoffName(cfg), got)
+		}
+		s.Shutdown()
+	}
+}
+
+// TestWorkerRetiredAfterPanic pins the retirement rule: a worker whose body
+// escaped with a non-abort panic must not be recycled — the next execution
+// replaces it with a fresh goroutine — while abort unwinds keep workers
+// pooled.
+func TestWorkerRetiredAfterPanic(t *testing.T) {
+	s := New(Config{})
+	th := s.NewThread("bomb", func(th *Thread) {
+		panic("boom")
+	})
+	if th.State() != Finished || th.PanicValue != "boom" {
+		t.Fatalf("panicking thread state %v panic %v", th.State(), th.PanicValue)
+	}
+	if got := s.WorkerCount(); got != 0 {
+		t.Fatalf("worker count after panic = %d, want 0 (retired)", got)
+	}
+	spawnsAfterPanic := s.Spawns()
+
+	// The slot must be served by a fresh worker on the next execution, and
+	// the panic must not leak into it.
+	s.Reset()
+	th2 := s.NewThread("clean", func(th *Thread) {
+		th.Call(&capi.Op{Kind: memmodel.KYield})
+	})
+	if th2.PanicValue != nil {
+		t.Fatalf("recycled panic value %v on fresh binding", th2.PanicValue)
+	}
+	if s.Spawns() != spawnsAfterPanic+1 {
+		t.Fatalf("replacement worker not spawned: spawns %d → %d", spawnsAfterPanic, s.Spawns())
+	}
+	if st := s.Reply(th2); st != Finished {
+		t.Fatalf("clean thread state %v", st)
+	}
+	if got := s.WorkerCount(); got != 1 {
+		t.Fatalf("worker count = %d, want 1", got)
+	}
+
+	// Abort unwinds, by contrast, recycle the worker.
+	s.Reset()
+	s.NewThread("loop", func(th *Thread) {
+		for {
+			th.Call(&capi.Op{Kind: memmodel.KLoad})
+		}
+	})
+	s.Abort()
+	if got := s.WorkerCount(); got != 1 {
+		t.Fatalf("worker count after abort = %d, want 1 (abort must not retire)", got)
+	}
+	spawns := s.Spawns()
+	s.Reset()
+	s.NewThread("again", func(th *Thread) {})
+	if s.Spawns() != spawns {
+		t.Fatal("aborted worker was not reused")
+	}
+	s.Shutdown()
+}
+
 func TestSchedulerResetRecyclesThreads(t *testing.T) {
 	s := New(Config{})
 	runOnce := func(wantRecycled []*Thread) []*Thread {

@@ -1,8 +1,6 @@
 package structures
 
 import (
-	"fmt"
-
 	"c11tester/internal/capi"
 	"c11tester/internal/memmodel"
 )
@@ -23,24 +21,27 @@ import (
 // (the relaxed chains still transfer clocks), so the torn snapshot is never
 // produced — exactly the paper's observation that tsan11 and tsan11rec miss
 // these bugs.
+//
+// The assertion messages are constants: formatting the torn values would
+// allocate on every validated read (the variadic argument slice escapes into
+// Sprintf even when the assertion holds), and the detection signal only
+// needs the message identity.
 func BuggySeqlock() Benchmark {
 	const sessions = 6
 	const attempts = 10
 	return Benchmark{
 		Name: "seqlock",
 		Doc:  "seqlock with relaxed counter increments; detection = torn snapshot assertion",
-		Prog: capi.Program{Name: "seqlock", Run: func(env capi.Env) {
-			seq := env.NewAtomic("seqlock.seq", 0)
-			dataA := env.NewAtomic("seqlock.dataA", 0)
-			dataB := env.NewAtomic("seqlock.dataB", 0)
-			writer := env.Spawn("writer", func(env capi.Env) {
+		New: func() capi.Program {
+			var seq, dataA, dataB capi.Loc
+			writerBody := func(env capi.Env) {
 				for s := 1; s <= sessions; s++ {
 					env.FetchAdd(seq, 1, rlx) // bug: must be release/acquire
 					env.Store(dataA, memmodel.Value(s), rel)
 					env.Store(dataB, memmodel.Value(s), rel)
 					env.FetchAdd(seq, 1, rlx) // bug: must be release
 				}
-			})
+			}
 			reader := func(env capi.Env) {
 				for i := 0; i < attempts; i++ {
 					c1 := env.Load(seq, acq)
@@ -52,15 +53,21 @@ func BuggySeqlock() Benchmark {
 					b := env.Load(dataB, rlx)
 					c2 := env.Load(seq, rlx)
 					if c1 == c2 {
-						env.Assert(a == b, "torn seqlock read: dataA=%d dataB=%d at seq=%d", a, b, c1)
+						env.Assert(a == b, "torn seqlock read: dataA != dataB under an unchanged even seq")
 					}
 				}
 			}
-			r2 := env.Spawn("reader2", reader)
-			reader(env)
-			env.Join(writer)
-			env.Join(r2)
-		}},
+			return capi.Program{Name: "seqlock", Run: func(env capi.Env) {
+				seq = env.NewAtomic("seqlock.seq", 0)
+				dataA = env.NewAtomic("seqlock.dataA", 0)
+				dataB = env.NewAtomic("seqlock.dataB", 0)
+				writer := env.Spawn("writer", writerBody)
+				r2 := env.Spawn("reader2", reader)
+				reader(env)
+				env.Join(writer)
+				env.Join(r2)
+			}}
+		},
 	}
 }
 
@@ -77,10 +84,8 @@ func BuggyRWLock() Benchmark {
 	return Benchmark{
 		Name: "rwlock",
 		Doc:  "reader-writer lock with relaxed write-lock ops; detection = invariant assertion",
-		Prog: capi.Program{Name: "rwlock", Run: func(env capi.Env) {
-			lock := env.NewAtomic("rwlock.lock", bias)
-			fieldA := env.NewAtomic("rwlock.fieldA", 0)
-			fieldB := env.NewAtomic("rwlock.fieldB", 0)
+		New: func() capi.Program {
+			var lock, fieldA, fieldB capi.Loc
 			readLock := func(env capi.Env) bool {
 				return spinUntil(env, 200, func() bool {
 					if env.FetchAdd(lock, ^memmodel.Value(0), acq) > 0 {
@@ -98,7 +103,7 @@ func BuggyRWLock() Benchmark {
 				})
 			}
 			writeUnlock := func(env capi.Env) { env.Store(lock, bias, rlx) } // bug: must be release
-			writer := env.Spawn("writer", func(env capi.Env) {
+			writerBody := func(env capi.Env) {
 				for s := 1; s <= rounds; s++ {
 					if !writeLock(env) {
 						return
@@ -107,7 +112,7 @@ func BuggyRWLock() Benchmark {
 					env.Store(fieldB, memmodel.Value(s), rlx)
 					writeUnlock(env)
 				}
-			})
+			}
 			reader := func(env capi.Env) {
 				for i := 0; i < rounds; i++ {
 					if !readLock(env) {
@@ -115,29 +120,20 @@ func BuggyRWLock() Benchmark {
 					}
 					a := env.Load(fieldA, rlx)
 					b := env.Load(fieldB, rlx)
-					env.Assert(a == b, "rwlock invariant broken: fieldA=%d fieldB=%d", a, b)
+					env.Assert(a == b, "rwlock invariant broken: fieldA != fieldB under the read lock")
 					readUnlock(env)
 				}
 			}
-			r2 := env.Spawn("reader2", reader)
-			reader(env)
-			env.Join(writer)
-			env.Join(r2)
-		}},
+			return capi.Program{Name: "rwlock", Run: func(env capi.Env) {
+				lock = env.NewAtomic("rwlock.lock", bias)
+				fieldA = env.NewAtomic("rwlock.fieldA", 0)
+				fieldB = env.NewAtomic("rwlock.fieldB", 0)
+				writer := env.Spawn("writer", writerBody)
+				r2 := env.Spawn("reader2", reader)
+				reader(env)
+				env.Join(writer)
+				env.Join(r2)
+			}}
+		},
 	}
-}
-
-// ByName returns a named benchmark from either set.
-func ByName(name string) (Benchmark, error) {
-	for _, b := range DataStructures() {
-		if b.Name == name {
-			return b, nil
-		}
-	}
-	for _, b := range InjectedBugs() {
-		if b.Name == name {
-			return b, nil
-		}
-	}
-	return Benchmark{}, fmt.Errorf("structures: unknown benchmark %q", name)
 }

@@ -22,6 +22,14 @@
 // The injected-bug benchmarks manifest as assertion violations (torn
 // seqlock snapshots, reader-writer lock inconsistency) rather than data
 // races, exactly as in the paper.
+//
+// Benchmark.New builds a program *instance*: location handles, thread
+// bodies, and scratch registers are instance state rebound at the start of
+// every Run, location names are formatted once at package init, and thread
+// bodies are closures built once at New time — so steady-state executions
+// of an instance allocate nothing (the zero-alloc invariant the fiber-pool
+// perf matrix gates on). An instance runs one execution at a time;
+// concurrent campaign cells each construct their own.
 package structures
 
 import (
@@ -39,11 +47,36 @@ const (
 	sc  = memmodel.SeqCst
 )
 
+// locNames formats a deterministic indexed name set once, so program
+// executions never Sprintf location names on the hot path.
+func locNames(prefix string, n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s%d", prefix, i)
+	}
+	return names
+}
+
+var (
+	barrierSlotNames = locNames("barrier.slot", 3)
+	dequeBufNames    = locNames("deque.buf", 8)
+	mcsFlagNames     = locNames("mcs.flag", 3)
+	mcsNextNames     = locNames("mcs.next", 3)
+	mpmcReadyNames   = locNames("mpmc.ready", 4)
+	mpmcSlotNames    = locNames("mpmc.slot", 4)
+	msqValNames      = locNames("msq.val", 16)
+	msqNextNames     = locNames("msq.next", 16)
+	wNames           = locNames("w", 3) // spawn names "w1", "w2"
+	tNames           = locNames("t", 3) // spawn names "t1", "t2"
+)
+
 // Benchmark is one named program under test.
 type Benchmark struct {
 	Name string
 	Doc  string
-	Prog capi.Program
+	// New builds a fresh program instance (see the package comment for the
+	// instance lifetime and reuse rules).
+	New func() capi.Program
 }
 
 // DataStructures returns the Table 2 benchmark set.
@@ -115,15 +148,13 @@ func Barrier() Benchmark {
 	return Benchmark{
 		Name: "barrier",
 		Doc:  "sense-reversing spinning barrier; relaxed sense flag (weak-memory race)",
-		Prog: capi.Program{Name: "barrier", Run: func(env capi.Env) {
-			count := env.NewAtomic("barrier.count", 0)
-			sense := env.NewAtomic("barrier.sense", 0)
-			slots := make([]capi.Loc, n)
-			for i := range slots {
-				slots[i] = env.NewLoc(fmt.Sprintf("barrier.slot%d", i), 0)
-			}
-			worker := func(id int) func(capi.Env) {
-				return func(env capi.Env) {
+		New: func() capi.Program {
+			var count, sense capi.Loc
+			var slots [n]capi.Loc
+			var workers [n]func(capi.Env)
+			for i := range workers {
+				id := i
+				workers[id] = func(env capi.Env) {
 					env.Write(slots[id], memmodel.Value(id+1))
 					if env.FetchAdd(count, 1, arl) == n-1 {
 						env.Store(count, 0, rlx)
@@ -136,15 +167,22 @@ func Barrier() Benchmark {
 					env.Read(slots[(id+1)%n])
 				}
 			}
-			var threads []capi.Thread
-			for i := 1; i < n; i++ {
-				threads = append(threads, env.Spawn(fmt.Sprintf("w%d", i), worker(i)))
-			}
-			worker(0)(env)
-			for _, th := range threads {
-				env.Join(th)
-			}
-		}},
+			var threads [n - 1]capi.Thread
+			return capi.Program{Name: "barrier", Run: func(env capi.Env) {
+				count = env.NewAtomic("barrier.count", 0)
+				sense = env.NewAtomic("barrier.sense", 0)
+				for i := range slots {
+					slots[i] = env.NewLoc(barrierSlotNames[i], 0)
+				}
+				for i := 1; i < n; i++ {
+					threads[i-1] = env.Spawn(wNames[i], workers[i])
+				}
+				workers[0](env)
+				for _, th := range threads {
+					env.Join(th)
+				}
+			}}
+		},
 	}
 }
 
@@ -158,13 +196,9 @@ func ChaseLevDeque() Benchmark {
 	return Benchmark{
 		Name: "chase-lev-deque",
 		Doc:  "work-stealing deque; relaxed bottom publication (weak-memory race)",
-		Prog: capi.Program{Name: "chase-lev-deque", Run: func(env capi.Env) {
-			top := env.NewAtomic("deque.top", 0)
-			bottom := env.NewAtomic("deque.bottom", 0)
-			buf := make([]capi.Loc, capacity)
-			for i := range buf {
-				buf[i] = env.NewLoc(fmt.Sprintf("deque.buf%d", i), 0)
-			}
+		New: func() capi.Program {
+			var top, bottom capi.Loc
+			var buf [capacity]capi.Loc
 			push := func(env capi.Env, v memmodel.Value) {
 				b := env.Load(bottom, rlx)
 				env.Write(buf[b%capacity], v)
@@ -200,19 +234,27 @@ func ChaseLevDeque() Benchmark {
 					}
 				}
 			}
-			thief := env.Spawn("thief", func(env capi.Env) {
+			thiefBody := func(env capi.Env) {
 				for i := 0; i < 6; i++ {
 					steal(env)
 				}
-			})
-			for i := 1; i <= 6; i++ {
-				push(env, memmodel.Value(i))
-				if i%3 == 0 {
-					takeOwner(env)
-				}
 			}
-			env.Join(thief)
-		}},
+			return capi.Program{Name: "chase-lev-deque", Run: func(env capi.Env) {
+				top = env.NewAtomic("deque.top", 0)
+				bottom = env.NewAtomic("deque.bottom", 0)
+				for i := range buf {
+					buf[i] = env.NewLoc(dequeBufNames[i], 0)
+				}
+				thief := env.Spawn("thief", thiefBody)
+				for i := 1; i <= 6; i++ {
+					push(env, memmodel.Value(i))
+					if i%3 == 0 {
+						takeOwner(env)
+					}
+				}
+				env.Join(thief)
+			}}
+		},
 	}
 }
 
@@ -224,10 +266,8 @@ func DekkerFences() Benchmark {
 	return Benchmark{
 		Name: "dekker-fences",
 		Doc:  "Dekker mutual exclusion; one fence weakened to acq_rel (both-enter race)",
-		Prog: capi.Program{Name: "dekker-fences", Run: func(env capi.Env) {
-			flag0 := env.NewAtomic("dekker.flag0", 0)
-			flag1 := env.NewAtomic("dekker.flag1", 0)
-			data := env.NewLoc("dekker.data", 0)
+		New: func() capi.Program {
+			var flag0, flag1, data capi.Loc
 			enter := func(env capi.Env, mine, theirs capi.Loc, fence memmodel.MemoryOrder) bool {
 				env.Store(mine, 1, rlx)
 				env.Fence(fence)
@@ -240,22 +280,28 @@ func DekkerFences() Benchmark {
 			critical := func(env capi.Env) {
 				env.Write(data, env.Read(data)+1)
 			}
-			t1 := env.Spawn("t1", func(env capi.Env) {
+			t1Body := func(env capi.Env) {
 				for i := 0; i < 4; i++ {
 					if enter(env, flag1, flag0, arl) { // bug: must be seq_cst
 						critical(env)
 						env.Store(flag1, 0, rel)
 					}
 				}
-			})
-			for i := 0; i < 4; i++ {
-				if enter(env, flag0, flag1, sc) {
-					critical(env)
-					env.Store(flag0, 0, rel)
-				}
 			}
-			env.Join(t1)
-		}},
+			return capi.Program{Name: "dekker-fences", Run: func(env capi.Env) {
+				flag0 = env.NewAtomic("dekker.flag0", 0)
+				flag1 = env.NewAtomic("dekker.flag1", 0)
+				data = env.NewLoc("dekker.data", 0)
+				t1 := env.Spawn("t1", t1Body)
+				for i := 0; i < 4; i++ {
+					if enter(env, flag0, flag1, sc) {
+						critical(env)
+						env.Store(flag0, 0, rel)
+					}
+				}
+				env.Join(t1)
+			}}
+		},
 	}
 }
 
@@ -269,10 +315,8 @@ func LinuxRWLocks() Benchmark {
 	return Benchmark{
 		Name: "linuxrwlocks",
 		Doc:  "reader-writer lock; relaxed write unlock + unprotected reader statistic",
-		Prog: capi.Program{Name: "linuxrwlocks", Run: func(env capi.Env) {
-			lock := env.NewAtomic("rwlock.counter", bias)
-			data := env.NewLoc("rwlock.data", 0)
-			stat := env.NewLoc("rwlock.stat", 0)
+		New: func() capi.Program {
+			var lock, data, stat capi.Loc
 			readLock := func(env capi.Env) bool {
 				return spinUntil(env, 200, func() bool {
 					if env.FetchAdd(lock, ^memmodel.Value(0), acq) > 0 { // -1
@@ -300,17 +344,22 @@ func LinuxRWLocks() Benchmark {
 					readUnlock(env)
 				}
 			}
-			r1 := env.Spawn("r1", reader)
-			r2 := env.Spawn("r2", reader)
-			for i := 1; i <= 3; i++ {
-				if writeLock(env) {
-					env.Write(data, memmodel.Value(i))
-					writeUnlock(env)
+			return capi.Program{Name: "linuxrwlocks", Run: func(env capi.Env) {
+				lock = env.NewAtomic("rwlock.counter", bias)
+				data = env.NewLoc("rwlock.data", 0)
+				stat = env.NewLoc("rwlock.stat", 0)
+				r1 := env.Spawn("r1", reader)
+				r2 := env.Spawn("r2", reader)
+				for i := 1; i <= 3; i++ {
+					if writeLock(env) {
+						env.Write(data, memmodel.Value(i))
+						writeUnlock(env)
+					}
 				}
-			}
-			env.Join(r1)
-			env.Join(r2)
-		}},
+				env.Join(r1)
+				env.Join(r2)
+			}}
+		},
 	}
 }
 
@@ -322,17 +371,10 @@ func MCSLock() Benchmark {
 	return Benchmark{
 		Name: "mcs-lock",
 		Doc:  "MCS queue lock; relaxed handoff + unprotected contender stamp",
-		Prog: capi.Program{Name: "mcs-lock", Run: func(env capi.Env) {
+		New: func() capi.Program {
 			// Node i state: flag[i] spins until the predecessor hands off.
-			tail := env.NewAtomic("mcs.tail", 0) // 0 = empty, else owner id+1
-			flags := make([]capi.Loc, n)
-			next := make([]capi.Loc, n)
-			for i := 0; i < n; i++ {
-				flags[i] = env.NewAtomic(fmt.Sprintf("mcs.flag%d", i), 0)
-				next[i] = env.NewAtomic(fmt.Sprintf("mcs.next%d", i), 0)
-			}
-			counter := env.NewLoc("mcs.counter", 0)
-			stamp := env.NewLoc("mcs.stamp", 0)
+			var tail, counter, stamp capi.Loc // tail: 0 = empty, else owner id+1
+			var flags, next [n]capi.Loc
 			acquire := func(env capi.Env, id int) bool {
 				env.Write(stamp, memmodel.Value(id+1)) // overlap race among contenders
 				env.Store(next[id], 0, rlx)
@@ -356,8 +398,10 @@ func MCSLock() Benchmark {
 				succ := env.Load(next[id], acq)
 				env.Store(flags[succ-1], 1, rlx) // bug: must be release
 			}
-			worker := func(id int) func(capi.Env) {
-				return func(env capi.Env) {
+			var workers [n]func(capi.Env)
+			for i := range workers {
+				id := i
+				workers[id] = func(env capi.Env) {
 					for i := 0; i < 2; i++ {
 						if !acquire(env, id) {
 							return
@@ -367,15 +411,24 @@ func MCSLock() Benchmark {
 					}
 				}
 			}
-			var threads []capi.Thread
-			for i := 1; i < n; i++ {
-				threads = append(threads, env.Spawn(fmt.Sprintf("t%d", i), worker(i)))
-			}
-			worker(0)(env)
-			for _, th := range threads {
-				env.Join(th)
-			}
-		}},
+			var threads [n - 1]capi.Thread
+			return capi.Program{Name: "mcs-lock", Run: func(env capi.Env) {
+				tail = env.NewAtomic("mcs.tail", 0)
+				for i := 0; i < n; i++ {
+					flags[i] = env.NewAtomic(mcsFlagNames[i], 0)
+					next[i] = env.NewAtomic(mcsNextNames[i], 0)
+				}
+				counter = env.NewLoc("mcs.counter", 0)
+				stamp = env.NewLoc("mcs.stamp", 0)
+				for i := 1; i < n; i++ {
+					threads[i-1] = env.Spawn(tNames[i], workers[i])
+				}
+				workers[0](env)
+				for _, th := range threads {
+					env.Join(th)
+				}
+			}}
+		},
 	}
 }
 
@@ -388,16 +441,9 @@ func MPMCQueue() Benchmark {
 	return Benchmark{
 		Name: "mpmc-queue",
 		Doc:  "bounded MPMC ring; relaxed ready flags + unprotected dequeue count",
-		Prog: capi.Program{Name: "mpmc-queue", Run: func(env capi.Env) {
-			head := env.NewAtomic("mpmc.head", 0)
-			tailLoc := env.NewAtomic("mpmc.tail", 0)
-			ready := make([]capi.Loc, capacity)
-			slots := make([]capi.Loc, capacity)
-			for i := 0; i < capacity; i++ {
-				ready[i] = env.NewAtomic(fmt.Sprintf("mpmc.ready%d", i), 0)
-				slots[i] = env.NewLoc(fmt.Sprintf("mpmc.slot%d", i), 0)
-			}
-			deqCount := env.NewLoc("mpmc.dequeued", 0)
+		New: func() capi.Program {
+			var head, tailLoc, deqCount capi.Loc
+			var ready, slots [capacity]capi.Loc
 			produce := func(env capi.Env, v memmodel.Value) {
 				t := env.FetchAdd(tailLoc, 1, arl)
 				idx := t % capacity
@@ -416,28 +462,35 @@ func MPMCQueue() Benchmark {
 				env.Store(ready[idx], 0, rlx)
 				env.Write(deqCount, env.Read(deqCount)+1) // overlap race: consumers
 			}
-			p2 := env.Spawn("p2", func(env capi.Env) {
+			p2Body := func(env capi.Env) {
 				for i := 0; i < 3; i++ {
 					produce(env, memmodel.Value(100+i))
 				}
-			})
-			c1 := env.Spawn("c1", func(env capi.Env) {
-				for i := 0; i < 3; i++ {
-					consume(env)
-				}
-			})
-			c2 := env.Spawn("c2", func(env capi.Env) {
-				for i := 0; i < 3; i++ {
-					consume(env)
-				}
-			})
-			for i := 0; i < 3; i++ {
-				produce(env, memmodel.Value(i))
 			}
-			env.Join(p2)
-			env.Join(c1)
-			env.Join(c2)
-		}},
+			consumerBody := func(env capi.Env) {
+				for i := 0; i < 3; i++ {
+					consume(env)
+				}
+			}
+			return capi.Program{Name: "mpmc-queue", Run: func(env capi.Env) {
+				head = env.NewAtomic("mpmc.head", 0)
+				tailLoc = env.NewAtomic("mpmc.tail", 0)
+				for i := 0; i < capacity; i++ {
+					ready[i] = env.NewAtomic(mpmcReadyNames[i], 0)
+					slots[i] = env.NewLoc(mpmcSlotNames[i], 0)
+				}
+				deqCount = env.NewLoc("mpmc.dequeued", 0)
+				p2 := env.Spawn("p2", p2Body)
+				c1 := env.Spawn("c1", consumerBody)
+				c2 := env.Spawn("c2", consumerBody)
+				for i := 0; i < 3; i++ {
+					produce(env, memmodel.Value(i))
+				}
+				env.Join(p2)
+				env.Join(c1)
+				env.Join(c2)
+			}}
+		},
 	}
 }
 
@@ -450,18 +503,10 @@ func MSQueue() Benchmark {
 	return Benchmark{
 		Name: "ms-queue",
 		Doc:  "Michael-Scott queue; unconditional race on a shared length counter",
-		Prog: capi.Program{Name: "ms-queue", Run: func(env capi.Env) {
+		New: func() capi.Program {
 			// nodes[i]: value slot + next pointer (0 = nil, else index+1).
-			values := make([]capi.Loc, pool)
-			nexts := make([]capi.Loc, pool)
-			for i := 0; i < pool; i++ {
-				values[i] = env.NewLoc(fmt.Sprintf("msq.val%d", i), 0)
-				nexts[i] = env.NewAtomic(fmt.Sprintf("msq.next%d", i), 0)
-			}
-			alloc := env.NewAtomic("msq.alloc", 1) // node 0 is the dummy
-			headPtr := env.NewAtomic("msq.head", 1)
-			tailPtr := env.NewAtomic("msq.tail", 1)
-			length := env.NewLoc("msq.len", 0)
+			var values, nexts [pool]capi.Loc
+			var alloc, headPtr, tailPtr, length capi.Loc
 			enqueue := func(env capi.Env, v memmodel.Value) {
 				n := env.FetchAdd(alloc, 1, rlx)
 				if int(n) >= pool {
@@ -503,21 +548,48 @@ func MSQueue() Benchmark {
 					env.Yield()
 				}
 			}
-			e2 := env.Spawn("enq2", func(env capi.Env) {
+			e2Body := func(env capi.Env) {
 				for i := 0; i < 3; i++ {
 					enqueue(env, memmodel.Value(100+i))
 				}
-			})
-			d1 := env.Spawn("deq1", func(env capi.Env) {
+			}
+			d1Body := func(env capi.Env) {
 				for i := 0; i < 3; i++ {
 					dequeue(env)
 				}
-			})
-			for i := 0; i < 3; i++ {
-				enqueue(env, memmodel.Value(i))
 			}
-			env.Join(e2)
-			env.Join(d1)
-		}},
+			return capi.Program{Name: "ms-queue", Run: func(env capi.Env) {
+				for i := 0; i < pool; i++ {
+					values[i] = env.NewLoc(msqValNames[i], 0)
+					nexts[i] = env.NewAtomic(msqNextNames[i], 0)
+				}
+				alloc = env.NewAtomic("msq.alloc", 1) // node 0 is the dummy
+				headPtr = env.NewAtomic("msq.head", 1)
+				tailPtr = env.NewAtomic("msq.tail", 1)
+				length = env.NewLoc("msq.len", 0)
+				e2 := env.Spawn("enq2", e2Body)
+				d1 := env.Spawn("deq1", d1Body)
+				for i := 0; i < 3; i++ {
+					enqueue(env, memmodel.Value(i))
+				}
+				env.Join(e2)
+				env.Join(d1)
+			}}
+		},
 	}
+}
+
+// ByName returns a named benchmark from either set.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range DataStructures() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	for _, b := range InjectedBugs() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("structures: unknown benchmark %q", name)
 }

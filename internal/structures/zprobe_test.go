@@ -19,7 +19,7 @@ func TestShapeProbe(t *testing.T) {
 	for _, b := range DataStructures() {
 		line := b.Name + ": "
 		for _, name := range []string{"c11tester", "tsan11rec", "tsan11"} {
-			d := harness.MeasureDetection(mk[name](), b.Prog, 200, 0, harness.SignalRace)
+			d := harness.MeasureDetection(mk[name](), b.New(), 200, 0, harness.SignalRace)
 			line += fmt.Sprintf("%s=%.1f%% ", name, d.Rate())
 		}
 		t.Log(line)
@@ -27,7 +27,7 @@ func TestShapeProbe(t *testing.T) {
 	for _, b := range InjectedBugs() {
 		line := b.Name + ": "
 		for _, name := range []string{"c11tester", "tsan11rec", "tsan11"} {
-			d := harness.MeasureDetection(mk[name](), b.Prog, 300, 0, harness.SignalAssert)
+			d := harness.MeasureDetection(mk[name](), b.New(), 300, 0, harness.SignalAssert)
 			line += fmt.Sprintf("%s=%.1f%% ", name, d.Rate())
 		}
 		t.Log(line)

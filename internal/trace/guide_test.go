@@ -145,6 +145,117 @@ func TestPrefixGuideDepthIsSeedDerivedAndBounded(t *testing.T) {
 	}
 }
 
+// flakyModel wraps the real C11 model but panics with a core.InfeasibleError
+// on the Nth atomic load when armed — the mid-execution model-failure mode
+// the fiber-pool stress test interleaves with other abort paths.
+type flakyModel struct {
+	*core.C11Model
+	loads    int
+	failLoad int
+}
+
+func (m *flakyModel) Begin(e *core.Engine) {
+	m.loads = 0
+	m.C11Model.Begin(e)
+}
+
+func (m *flakyModel) AtomicLoad(t *core.ThreadState, op *capi.Op) memmodel.Value {
+	m.loads++
+	if m.failLoad > 0 && m.loads == m.failLoad {
+		panic(&core.InfeasibleError{Stage: "load", Loc: op.Loc, Detail: "injected for stress test"})
+	}
+	return m.C11Model.AtomicLoad(t, op)
+}
+
+// TestFiberPoolStressMixedAbortPaths is the fiber-pool stress test: one
+// pooled engine interleaves InfeasibleError aborts, step-limit aborts, and
+// guided (PrefixGuide) and unguided executions. The worker pool must stay
+// bounded by the widest program — aborts recycle workers, they never leak or
+// respawn them — and every completed execution must stay byte-identical to a
+// fresh engine running the same (strategy, seed).
+func TestFiberPoolStressMixedAbortPaths(t *testing.T) {
+	tr, _ := recordGuideTrace(t, 5)
+
+	var out string
+	prog := guideProg(&out)
+	spin := capi.Program{Name: "spin", Run: func(env capi.Env) {
+		x := env.NewAtomic("x", 0)
+		th := env.Spawn("spinner", func(env capi.Env) {
+			for i := 0; i < 500; i++ {
+				env.Load(x, memmodel.Relaxed)
+			}
+		})
+		env.Join(th)
+	}}
+
+	const maxSteps = 64 // truncates spin, never guideProg
+	fm := &flakyModel{C11Model: core.NewC11Model()}
+	pooled := core.New("c11tester", fm, core.Config{StoreBurst: true, MaxSteps: maxSteps})
+	pg := NewPrefixGuide(core.NewRandomStrategy())
+	pg.SetSchedule(tr.Schedule)
+	rnd := core.NewRandomStrategy()
+
+	compare := func(round int, seed int64, guided bool) {
+		var outF string
+		progF := guideProg(&outF)
+		fresh := core.New("c11tester", core.NewC11Model(), core.Config{StoreBurst: true, MaxSteps: maxSteps})
+		if guided {
+			fpg := NewPrefixGuide(core.NewRandomStrategy())
+			fpg.SetSchedule(tr.Schedule)
+			fresh.SetStrategy(fpg)
+		}
+		resF := fresh.Execute(progF, seed)
+		want := digestOf(fresh, resF, outF)
+		if guided {
+			pooled.SetStrategy(pg)
+		} else {
+			pooled.SetStrategy(rnd)
+		}
+		out = ""
+		res := pooled.Execute(prog, seed)
+		if res.EngineError != nil {
+			t.Fatalf("round %d: clean execution failed: %v", round, res.EngineError)
+		}
+		got := digestOf(pooled, res, out)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d (guided=%v): pooled %+v != fresh %+v", round, guided, got, want)
+		}
+		fresh.Close()
+	}
+
+	for round := 0; round < 24; round++ {
+		seed := int64(round)
+		switch round % 4 {
+		case 0: // infeasible model state mid-execution
+			fm.failLoad = 2
+			pooled.SetStrategy(rnd)
+			res := pooled.Execute(prog, seed)
+			if res.EngineError == nil {
+				t.Fatalf("round %d: armed model did not abort", round)
+			}
+			fm.failLoad = 0
+		case 1: // step-limit abort
+			pooled.SetStrategy(rnd)
+			res := pooled.Execute(spin, seed)
+			if !res.Truncated {
+				t.Fatalf("round %d: spin execution was not truncated", round)
+			}
+		case 2: // guided execution vs fresh engine
+			compare(round, seed, true)
+		case 3: // unguided execution vs fresh engine
+			compare(round, seed, false)
+		}
+	}
+
+	if w := pooled.Workers(); w > 3 {
+		t.Errorf("worker count %d, want ≤ 3 (guideProg's thread count)", w)
+	}
+	if s := pooled.WorkerSpawns(); s > 3 {
+		t.Errorf("scheduler spawned %d goroutines over 24 mixed executions, want ≤ 3 (aborts must recycle workers)", s)
+	}
+	pooled.Close()
+}
+
 // TestGuidedUnguidedAlternationOnPooledEngine is the regression test for the
 // stale-arena bugfix: alternating guided (PrefixGuide) and unguided
 // executions on ONE pooled engine must produce results byte-identical to
