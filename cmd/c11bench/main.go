@@ -27,6 +27,7 @@ import (
 	"os"
 
 	"c11tester/internal/campaign"
+	"c11tester/internal/obs"
 	"c11tester/internal/sched"
 )
 
@@ -52,6 +53,7 @@ func run(args []string, out *os.File) int {
 		nsTol    = fs.Float64("ns-tol", 20, "-compare: ns/exec tolerance band in percent (negative disables the timing leg)")
 		allocTol = fs.Float64("alloc-tol", 0, "-compare: allocation tolerance in percent (0 gates bytes/exec and objects/exec exactly)")
 		quiet    = fs.Bool("q", false, "suppress the human-readable report")
+		status   = fs.String("status-addr", "", "serve /metrics (Prometheus text), /progress (JSON), and /debug/pprof on this address while the sweep runs ('' disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -96,6 +98,22 @@ func run(args []string, out *os.File) int {
 	if len(spec.Tools) == 0 || (len(spec.Benchmarks) == 0 && len(spec.Litmus) == 0) {
 		fmt.Fprintln(os.Stderr, "c11bench: nothing selected (need at least one tool and one program)")
 		return 1
+	}
+
+	if *status != "" {
+		reg := obs.NewRegistry()
+		prog := campaign.NewPerfProgress(reg)
+		spec.Progress = prog
+		srv := obs.NewServer(reg, prog.Snapshot)
+		addr, err := srv.Start(*status)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "c11bench: -status-addr:", err)
+			return 1
+		}
+		defer srv.Stop()
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "c11bench: serving /metrics and /progress on http://%s\n", addr)
+		}
 	}
 
 	sum := campaign.RunPerf(spec)

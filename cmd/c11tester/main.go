@@ -27,6 +27,7 @@ import (
 
 	"c11tester/internal/campaign"
 	"c11tester/internal/litmus"
+	"c11tester/internal/obs"
 	"c11tester/internal/structures"
 )
 
@@ -66,6 +67,9 @@ func run(args []string, out *os.File) int {
 		list     = fs.Bool("list", false, "list selectable tools, benchmarks, and litmus tests")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file")
 		memProf  = fs.String("memprofile", "", "write a pprof heap profile taken after the campaign to this file")
+		status   = fs.String("status-addr", "", "serve /metrics (Prometheus text), /progress (JSON), and /debug/pprof on this address while the campaign runs ('' disables)")
+		events   = fs.String("events", "", "append the structured JSONL event stream to this file ('' disables)")
+		verbose  = fs.Bool("v", false, "echo every structured event to stderr as it is emitted")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -143,6 +147,40 @@ func run(args []string, out *os.File) int {
 		return 1
 	}
 
+	// Telemetry fabric: per-wave progress lines, the structured event
+	// stream, and the live serving surface all hang off one Telemetry.
+	topts := campaign.TelemetryOptions{Timestamps: true}
+	if !*quiet {
+		topts.Progress = os.Stderr
+	}
+	if *verbose {
+		topts.EventEcho = os.Stderr
+	}
+	var eventsFile *os.File
+	if *events != "" {
+		eventsFile, err = os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "c11tester: -events:", err)
+			return 1
+		}
+		defer eventsFile.Close()
+		topts.EventSink = eventsFile
+	}
+	tel := campaign.NewTelemetry(topts)
+	spec.Telemetry = tel
+	if *status != "" {
+		srv := obs.NewServer(tel.Registry(), func() any { return tel.Progress() })
+		addr, err := srv.Start(*status)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "c11tester: -status-addr:", err)
+			return 1
+		}
+		defer srv.Stop()
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "c11tester: serving /metrics and /progress on http://%s\n", addr)
+		}
+	}
+
 	// Profiling hooks: make hot-path investigation a one-liner
 	// (go run ./cmd/c11tester -runs 200 -cpuprofile cpu.pb.gz, then
 	// go tool pprof cpu.pb.gz).
@@ -189,6 +227,7 @@ func run(args []string, out *os.File) int {
 		}
 	}
 	if sum.Failed() {
+		campaign.WriteEngineFailures(os.Stderr, sum)
 		fmt.Fprintf(os.Stderr, "c11tester: FAILED: %d forbidden outcome(s), %d unexpected race(s), %d axiom violation(s), %d engine failure(s)\n",
 			len(sum.Forbidden()), len(sum.UnexpectedRaces()), sum.AxiomViolations(), sum.EngineFailures())
 		return 2

@@ -116,11 +116,9 @@ func run(args []string, out *os.File) int {
 	for _, r := range sum.UnexpectedRaces() {
 		fmt.Fprintf(out, "UNEXPECTED RACE: %s\n  repro: %s\n", r.Description, r.Repro.Command())
 	}
-	for _, ts := range sum.Tools {
-		for _, f := range ts.FailureSamples {
-			fmt.Fprintf(out, "ENGINE FAILURE: %s: %s\n  repro: %s\n", ts.Tool, f.Error, f.Repro.Command())
-		}
-	}
+	// Engine failures go to stderr with their repro triples via the helper
+	// shared with cmd/c11tester, so scripts piping stdout still see them.
+	campaign.WriteEngineFailures(os.Stderr, sum)
 	// Failed also covers soundness signals with no detailed line above
 	// (e.g. axiom violations from a future -validate flag here).
 	if sum.Failed() {

@@ -227,7 +227,7 @@ func (m *CommitModel) AtomicLoad(t *core.ThreadState, op *capi.Op) memmodel.Valu
 		return 0
 	}
 	lo, hi := m.candidates(t, b, op.MO)
-	pos := lo + m.e.Strategy().PickIndex(hi-lo+1)
+	pos := lo + m.e.PickIndex(hi-lo+1)
 	s := b.history[pos-b.base]
 	b.setFloor(t.ID, pos)
 	core.ApplyLoadClocks(t, m.loadOrder(op.MO), s)

@@ -2,8 +2,10 @@ package campaign
 
 import (
 	"testing"
+	"time"
 
 	"c11tester/internal/capi"
+	"c11tester/internal/core"
 	"c11tester/internal/sched"
 )
 
@@ -14,6 +16,11 @@ import (
 // standard matrix. testing.AllocsPerRun counts mallocs exactly (unlike the
 // span-granular runtime/metrics counters BENCH_perf.json reports), so this
 // is the strictest form of the ≤ 64 B/exec acceptance gate.
+//
+// The measured loop carries the full campaign telemetry instrumentation —
+// pre-bound CellMetrics handles, wall-clock timing, engine exec stats with
+// handoff-wait measurement on — so the observability fabric is itself held
+// to the zero-alloc bar the runner's hot path relies on.
 func TestZeroAllocSteadyState(t *testing.T) {
 	benches, err := SelectBenchmarks("all")
 	if err != nil {
@@ -28,14 +35,29 @@ func TestZeroAllocSteadyState(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		check := func(program string, prog capi.Program, reset func()) {
+		// One telemetry fabric over the whole matrix, bound exactly as
+		// campaign.Run binds it: every handle exists before the hot loop.
+		tel := NewTelemetry(TelemetryOptions{})
+		tel.bind(Spec{
+			Tools:      []ToolSpec{spec},
+			Benchmarks: benches,
+			Litmus:     lits,
+		})
+		check := func(j job, program string, prog capi.Program, reset func()) {
 			tool := spec.New()
 			defer closeTool(tool)
+			met := tel.cellMetrics(j)
+			eng, _ := tool.(*core.Engine)
+			if eng != nil {
+				eng.SetHandoffTiming(true)
+			}
 			run := func(seed int64) {
 				if reset != nil {
 					reset()
 				}
+				t0 := time.Now()
 				tool.Execute(prog, seed)
+				met.ObserveExec(time.Since(t0), eng)
 			}
 			// Warm the pools across several seeds so capacity growth and the
 			// race-dedup map are settled before measuring.
@@ -46,13 +68,13 @@ func TestZeroAllocSteadyState(t *testing.T) {
 				t.Errorf("%s/%s: %.1f allocs/exec in steady state, want 0", name, program, n)
 			}
 		}
-		for _, b := range benches {
-			check(b.Name, b.New(), nil)
+		for b, bench := range benches {
+			check(job{kind: jobBench, tool: 0, cell: b}, bench.Name, bench.New(), nil)
 		}
-		for _, l := range lits {
+		for l, lit := range lits {
 			var out string
-			prog := l.Make(&out)
-			check(l.Name, prog, func() { out = "" })
+			prog := lit.Make(&out)
+			check(job{kind: jobLitmus, tool: 0, cell: l}, lit.Name, prog, func() { out = "" })
 		}
 	}
 }

@@ -119,6 +119,13 @@ type Spec struct {
 	// axiomatic model of Appendix A, counting violations in the summary;
 	// executions of other tools are counted as skipped.
 	ValidateAxioms bool
+	// Telemetry is the campaign's observability fabric (metrics registry,
+	// event stream, live progress). Nil means Run builds a quiet internal
+	// one — the metrics core is always on (it is allocation-free and the
+	// summary's timing histograms come from it); event emission and progress
+	// lines only happen when the caller configures them. One Telemetry
+	// serves exactly one Run.
+	Telemetry *Telemetry `json:"-"`
 }
 
 func (s Spec) withDefaults() Spec {
@@ -225,6 +232,17 @@ func Run(spec Spec) *Summary {
 	if spec.RecordDir != "" {
 		_ = os.MkdirAll(spec.RecordDir, 0o755)
 	}
+	tel := spec.Telemetry
+	if tel == nil {
+		tel = NewTelemetry(TelemetryOptions{})
+		spec.Telemetry = tel
+	}
+	// Register the per-cell metric handles before the measured window so
+	// registration (the only allocating part of the metrics core) never
+	// shows up in the campaign's GC summary.
+	tel.bind(spec)
+	tel.campaignStart(specInfo(spec))
+
 	var ms0 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
@@ -233,9 +251,9 @@ func Run(spec Spec) *Summary {
 	var frags []fragment
 	var budgets map[cellKey]*BudgetSummary
 	if _, uniform := spec.Policy.(explore.Uniform); uniform {
-		jobs, frags = runUniform(spec)
+		jobs, frags = runUniform(spec, tel)
 	} else {
-		jobs, frags, budgets = runAdaptive(spec)
+		jobs, frags, budgets = runAdaptive(spec, tel)
 	}
 
 	wall := time.Since(start)
@@ -247,7 +265,24 @@ func Run(spec Spec) *Summary {
 		NumGC:        ms1.NumGC - ms0.NumGC,
 		PauseTotalNS: ms1.PauseTotalNs - ms0.PauseTotalNs,
 	}
-	return aggregate(spec, jobs, frags, budgets, wall, gc)
+	sum := aggregate(spec, jobs, frags, budgets, wall, gc)
+	// campaignEnd closes the event stream (flushing everything queued), so
+	// the drop counter folded into the summary is final.
+	tel.campaignEnd(totalExecs(sum))
+	sum.Obs = &ObsSummary{
+		EventsEmitted: tel.EventsEmitted(),
+		EventsDropped: tel.EventsDropped(),
+	}
+	return sum
+}
+
+// totalExecs sums the per-tool execution counts of a summary.
+func totalExecs(s *Summary) int {
+	n := 0
+	for _, ts := range s.Tools {
+		n += ts.Execs
+	}
+	return n
 }
 
 // runPool executes jobs[i] for every i via fn across the spec's worker pool.
@@ -280,8 +315,9 @@ func runPool(spec Spec, n int, fn func(i int)) {
 }
 
 // runUniform is the fixed-budget path: every cell is split into shards of
-// ShardSize executions, and shards are distributed over the worker pool.
-func runUniform(spec Spec) ([]job, []fragment) {
+// ShardSize executions, and shards are distributed over the worker pool. The
+// whole pass is one telemetry wave.
+func runUniform(spec Spec, tel *Telemetry) ([]job, []fragment) {
 	var jobs []job
 	shard := func(kind jobKind, tool, cell int) {
 		for lo := 0; lo < spec.Runs; lo += spec.ShardSize {
@@ -300,13 +336,21 @@ func runUniform(spec Spec) ([]job, []fragment) {
 			shard(jobLitmus, t, l)
 		}
 	}
+	tel.waveStart(1, len(jobs))
 	frags := make([]fragment, len(jobs))
 	runPool(spec, len(jobs), func(i int) {
+		tel.unitStart(1, jobs[i], jobs[i].hi-jobs[i].lo)
 		r := newCellRunner(spec, jobs[i])
 		r.run(jobs[i].lo, jobs[i].hi, nil)
 		r.close()
 		frags[i] = r.frag
+		tel.unitDone(1, jobs[i], &frags[i])
 	})
+	waveExecs := 0
+	for i := range frags {
+		waveExecs += frags[i].execs
+	}
+	tel.waveEnd(1, len(jobs), waveExecs)
 	return jobs, frags
 }
 
@@ -328,7 +372,7 @@ type cellPlan struct {
 // or every cell converged. The total never exceeds Runs × cells, and every
 // decision happens at a barrier from per-cell-deterministic state, so the
 // result is independent of the worker count.
-func runAdaptive(spec Spec) ([]job, []fragment, map[cellKey]*BudgetSummary) {
+func runAdaptive(spec Spec, tel *Telemetry) ([]job, []fragment, map[cellKey]*BudgetSummary) {
 	chunk := spec.Policy.Chunk()
 	if chunk <= 0 || chunk > spec.Runs {
 		chunk = spec.Runs
@@ -351,8 +395,13 @@ func runAdaptive(spec Spec) ([]job, []fragment, map[cellKey]*BudgetSummary) {
 		budget int
 	}
 	// runWave executes one grant per selected plan across the worker pool
-	// and folds the results into jobs/frags in plan order.
+	// and folds the results into jobs/frags in plan order. Each wave emits
+	// its barrier events: unit events from the workers as grants complete,
+	// cell_converged and wave_end from the deterministic post-barrier state.
+	wave := 0
 	runWave := func(grants []grant) {
+		wave++
+		tel.waveStart(wave, len(grants))
 		waveJobs := make([]job, len(grants))
 		waveFrags := make([]fragment, len(grants))
 		used := make([]int, len(grants))
@@ -360,18 +409,28 @@ func runAdaptive(spec Spec) ([]job, []fragment, map[cellKey]*BudgetSummary) {
 			waveJobs[i] = job{kind: g.plan.kind, tool: g.plan.tool, cell: g.plan.cell, lo: g.plan.used}
 		}
 		runPool(spec, len(grants), func(i int) {
+			tel.unitStart(wave, waveJobs[i], grants[i].budget)
 			r := newCellRunner(spec, waveJobs[i])
 			used[i] = r.runChunked(waveJobs[i].lo, grants[i].budget, chunk, grants[i].plan.tracker)
 			r.close()
 			waveFrags[i] = r.frag
+			waveJobs[i].hi = waveJobs[i].lo + used[i]
+			tel.unitDone(wave, waveJobs[i], &waveFrags[i])
 		})
+		waveExecs := 0
 		for i, g := range grants {
 			waveJobs[i].hi = waveJobs[i].lo + used[i]
 			g.plan.used += used[i]
+			wasStopped := g.plan.stopped
 			g.plan.stopped = g.plan.tracker.Converged()
+			if g.plan.stopped && !wasStopped {
+				tel.cellConverged(wave, waveJobs[i], g.plan.used)
+			}
 			jobs = append(jobs, waveJobs[i])
 			frags = append(frags, waveFrags[i])
+			waveExecs += waveFrags[i].execs
 		}
+		tel.waveEnd(wave, len(grants), waveExecs)
 	}
 
 	// Wave 0: initial budgets.
@@ -438,6 +497,10 @@ type cellRunner struct {
 	tool capi.Tool
 	frag fragment
 
+	// met is the cell's pre-bound metric handle set (nil only when the
+	// runner is constructed outside a campaign, e.g. directly in tests).
+	met *CellMetrics
+
 	// Engine plumbing (trace duties, guided exploration).
 	eng    *core.Engine
 	mo     core.MOProvider
@@ -470,6 +533,15 @@ func newCellRunner(spec Spec, j job) *cellRunner {
 	r.eng, _ = r.tool.(*core.Engine)
 	if r.eng != nil {
 		r.mo, _ = r.eng.Model().(core.MOProvider)
+	}
+	if spec.Telemetry != nil {
+		r.met = spec.Telemetry.cellMetrics(j)
+		if r.eng != nil {
+			// Campaign executions always run with handoff-wait timing: the
+			// measurement is allocation-free and feeds the per-cell
+			// c11_cell_handoff_wait_ns histogram.
+			r.eng.SetHandoffTiming(true)
+		}
 	}
 	// Guided exploration: wrap the tool's live strategy in a PrefixGuide
 	// when the guide set has traces for this cell.
@@ -578,7 +650,12 @@ func (r *cellRunner) runOne(i int) explore.Obs {
 	if r.test != nil {
 		r.out = ""
 	}
+	// The per-execution instrumentation below — two monotonic clock reads
+	// plus CellMetrics.ObserveExec — allocates nothing; the zero-alloc test
+	// pins this exact path with metrics enabled.
+	execStart := time.Now()
 	res := r.tool.Execute(r.prog, r.spec.SeedBase+int64(i))
+	execDur := time.Since(execStart)
 	if res.EngineError != nil {
 		// The tool aborted the execution (core.InfeasibleError). The partial
 		// result carries no trustworthy model state: record the failure with
@@ -586,9 +663,18 @@ func (r *cellRunner) runOne(i int) explore.Obs {
 		// execution is excluded from execs (the Detection.Runs denominator);
 		// failures are accounted separately.
 		r.recordFailure(i, res.EngineError.Error())
+		if r.met != nil {
+			r.met.Failures.Inc()
+		}
 		return explore.Obs{}
 	}
 	r.frag.execs++
+	if r.met != nil {
+		r.met.ObserveExec(execDur, r.eng)
+		if len(res.NewRaces) > 0 {
+			r.met.Races.Add(uint64(len(res.NewRaces)))
+		}
+	}
 	if r.pg != nil {
 		depth, consumed, diverged := r.pg.Handoff()
 		r.frag.guidedExecs++
@@ -632,6 +718,9 @@ func (r *cellRunner) runOne(i int) explore.Obs {
 		r.post(res, i, r.out, forbidden || len(res.Races) > 0)
 		obs.Detected = forbidden
 		obs.Outcome = r.out
+	}
+	if r.met != nil && obs.Detected {
+		r.met.Detected.Inc()
 	}
 	return obs
 }

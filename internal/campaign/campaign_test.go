@@ -56,6 +56,12 @@ func canonicalize(s *Summary) *Summary {
 	c.Spec.Workers = 0
 	c.Spec.ShardSize = 0
 	c.GC = GCSummary{}
+	// Event counts are deterministic only up to ordering-independent totals;
+	// keep them, but drop the pointer identity.
+	if s.Obs != nil {
+		obsCopy := *s.Obs
+		c.Obs = &obsCopy
+	}
 	c.Tools = append([]ToolSummary(nil), s.Tools...)
 	for i := range c.Tools {
 		ts := &c.Tools[i]
@@ -65,6 +71,12 @@ func canonicalize(s *Summary) *Summary {
 		ts.Benchmarks = append([]CellSummary(nil), ts.Benchmarks...)
 		for j := range ts.Benchmarks {
 			ts.Benchmarks[j].Detection.MeanTimeNS = 0
+			// Timing histograms are wall-clock measurements (schema v4).
+			ts.Benchmarks[j].Timing = nil
+		}
+		ts.Litmus = append([]LitmusSummary(nil), ts.Litmus...)
+		for j := range ts.Litmus {
+			ts.Litmus[j].Timing = nil
 		}
 	}
 	return &c

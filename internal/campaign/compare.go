@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"c11tester/internal/harness"
+	"c11tester/internal/obs"
 )
 
 // SplitComparePaths resolves the -compare argument convention shared by
@@ -102,6 +103,12 @@ type ToolDelta struct {
 	Litmus []LitmusDelta `json:"litmus,omitempty"`
 	// Validation is present when both artifacts carry validation results.
 	Validation *ValidationDelta `json:"validation,omitempty"`
+	// OldP99NS/NewP99NS are the tool's p99 ns/exec from the merged per-cell
+	// timing histograms (schema v4; zero when either artifact predates them).
+	// Report-only: wall-clock quantiles are not comparable across machines,
+	// so drift is surfaced in the report but never gates Regressed.
+	OldP99NS uint64 `json:"old_p99_ns,omitempty"`
+	NewP99NS uint64 `json:"new_p99_ns,omitempty"`
 }
 
 // Comparison diffs two campaign artifacts for PR-to-PR trajectory tracking.
@@ -115,6 +122,12 @@ type Comparison struct {
 	NewWall      int64       `json:"new_wall_ns"`
 	OldSchemaVer int         `json:"old_schema_version"`
 	NewSchemaVer int         `json:"new_schema_version"`
+	// OldDropped/NewDropped are the artifacts' event-stream drop counters
+	// (schema v4). A nonzero NewDropped means the new run's bounded event
+	// channel overflowed — its JSONL stream is incomplete — and is gated as a
+	// regression.
+	OldDropped uint64 `json:"old_events_dropped,omitempty"`
+	NewDropped uint64 `json:"new_events_dropped,omitempty"`
 }
 
 // Compare diffs two campaign summaries.
@@ -122,6 +135,12 @@ func Compare(old, new *Summary) *Comparison {
 	c := &Comparison{
 		OldWall: old.WallNS, NewWall: new.WallNS,
 		OldSchemaVer: old.SchemaVersion, NewSchemaVer: new.SchemaVersion,
+	}
+	if old.Obs != nil {
+		c.OldDropped = old.Obs.EventsDropped
+	}
+	if new.Obs != nil {
+		c.NewDropped = new.Obs.EventsDropped
 	}
 	oldTools := map[string]*ToolSummary{}
 	for i := range old.Tools {
@@ -188,6 +207,8 @@ func Compare(old, new *Summary) *Comparison {
 				OldViolations: ot.Validation.Violations, NewViolations: nt.Validation.Violations,
 			}
 		}
+		td.OldP99NS = toolP99(ot)
+		td.NewP99NS = toolP99(nt)
 		c.Tools = append(c.Tools, td)
 	}
 	for _, ot := range old.Tools {
@@ -196,6 +217,19 @@ func Compare(old, new *Summary) *Comparison {
 		}
 	}
 	return c
+}
+
+// toolP99 merges a tool's per-cell ns/exec timing snapshots (schema v4) and
+// returns the merged p99, or 0 when the artifact carries no timing data.
+func toolP99(ts *ToolSummary) uint64 {
+	merged := &obs.HistogramSnapshot{}
+	for i := range ts.Benchmarks {
+		merged.Merge(ts.Benchmarks[i].Timing)
+	}
+	for i := range ts.Litmus {
+		merged.Merge(ts.Litmus[i].Timing)
+	}
+	return merged.P99
 }
 
 // diffOutcomes returns the outcomes only in old (lost) and only in new
@@ -238,11 +272,16 @@ func diffRaceKeys(old, new []harness.RaceSummary) (added, lost []string) {
 
 // Regressed reports whether the new artifact lost race keys, lost more than
 // 10 percentage points of detection rate in any cell, lost litmus
-// weak-outcome coverage, or introduced axiomatic violations — the signals
-// the PR trajectory check keys on. The weak-coverage and validation legs are
-// what keep a perf optimisation from silently trading exploration quality
-// for speed.
+// weak-outcome coverage, introduced axiomatic violations, or dropped
+// telemetry events — the signals the PR trajectory check keys on. The
+// weak-coverage and validation legs are what keep a perf optimisation from
+// silently trading exploration quality for speed; the drop leg keeps the
+// event stream trustworthy (p99 timing drift, by contrast, is report-only:
+// wall clock is not comparable across machines).
 func (c *Comparison) Regressed() bool {
+	if c.NewDropped > 0 {
+		return true
+	}
 	for _, td := range c.Tools {
 		if len(td.LostRaceKeys) > 0 {
 			return true
@@ -321,6 +360,16 @@ func (c *Comparison) String() string {
 		}
 	}
 	for _, td := range c.Tools {
+		if td.OldP99NS > 0 && td.NewP99NS > 0 {
+			out += fmt.Sprintf("\n%s: p99 ns/exec %s → %s (report-only)",
+				td.Tool, harness.FmtDuration(time.Duration(td.OldP99NS)),
+				harness.FmtDuration(time.Duration(td.NewP99NS)))
+		}
+	}
+	if c.NewDropped > 0 {
+		out += fmt.Sprintf("\nWARNING: new artifact dropped %d telemetry event(s) — its event stream is incomplete", c.NewDropped)
+	}
+	for _, td := range c.Tools {
 		for _, k := range td.NewRaceKeys {
 			out += fmt.Sprintf("\n%s: NEW race key %s", td.Tool, k)
 		}
@@ -340,7 +389,7 @@ func (c *Comparison) String() string {
 		out += fmt.Sprintf("\ntools only in new artifact: %v", c.UnmatchedNew)
 	}
 	if c.Regressed() {
-		out += "\n\nREGRESSION: lost race keys, a detection-rate drop > 10 points, lost weak-outcome coverage, or new axiom violations\n"
+		out += "\n\nREGRESSION: lost race keys, a detection-rate drop > 10 points, lost weak-outcome coverage, new axiom violations, or dropped telemetry events\n"
 	} else {
 		out += "\n\nno regression detected\n"
 	}

@@ -312,8 +312,8 @@ func TestEngineFailureRecordedAndCampaignContinues(t *testing.T) {
 	}
 }
 
-// TestSchemaV3ArtifactRoundTrip pins the new summary fields through JSON.
-func TestSchemaV3ArtifactRoundTrip(t *testing.T) {
+// TestSchemaV4ArtifactRoundTrip pins the new summary fields through JSON.
+func TestSchemaV4ArtifactRoundTrip(t *testing.T) {
 	sum := Run(Spec{
 		Tools:      []ToolSpec{mustTool(t, "c11tester", ToolOptions{})},
 		Benchmarks: []BenchmarkSpec{benchSpec(t, "ms-queue")},
@@ -321,11 +321,14 @@ func TestSchemaV3ArtifactRoundTrip(t *testing.T) {
 		SeedBase:   1,
 		Policy:     explore.Converge{},
 	})
-	if sum.SchemaVersion != 3 {
-		t.Fatalf("schema version = %d, want 3", sum.SchemaVersion)
+	if sum.SchemaVersion != 4 {
+		t.Fatalf("schema version = %d, want 4", sum.SchemaVersion)
 	}
 	if want := "converge(min=20,window=10,eps=0.02)"; sum.Spec.Policy != want {
 		t.Fatalf("policy echo = %q, want %q", sum.Spec.Policy, want)
+	}
+	if sum.Obs == nil || sum.Obs.EventsDropped != 0 {
+		t.Fatalf("obs accounting = %+v, want present with zero drops", sum.Obs)
 	}
 	data, err := json.Marshal(sum)
 	if err != nil {
@@ -338,5 +341,9 @@ func TestSchemaV3ArtifactRoundTrip(t *testing.T) {
 	b := rt.Tools[0].Benchmarks[0].Budget
 	if b == nil || !b.Converged || b.Planned != 30 || b.Used == 0 {
 		t.Fatalf("budget did not round-trip: %+v", b)
+	}
+	tm := rt.Tools[0].Benchmarks[0].Timing
+	if tm == nil || tm.Count == 0 || tm.Sum == 0 || tm.P50 == 0 {
+		t.Fatalf("timing snapshot did not round-trip: %+v", tm)
 	}
 }

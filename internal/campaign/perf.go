@@ -55,6 +55,11 @@ type PerfSpec struct {
 	// themselves configure the tools — the ToolSpec factories do.
 	Handoff string
 	Respawn bool
+	// Progress, when non-nil, receives live counters as the sweep runs (cells
+	// planned/done, executions) for a -status-addr server. The per-execution
+	// update is a single atomic add — it never allocates, so the measured
+	// allocation window stays exact.
+	Progress *PerfProgress
 }
 
 func (s PerfSpec) withDefaults() PerfSpec {
@@ -163,6 +168,9 @@ func RunPerf(spec PerfSpec) *PerfSummary {
 		sum.Spec.Programs = append(sum.Spec.Programs, l.Name)
 	}
 
+	if spec.Progress != nil {
+		spec.Progress.begin(len(spec.Tools) * (len(spec.Benchmarks) + len(spec.Litmus)))
+	}
 	for ti := range spec.Tools {
 		var tot PerfCell
 		for _, b := range spec.Benchmarks {
@@ -206,11 +214,19 @@ func accumulate(tot *PerfCell, cell PerfCell) {
 func measureCell(spec PerfSpec, ti int, program string, isLit bool, prog capi.Program, reset func()) PerfCell {
 	tool := spec.Tools[ti].New()
 	defer closeTool(tool)
+	if spec.Progress != nil {
+		spec.Progress.setCurrent(spec.Tools[ti].Name + "/" + program)
+		defer spec.Progress.CellsDone.Inc()
+	}
 	run := func(i int) *capi.Result {
 		if reset != nil {
 			reset()
 		}
-		return tool.Execute(prog, spec.SeedBase+int64(i))
+		res := tool.Execute(prog, spec.SeedBase+int64(i))
+		if spec.Progress != nil {
+			spec.Progress.Execs.Inc()
+		}
+		return res
 	}
 	// Warmup sweeps replay the exact seed sequence the measured window uses,
 	// so every capacity high-water mark is reached before measurement.

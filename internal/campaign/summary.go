@@ -8,6 +8,7 @@ import (
 
 	"c11tester/internal/capi"
 	"c11tester/internal/harness"
+	"c11tester/internal/obs"
 )
 
 // Schema identifiers of the serialized campaign summary. Bump SchemaVersion
@@ -23,9 +24,14 @@ import (
 // ("guide_dir"/"guide_traces") with per-cell prefix-depth and divergence
 // statistics ("guided"), and per-tool engine-failure counts with repro
 // samples ("engine_failures"/"failure_samples").
+//
+// v4: observability integration — per-cell ns/exec histogram snapshots
+// ("timing", from the telemetry fabric's fixed-bucket histograms) and the
+// campaign-level event-stream accounting ("obs": events emitted/dropped).
+// Compare gates on nonzero drops and reports p99 ns/exec drift.
 const (
 	SchemaName    = "c11tester/campaign"
-	SchemaVersion = 3
+	SchemaVersion = 4
 )
 
 // SpecInfo echoes the campaign parameters into the summary, making every
@@ -103,6 +109,10 @@ type CellSummary struct {
 	Guided *GuideStats `json:"guided,omitempty"`
 	// Failed counts executions the tool itself aborted (schema v3).
 	Failed int `json:"failed,omitempty"`
+	// Timing is the cell's ns/exec histogram snapshot from the telemetry
+	// fabric (schema v4; present when the campaign ran with telemetry, which
+	// Run always enables).
+	Timing *obs.HistogramSnapshot `json:"timing,omitempty"`
 }
 
 // ForbiddenOutcome is one observed litmus outcome the memory model must
@@ -134,6 +144,8 @@ type LitmusSummary struct {
 	Budget *BudgetSummary `json:"budget,omitempty"`
 	Guided *GuideStats    `json:"guided,omitempty"`
 	Failed int            `json:"failed,omitempty"`
+	// Timing mirrors CellSummary's schema v4 ns/exec histogram snapshot.
+	Timing *obs.HistogramSnapshot `json:"timing,omitempty"`
 }
 
 // ToolPerf carries the allocation counters of one tool's campaign: global
@@ -207,15 +219,26 @@ type ToolSummary struct {
 	UnexpectedRaces []harness.RaceSummary `json:"unexpected_races,omitempty"`
 }
 
+// ObsSummary is the campaign-level event-stream accounting (schema v4).
+// EventsDropped must be zero for a healthy run: a nonzero value means the
+// bounded event channel overflowed and the JSONL stream is incomplete, and
+// Compare treats it as a regression.
+type ObsSummary struct {
+	EventsEmitted uint64 `json:"events_emitted"`
+	EventsDropped uint64 `json:"events_dropped"`
+}
+
 // Summary is the versioned campaign artifact serialized to
 // BENCH_campaign.json.
 type Summary struct {
-	Schema        string        `json:"schema"`
-	SchemaVersion int           `json:"schema_version"`
-	Spec          SpecInfo      `json:"spec"`
-	WallNS        int64         `json:"wall_ns"`
-	GC            GCSummary     `json:"gc"`
-	Tools         []ToolSummary `json:"tools"`
+	Schema        string    `json:"schema"`
+	SchemaVersion int       `json:"schema_version"`
+	Spec          SpecInfo  `json:"spec"`
+	WallNS        int64     `json:"wall_ns"`
+	GC            GCSummary `json:"gc"`
+	// Obs carries the event-stream accounting (schema v4).
+	Obs   *ObsSummary   `json:"obs,omitempty"`
+	Tools []ToolSummary `json:"tools"`
 }
 
 // cellAcc accumulates the fragments of one cell.
@@ -302,6 +325,34 @@ func (a *cellAcc) merge(f fragment) {
 	a.divergences += f.divergences
 }
 
+// specInfo echoes the campaign parameters into their summary form; the same
+// echo opens the structured event stream (campaign_start) and heads the
+// serialized artifact.
+func specInfo(spec Spec) SpecInfo {
+	info := SpecInfo{
+		Runs: spec.Runs, SeedBase: spec.SeedBase,
+		Workers: spec.Workers, ShardSize: spec.ShardSize,
+		Benchmarks: []string{}, Litmus: []string{},
+		Policy:    spec.Policy.Name(),
+		RecordDir: spec.RecordDir, RecordAll: spec.RecordAll,
+		Validate: spec.ValidateAxioms,
+	}
+	if spec.Guides != nil {
+		info.GuideDir = spec.Guides.Dir()
+		info.GuideTraces = spec.Guides.Len()
+	}
+	for _, t := range spec.Tools {
+		info.Tools = append(info.Tools, t.Name)
+	}
+	for _, b := range spec.Benchmarks {
+		info.Benchmarks = append(info.Benchmarks, b.Name)
+	}
+	for _, l := range spec.Litmus {
+		info.Litmus = append(info.Litmus, l.Name)
+	}
+	return info
+}
+
 // aggregate folds the shard fragments into the Summary. Every merge is
 // order-independent (sums, histogram unions, min-by-index winners), so the
 // result does not depend on how jobs were scheduled across workers. budgets
@@ -329,30 +380,8 @@ func aggregate(spec Spec, jobs []job, frags []fragment, budgets map[cellKey]*Bud
 		}
 	}
 
-	info := SpecInfo{
-		Runs: spec.Runs, SeedBase: spec.SeedBase,
-		Workers: spec.Workers, ShardSize: spec.ShardSize,
-		Benchmarks: []string{}, Litmus: []string{},
-		Policy:    spec.Policy.Name(),
-		RecordDir: spec.RecordDir, RecordAll: spec.RecordAll,
-		Validate: spec.ValidateAxioms,
-	}
-	if spec.Guides != nil {
-		info.GuideDir = spec.Guides.Dir()
-		info.GuideTraces = spec.Guides.Len()
-	}
-	for _, t := range spec.Tools {
-		info.Tools = append(info.Tools, t.Name)
-	}
-	for _, b := range spec.Benchmarks {
-		info.Benchmarks = append(info.Benchmarks, b.Name)
-	}
-	for _, l := range spec.Litmus {
-		info.Litmus = append(info.Litmus, l.Name)
-	}
-
 	sum := &Summary{Schema: SchemaName, SchemaVersion: SchemaVersion,
-		Spec: info, WallNS: int64(wall), GC: gc}
+		Spec: specInfo(spec), WallNS: int64(wall), GC: gc}
 	for t, toolSpec := range spec.Tools {
 		ts := ToolSummary{Tool: toolSpec.Name, Races: []harness.RaceSummary{}}
 		var val ValidationSummary
@@ -415,6 +444,9 @@ func aggregate(spec Spec, jobs []job, frags []fragment, budgets map[cellKey]*Bud
 				Guided:   guideStatsOf(spec, toolSpec.Name, bench.Name, acc),
 				Failed:   acc.failed,
 			}
+			if spec.Telemetry != nil {
+				cell.Timing = spec.Telemetry.timingSnapshot(jobBench, t, b)
+			}
 			ts.Benchmarks = append(ts.Benchmarks, cell)
 			addRaces(toolRaces, b, bench.Name, false, acc.races)
 			addFailures(bench.Name, false, acc)
@@ -439,6 +471,9 @@ func aggregate(spec Spec, jobs []job, frags []fragment, budgets map[cellKey]*Bud
 				Budget:      budgets[cellKey{kind: jobLitmus, tool: t, cell: l}],
 				Guided:      guideStatsOf(spec, toolSpec.Name, test.Name, acc),
 				Failed:      acc.failed,
+			}
+			if spec.Telemetry != nil {
+				ls.Timing = spec.Telemetry.timingSnapshot(jobLitmus, t, l)
 			}
 			for _, out := range harness.SortedKeys(acc.forbidden) {
 				ls.ForbiddenSeen = append(ls.ForbiddenSeen, ForbiddenOutcome{

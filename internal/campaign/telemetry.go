@@ -1,0 +1,622 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"c11tester/internal/core"
+	"c11tester/internal/harness"
+	"c11tester/internal/obs"
+)
+
+// Histogram bucket bounds shared by every cell of a campaign. Exponential
+// base-2 bounds: execution latency and handoff wait from 1 µs to ~0.5 s,
+// schedule length and choices from 8 to ~4M (the MaxSteps default).
+var (
+	nsBuckets    = obs.ExpBuckets(1<<10, 20)
+	stepsBuckets = obs.ExpBuckets(8, 20)
+)
+
+// CellMetrics is the pre-bound metric handle set of one (tool, program)
+// cell, registered at campaign setup. Shards of the same cell share one
+// handle set (the counters are atomic), and the per-execution observation
+// path allocates nothing — the property TestZeroAllocSteadyState pins with
+// instrumentation enabled.
+type CellMetrics struct {
+	Execs    *obs.Counter
+	Detected *obs.Counter
+	Races    *obs.Counter // race reports first seen by the unit's tool instance
+	Failures *obs.Counter
+
+	ExecNS    *obs.Histogram
+	SchedLen  *obs.Histogram
+	Choices   *obs.Histogram
+	HandoffNS *obs.Histogram
+}
+
+// ObserveExec folds one completed execution into the cell's metrics: its
+// wall time, and — when the tool is an engine — its schedule length, choice
+// count, and handoff wait. The same method serves the campaign hot path and
+// the zero-alloc test, so the pinned path is exactly the shipped path.
+func (m *CellMetrics) ObserveExec(d time.Duration, eng *core.Engine) {
+	m.Execs.Inc()
+	m.ExecNS.Observe(uint64(d))
+	if eng != nil {
+		st := eng.ExecStats()
+		m.SchedLen.Observe(st.Steps)
+		m.Choices.Observe(st.Choices)
+		m.HandoffNS.Observe(uint64(st.HandoffWaitNS))
+	}
+}
+
+// TelemetryOptions configures a campaign's telemetry fabric.
+type TelemetryOptions struct {
+	// EventSink receives the structured JSONL event stream; nil disables
+	// events (metrics stay on — they are free).
+	EventSink io.Writer
+	// EventEcho receives a copy of every event line (the CLI -v flag).
+	EventEcho io.Writer
+	// EventDepth bounds the drainer channel; 0 means obs.DefaultStreamDepth.
+	EventDepth int
+	// Progress receives human-readable one-line wave/progress summaries
+	// (the CLI writes stderr here unless -q); nil disables them.
+	Progress io.Writer
+	// Timestamps stamps events with wall-clock UnixNano times. Off, event
+	// streams are byte-comparable across runs (the determinism tests rely
+	// on this); on, consumers get real times.
+	Timestamps bool
+}
+
+// Telemetry is one campaign's observability fabric: the metric registry with
+// its per-cell handles, the event stream, and the live progress state behind
+// /progress. Create one per campaign.Run; Run binds it to the spec's matrix,
+// drives it, and closes the event stream before returning (the EventSink
+// writer itself stays open — its opener owns it).
+type Telemetry struct {
+	opts   TelemetryOptions
+	reg    *obs.Registry
+	stream *obs.Stream
+
+	// Campaign-level instruments.
+	wavesC     *obs.Counter
+	emittedG   *obs.Gauge
+	droppedG   *obs.Gauge
+	racesG     *obs.Gauge
+	convergedG *obs.Gauge
+	plannedG   *obs.Gauge
+
+	// Matrix binding (bind). benchMet[t][c] / litMet[t][c] parallel
+	// Spec.Benchmarks and Spec.Litmus per tool.
+	bound    bool
+	spec     Spec
+	benchMet [][]*CellMetrics
+	litMet   [][]*CellMetrics
+
+	mu           sync.Mutex
+	start        time.Time
+	running      bool
+	waves        int
+	raceKeys     map[string]bool // "tool\x00key" — campaign-distinct races
+	failures     int
+	converged    map[cellKey]bool
+	execsPlanned int
+	// Trailing-throughput ring for the /progress ETA.
+	samples   []progressSample
+	sampleAt  int
+	lastLine  int // execsDone at the last periodic progress line
+	lineEvery int
+}
+
+type progressSample struct {
+	at    time.Time
+	execs uint64
+}
+
+const progressSampleRing = 64
+
+// NewTelemetry returns a telemetry fabric ready to be passed via
+// Spec.Telemetry. The registry exists immediately (so a status server can
+// start before the campaign); per-cell handles appear when Run binds it.
+func NewTelemetry(opts TelemetryOptions) *Telemetry {
+	t := &Telemetry{
+		opts:      opts,
+		reg:       obs.NewRegistry(),
+		raceKeys:  map[string]bool{},
+		converged: map[cellKey]bool{},
+	}
+	t.wavesC = t.reg.Counter("c11_campaign_waves_total", "campaign waves completed")
+	t.emittedG = t.reg.Gauge("c11_campaign_events_emitted", "structured events queued to the stream")
+	t.droppedG = t.reg.Gauge("c11_campaign_events_dropped", "structured events dropped (bounded channel full)")
+	t.racesG = t.reg.Gauge("c11_campaign_distinct_races", "distinct race keys observed so far")
+	t.convergedG = t.reg.Gauge("c11_campaign_cells_converged", "cells whose statistics converged")
+	t.plannedG = t.reg.Gauge("c11_campaign_execs_planned", "planned executions (runs × cells)")
+	if opts.EventSink != nil {
+		t.stream = obs.NewStream(opts.EventSink, opts.EventEcho, opts.EventDepth)
+	}
+	return t
+}
+
+// Registry returns the metric registry (the obs.Server's /metrics source).
+func (t *Telemetry) Registry() *obs.Registry { return t.reg }
+
+// EventsEmitted and EventsDropped report the stream counters (both zero when
+// no EventSink was configured).
+func (t *Telemetry) EventsEmitted() uint64 {
+	if t.stream == nil {
+		return 0
+	}
+	return t.stream.Emitted()
+}
+
+// EventsDropped reports events lost to a full drainer channel; any nonzero
+// value fails the campaign's observability gate.
+func (t *Telemetry) EventsDropped() uint64 {
+	if t.stream == nil {
+		return 0
+	}
+	return t.stream.Dropped()
+}
+
+// bind registers the per-cell metric handles for spec's matrix. Run calls it
+// once; binding a Telemetry to a second campaign is a programming error.
+func (t *Telemetry) bind(spec Spec) {
+	if t.bound {
+		panic("campaign: Telemetry bound to a second campaign; create one per Run")
+	}
+	t.bound = true
+	t.spec = spec
+	newCell := func(tool, program string) *CellMetrics {
+		lt := obs.Label{Name: "tool", Value: tool}
+		lp := obs.Label{Name: "program", Value: program}
+		return &CellMetrics{
+			Execs:     t.reg.Counter("c11_cell_execs_total", "executions completed", lt, lp),
+			Detected:  t.reg.Counter("c11_cell_detected_total", "executions that hit the cell's detection signal", lt, lp),
+			Races:     t.reg.Counter("c11_cell_races_total", "race reports first seen by a unit's tool instance", lt, lp),
+			Failures:  t.reg.Counter("c11_cell_failures_total", "executions the tool aborted (infeasible model state)", lt, lp),
+			ExecNS:    t.reg.Histogram("c11_cell_exec_ns", "wall time per execution (ns)", nsBuckets, lt, lp),
+			SchedLen:  t.reg.Histogram("c11_cell_sched_len", "schedule length (visible operations) per execution", stepsBuckets, lt, lp),
+			Choices:   t.reg.Histogram("c11_cell_choices", "strategy decisions per execution", stepsBuckets, lt, lp),
+			HandoffNS: t.reg.Histogram("c11_cell_handoff_wait_ns", "scheduler handoff wait per execution (ns)", nsBuckets, lt, lp),
+		}
+	}
+	t.benchMet = make([][]*CellMetrics, len(spec.Tools))
+	t.litMet = make([][]*CellMetrics, len(spec.Tools))
+	for i, tool := range spec.Tools {
+		t.benchMet[i] = make([]*CellMetrics, len(spec.Benchmarks))
+		for b, bench := range spec.Benchmarks {
+			t.benchMet[i][b] = newCell(tool.Name, bench.Name)
+		}
+		t.litMet[i] = make([]*CellMetrics, len(spec.Litmus))
+		for l, test := range spec.Litmus {
+			t.litMet[i][l] = newCell(tool.Name, test.Name)
+		}
+	}
+	t.execsPlanned = spec.Runs * len(spec.Tools) * (len(spec.Benchmarks) + len(spec.Litmus))
+	t.plannedG.Set(int64(t.execsPlanned))
+	// Aim for ~10 periodic progress lines on uniform campaigns; wave
+	// barriers print their own lines either way.
+	t.lineEvery = t.execsPlanned / 10
+	if t.lineEvery < spec.ShardSize {
+		t.lineEvery = spec.ShardSize
+	}
+}
+
+// cellMetrics returns the pre-bound handles for one job's cell.
+func (t *Telemetry) cellMetrics(j job) *CellMetrics {
+	if !t.bound {
+		return nil
+	}
+	if j.kind == jobLitmus {
+		return t.litMet[j.tool][j.cell]
+	}
+	return t.benchMet[j.tool][j.cell]
+}
+
+// Event is one structured JSONL event. Every event carries the schema
+// version ("v") and a type; the other fields are type-dependent and omitted
+// when empty. With TelemetryOptions.Timestamps, "t" is the wall-clock
+// UnixNano emission time; without it the stream is a pure function of the
+// campaign outcome (up to line order — workers emit concurrently), which is
+// what the determinism tests compare after canonical ordering.
+type Event struct {
+	V    int    `json:"v"`
+	Type string `json:"type"`
+	T    int64  `json:"t,omitempty"`
+
+	Wave    int    `json:"wave,omitempty"` // 1-based
+	Tool    string `json:"tool,omitempty"`
+	Program string `json:"program,omitempty"`
+	Litmus  bool   `json:"litmus,omitempty"`
+	Lo      int    `json:"lo,omitempty"`
+	Hi      int    `json:"hi,omitempty"`
+
+	Execs     int `json:"execs,omitempty"`
+	Races     int `json:"races,omitempty"`
+	Detected  int `json:"detected,omitempty"`
+	Failures  int `json:"failures,omitempty"`
+	Recorded  int `json:"recorded,omitempty"`
+	Jobs      int `json:"jobs,omitempty"`
+	Cells     int `json:"cells,omitempty"`
+	Converged int `json:"converged,omitempty"`
+	Count     int `json:"count,omitempty"`
+
+	Seed    int64  `json:"seed,omitempty"`
+	Key     string `json:"key,omitempty"`
+	Desc    string `json:"desc,omitempty"`
+	Outcome string `json:"outcome,omitempty"`
+	Err     string `json:"error,omitempty"`
+	Repro   string `json:"repro,omitempty"`
+
+	Budget *BudgetSummary `json:"budget,omitempty"`
+	Spec   *SpecInfo      `json:"spec,omitempty"`
+}
+
+// emit stamps and queues one event (no-op without an EventSink).
+func (t *Telemetry) emit(ev Event) {
+	if t.stream == nil {
+		return
+	}
+	ev.V = obs.EventSchemaVersion
+	if t.opts.Timestamps {
+		ev.T = time.Now().UnixNano()
+	}
+	t.stream.Emit(ev)
+	t.emittedG.Set(int64(t.stream.Emitted()))
+	t.droppedG.Set(int64(t.stream.Dropped()))
+}
+
+// campaignStart marks the campaign running and emits the start event with
+// the spec echo.
+func (t *Telemetry) campaignStart(info SpecInfo) {
+	t.mu.Lock()
+	t.start = time.Now()
+	t.running = true
+	t.mu.Unlock()
+	t.emit(Event{Type: "campaign_start", Spec: &info})
+}
+
+// unitStart emits the cell_start event for one unit of work (a shard or an
+// adaptive grant). budget is the unit's execution-index budget; the actual
+// end lands in cell_end.
+func (t *Telemetry) unitStart(wave int, j job, budget int) {
+	t.emit(Event{Type: "cell_start", Wave: wave,
+		Tool: t.spec.Tools[j.tool].Name, Program: t.programOf(j), Litmus: j.kind == jobLitmus,
+		Lo: j.lo, Hi: j.lo + budget})
+}
+
+func (t *Telemetry) programOf(j job) string {
+	if j.kind == jobLitmus {
+		return t.spec.Litmus[j.cell].Name
+	}
+	return t.spec.Benchmarks[j.cell].Name
+}
+
+// unitDone folds one completed unit into the campaign-level progress state
+// and emits its events: race_first_seen (per race key new to the unit's tool
+// instance, with the repro triple of the unit's earliest execution showing
+// it), forbidden_outcome, engine_failure, trace_recorded, and cell_end. All
+// event contents derive from the fragment — a pure function of the job —
+// so the event set is identical for any worker count; only line order varies.
+func (t *Telemetry) unitDone(wave int, j job, frag *fragment) {
+	toolSpec := t.spec.Tools[j.tool]
+	program := t.programOf(j)
+	litmus := j.kind == jobLitmus
+
+	repro := func(run int) string {
+		return harness.Repro{Tool: toolSpec.Name, Program: program,
+			Seed: t.spec.SeedBase + int64(run), Litmus: litmus,
+			Flags: toolSpec.ReproFlags}.Command()
+	}
+	for _, key := range harness.SortedKeys(frag.races) {
+		hit := frag.races[key]
+		t.emit(Event{Type: "race_first_seen", Wave: wave,
+			Tool: toolSpec.Name, Program: program, Litmus: litmus,
+			Key: key, Desc: hit.report.String(),
+			Seed: t.spec.SeedBase + int64(hit.run), Repro: repro(hit.run)})
+	}
+	for _, out := range harness.SortedKeys(frag.forbidden) {
+		first := frag.forbidden[out]
+		t.emit(Event{Type: "forbidden_outcome", Wave: wave,
+			Tool: toolSpec.Name, Program: program, Litmus: true,
+			Outcome: out, Count: frag.outcomes[out],
+			Seed: t.spec.SeedBase + int64(first), Repro: repro(first)})
+	}
+	for _, fl := range frag.failures {
+		t.emit(Event{Type: "engine_failure", Wave: wave,
+			Tool: toolSpec.Name, Program: program, Litmus: litmus,
+			Err: fl.err, Seed: t.spec.SeedBase + int64(fl.run), Repro: repro(fl.run)})
+	}
+	if frag.recorded > 0 {
+		t.emit(Event{Type: "trace_recorded", Wave: wave,
+			Tool: toolSpec.Name, Program: program, Litmus: litmus,
+			Recorded: frag.recorded, Lo: j.lo, Hi: j.hi})
+	}
+	t.emit(Event{Type: "cell_end", Wave: wave,
+		Tool: toolSpec.Name, Program: program, Litmus: litmus,
+		Lo: j.lo, Hi: j.hi, Execs: frag.execs, Races: len(frag.races),
+		Detected: frag.detected, Failures: frag.failed})
+
+	t.mu.Lock()
+	for key := range frag.races {
+		t.raceKeys[toolSpec.Name+"\x00"+key] = true
+	}
+	t.racesG.Set(int64(len(t.raceKeys)))
+	t.failures += frag.failed
+	done := t.execsDoneLocked()
+	t.samples = append(t.samples, progressSample{at: time.Now(), execs: done})
+	if len(t.samples) > progressSampleRing {
+		t.samples = t.samples[len(t.samples)-progressSampleRing:]
+	}
+	var line string
+	if t.opts.Progress != nil && t.lineEvery > 0 && int(done)-t.lastLine >= t.lineEvery {
+		t.lastLine = int(done)
+		line = fmt.Sprintf("progress: %d/%d execs, %d distinct race(s), %d failure(s)\n",
+			done, t.execsPlanned, len(t.raceKeys), t.failures)
+	}
+	t.mu.Unlock()
+	if line != "" {
+		fmt.Fprint(t.opts.Progress, line)
+	}
+}
+
+// execsDoneLocked sums the per-cell execution counters (caller holds mu; the
+// counters themselves are atomics updated by workers).
+func (t *Telemetry) execsDoneLocked() uint64 {
+	var n uint64
+	for _, row := range t.benchMet {
+		for _, m := range row {
+			n += m.Execs.Load()
+		}
+	}
+	for _, row := range t.litMet {
+		for _, m := range row {
+			n += m.Execs.Load()
+		}
+	}
+	return n
+}
+
+// waveStart emits the wave_start event.
+func (t *Telemetry) waveStart(wave, jobs int) {
+	t.emit(Event{Type: "wave_start", Wave: wave, Jobs: jobs})
+}
+
+// cellConverged records a newly converged cell and emits its event with the
+// budget report so far.
+func (t *Telemetry) cellConverged(wave int, j job, used int) {
+	key := cellKey{kind: j.kind, tool: j.tool, cell: j.cell}
+	t.mu.Lock()
+	t.converged[key] = true
+	t.convergedG.Set(int64(len(t.converged)))
+	t.mu.Unlock()
+	extended := used - t.spec.Runs
+	if extended < 0 {
+		extended = 0
+	}
+	t.emit(Event{Type: "cell_converged", Wave: wave,
+		Tool: t.spec.Tools[j.tool].Name, Program: t.programOf(j), Litmus: j.kind == jobLitmus,
+		Budget: &BudgetSummary{Planned: t.spec.Runs, Used: used, Extended: extended, Converged: true}})
+}
+
+// waveEnd emits the wave_end event, bumps the wave counter, and prints the
+// per-wave progress line.
+func (t *Telemetry) waveEnd(wave, jobs, waveExecs int) {
+	t.wavesC.Inc()
+	t.mu.Lock()
+	t.waves = wave
+	done := t.execsDoneLocked()
+	races := len(t.raceKeys)
+	conv := len(t.converged)
+	fails := t.failures
+	cells := 0
+	if t.bound {
+		cells = len(t.spec.Tools) * (len(t.spec.Benchmarks) + len(t.spec.Litmus))
+	}
+	t.mu.Unlock()
+	t.emit(Event{Type: "wave_end", Wave: wave, Jobs: jobs, Execs: waveExecs,
+		Cells: cells, Converged: conv})
+	if t.opts.Progress != nil {
+		fmt.Fprintf(t.opts.Progress, "wave %d: %d/%d execs, %d/%d cells converged, %d distinct race(s), %d failure(s)\n",
+			wave, done, t.execsPlanned, conv, cells, races, fails)
+	}
+}
+
+// campaignEnd emits the final event and stops the stream, waiting for the
+// drainer to flush everything queued. Run calls it last.
+func (t *Telemetry) campaignEnd(execs int) {
+	t.mu.Lock()
+	t.running = false
+	races := len(t.raceKeys)
+	conv := len(t.converged)
+	fails := t.failures
+	cells := 0
+	if t.bound {
+		cells = len(t.spec.Tools) * (len(t.spec.Benchmarks) + len(t.spec.Litmus))
+	}
+	t.mu.Unlock()
+	t.emit(Event{Type: "campaign_end", Execs: execs, Races: races,
+		Failures: fails, Cells: cells, Converged: conv})
+	if t.stream != nil {
+		_ = t.stream.Close()
+		t.emittedG.Set(int64(t.stream.Emitted()))
+		t.droppedG.Set(int64(t.stream.Dropped()))
+	}
+}
+
+// ProgressCell is one cell's row in the /progress snapshot.
+type ProgressCell struct {
+	Tool      string `json:"tool"`
+	Program   string `json:"program"`
+	Litmus    bool   `json:"litmus,omitempty"`
+	Done      uint64 `json:"done"`
+	Planned   int    `json:"planned"`
+	Races     uint64 `json:"races"`
+	Failures  uint64 `json:"failures"`
+	Converged bool   `json:"converged,omitempty"`
+	MeanNS    uint64 `json:"mean_ns,omitempty"`
+}
+
+// ProgressSnapshot is the /progress payload: campaign totals, an ETA from
+// trailing throughput, and per-cell progress. Planned counts are the initial
+// per-cell budget (adaptive policies may stop cells early or extend them).
+type ProgressSnapshot struct {
+	Running        bool           `json:"running"`
+	WallNS         int64          `json:"wall_ns"`
+	ExecsDone      uint64         `json:"execs_done"`
+	ExecsPlanned   int            `json:"execs_planned"`
+	ExecsPerSec    float64        `json:"execs_per_sec"`
+	ETANS          int64          `json:"eta_ns,omitempty"`
+	Waves          int            `json:"waves"`
+	DistinctRaces  int            `json:"races"`
+	Failures       int            `json:"failures"`
+	CellsConverged int            `json:"cells_converged"`
+	EventsEmitted  uint64         `json:"events_emitted"`
+	EventsDropped  uint64         `json:"events_dropped"`
+	Cells          []ProgressCell `json:"cells,omitempty"`
+}
+
+// Progress builds the live snapshot behind /progress. The rate (and the ETA
+// derived from it) comes from the trailing sample ring — recent unit
+// completions — so it tracks the current throughput, not the campaign mean.
+func (t *Telemetry) Progress() *ProgressSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &ProgressSnapshot{
+		Running:        t.running,
+		ExecsPlanned:   t.execsPlanned,
+		Waves:          t.waves,
+		DistinctRaces:  len(t.raceKeys),
+		Failures:       t.failures,
+		CellsConverged: len(t.converged),
+		EventsEmitted:  t.EventsEmitted(),
+		EventsDropped:  t.EventsDropped(),
+	}
+	if !t.start.IsZero() {
+		s.WallNS = int64(time.Since(t.start))
+	}
+	if !t.bound {
+		return s
+	}
+	s.ExecsDone = t.execsDoneLocked()
+	if n := len(t.samples); n >= 2 {
+		first, last := t.samples[0], t.samples[n-1]
+		if dt := last.at.Sub(first.at); dt > 0 && last.execs > first.execs {
+			s.ExecsPerSec = float64(last.execs-first.execs) / dt.Seconds()
+			if remaining := t.execsPlanned - int(s.ExecsDone); remaining > 0 && s.Running {
+				s.ETANS = int64(float64(remaining) / s.ExecsPerSec * float64(time.Second))
+			}
+		}
+	}
+	cell := func(kind jobKind, toolIdx, cellIdx int, program string, m *CellMetrics) ProgressCell {
+		return ProgressCell{
+			Tool: t.spec.Tools[toolIdx].Name, Program: program, Litmus: kind == jobLitmus,
+			Done: m.Execs.Load(), Planned: t.spec.Runs,
+			Races: m.Races.Load(), Failures: m.Failures.Load(),
+			Converged: t.converged[cellKey{kind: kind, tool: toolIdx, cell: cellIdx}],
+			MeanNS:    meanOf(m.ExecNS),
+		}
+	}
+	for ti := range t.spec.Tools {
+		for b, bench := range t.spec.Benchmarks {
+			s.Cells = append(s.Cells, cell(jobBench, ti, b, bench.Name, t.benchMet[ti][b]))
+		}
+		for l, test := range t.spec.Litmus {
+			s.Cells = append(s.Cells, cell(jobLitmus, ti, l, test.Name, t.litMet[ti][l]))
+		}
+	}
+	return s
+}
+
+func meanOf(h *obs.Histogram) uint64 {
+	if n := h.Count(); n > 0 {
+		return h.Sum() / n
+	}
+	return 0
+}
+
+// timingSnapshot returns the final ns/exec histogram snapshot of one cell
+// (the schema v4 summary payload), or nil for an unbound telemetry.
+func (t *Telemetry) timingSnapshot(kind jobKind, tool, cell int) *obs.HistogramSnapshot {
+	if !t.bound {
+		return nil
+	}
+	var m *CellMetrics
+	if kind == jobLitmus {
+		m = t.litMet[tool][cell]
+	} else {
+		m = t.benchMet[tool][cell]
+	}
+	return m.ExecNS.Snapshot()
+}
+
+// WriteEngineFailures prints every sampled engine-failure repro triple of a
+// summary to w, one "ENGINE FAILURE" block per sample. It is the shared
+// formatting helper of the c11tester and litmus CLIs (both print to stderr),
+// and returns the total failure count across all tools.
+func WriteEngineFailures(w io.Writer, s *Summary) int {
+	total := 0
+	for _, ts := range s.Tools {
+		total += ts.EngineFailures
+		for _, f := range ts.FailureSamples {
+			fmt.Fprintf(w, "%s: ENGINE FAILURE: %s\n  repro: %s\n", ts.Tool, f.Error, f.Repro.Command())
+		}
+	}
+	return total
+}
+
+// PerfProgress is the lightweight telemetry of a c11bench perf run: cell and
+// execution counters RunPerf updates, registered on reg so a -status-addr
+// server can serve them. The per-execution increment is one atomic add —
+// nothing that would disturb the measured allocation window.
+type PerfProgress struct {
+	CellsTotal *obs.Gauge
+	CellsDone  *obs.Counter
+	Execs      *obs.Counter
+
+	mu      sync.Mutex
+	start   time.Time
+	current string
+}
+
+// NewPerfProgress registers the perf-run instruments on reg.
+func NewPerfProgress(reg *obs.Registry) *PerfProgress {
+	return &PerfProgress{
+		CellsTotal: reg.Gauge("c11bench_cells", "cells in the perf sweep"),
+		CellsDone:  reg.Counter("c11bench_cells_done_total", "cells measured so far"),
+		Execs:      reg.Counter("c11bench_execs_total", "executions run (warmup + measured)"),
+	}
+}
+
+func (p *PerfProgress) begin(cells int) {
+	p.mu.Lock()
+	p.start = time.Now()
+	p.mu.Unlock()
+	p.CellsTotal.Set(int64(cells))
+}
+
+func (p *PerfProgress) setCurrent(name string) {
+	p.mu.Lock()
+	p.current = name
+	p.mu.Unlock()
+}
+
+// Snapshot is the /progress payload of a perf run.
+func (p *PerfProgress) Snapshot() any {
+	p.mu.Lock()
+	current := p.current
+	var wall int64
+	if !p.start.IsZero() {
+		wall = int64(time.Since(p.start))
+	}
+	p.mu.Unlock()
+	return map[string]any{
+		"running":    current != "",
+		"wall_ns":    wall,
+		"cells":      p.CellsTotal.Load(),
+		"cells_done": p.CellsDone.Load(),
+		"execs_done": p.Execs.Load(),
+		"current":    current,
+	}
+}

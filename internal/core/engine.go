@@ -243,9 +243,14 @@ type Engine struct {
 	rngSeed   int64
 	rngSeeded bool
 	result    *capi.Result
-	steps   uint64
-	trace   []*Action
-	burstT  *ThreadState // thread eligible for a store burst
+	steps     uint64
+	choices   uint64 // strategy decisions (PickThread + PickIndex) this execution
+	trace     []*Action
+	burstT    *ThreadState // thread eligible for a store burst
+
+	// measureWait mirrors sched.SetMeasureWait across scheduler rebuilds
+	// (Close discards the scheduler; the next Execute makes a fresh one).
+	measureWait bool
 
 	readyBuf []*ThreadState
 
@@ -366,6 +371,53 @@ func (e *Engine) Rand() *rand.Rand {
 // Strategy returns the engine's exploration strategy.
 func (e *Engine) Strategy() Strategy { return e.cfg.Strategy }
 
+// PickIndex routes a memory-model candidate choice (which store a load reads
+// from, which position a commit order inserts at) through the strategy,
+// counting it toward the execution's decision total. Memory models must make
+// their random choices through it rather than calling the strategy directly,
+// so ExecStats sees every decision.
+func (e *Engine) PickIndex(n int) int {
+	e.choices++
+	return e.cfg.Strategy.PickIndex(n)
+}
+
+// ExecStats is the per-execution instrumentation snapshot behind the
+// campaign's schedule-length, choices, and handoff-wait histograms.
+type ExecStats struct {
+	// Steps is the number of visible operations dispatched (the schedule
+	// length of the execution).
+	Steps uint64
+	// Choices is the number of strategy decisions made: PickThread calls
+	// plus PickIndex calls routed through Engine.PickIndex.
+	Choices uint64
+	// HandoffWaitNS is the total time the tool goroutine spent waiting for
+	// program threads during scheduler handoffs; 0 unless SetHandoffTiming
+	// enabled the measurement.
+	HandoffWaitNS int64
+}
+
+// ExecStats returns the instrumentation counters of the current (or last)
+// execution. Like Trace and FinalValues, it must be read before the next
+// Execute call.
+func (e *Engine) ExecStats() ExecStats {
+	var wait int64
+	if e.sch != nil {
+		wait = e.sch.WaitNS()
+	}
+	return ExecStats{Steps: e.steps, Choices: e.choices, HandoffWaitNS: wait}
+}
+
+// SetHandoffTiming toggles the scheduler's handoff-wait measurement for
+// subsequent executions (see sched.SetMeasureWait). It costs two monotonic
+// clock reads per visible operation and allocates nothing, so campaign
+// telemetry leaves it on; raw perf sweeps keep it off.
+func (e *Engine) SetHandoffTiming(on bool) {
+	e.measureWait = on
+	if e.sch != nil {
+		e.sch.SetMeasureWait(on)
+	}
+}
+
 // Execute implements capi.Tool: it runs one execution of p.
 //
 // Executing resets the engine's execution-lifetime arenas: every *Action,
@@ -416,6 +468,7 @@ func (e *Engine) Execute(p capi.Program, seed int64) (res *capi.Result) {
 func (e *Engine) resetExecState(seed int64) {
 	if e.sch == nil {
 		e.sch = sched.New(e.cfg.Sched)
+		e.sch.SetMeasureWait(e.measureWait)
 	} else {
 		e.sch.Reset()
 	}
@@ -429,6 +482,7 @@ func (e *Engine) resetExecState(seed int64) {
 	e.nextSeq = 0
 	e.scCount = 0
 	e.steps = 0
+	e.choices = 0
 	e.trace = e.trace[:0]
 	e.burstT = nil
 	e.actions.reset()
@@ -543,6 +597,7 @@ func (e *Engine) loop() {
 				return
 			}
 			t = e.cfg.Strategy.PickThread(ready)
+			e.choices++
 		}
 		e.dispatch(t)
 		e.steps++

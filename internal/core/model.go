@@ -226,7 +226,7 @@ func (m *C11Model) AtomicLoad(t *ThreadState, op *capi.Op) memmodel.Value {
 	al := m.aloc(op.Loc)
 	cands := m.mayReadFrom(t, al, op.MO, false)
 	for len(cands) > 0 {
-		i := m.e.cfg.Strategy.PickIndex(len(cands))
+		i := m.e.PickIndex(len(cands))
 		s := cands[i]
 		pset, ok := m.readPriorSet(t, al, op.MO.IsSeqCst(), s)
 		if !ok {
@@ -256,7 +256,7 @@ func (m *C11Model) AtomicRMW(t *ThreadState, op *capi.Op) (memmodel.Value, bool)
 	isCAS := op.RMW == capi.RMWCas
 	cands := m.mayReadFrom(t, al, op.MO, !isCAS)
 	for len(cands) > 0 {
-		i := m.e.cfg.Strategy.PickIndex(len(cands))
+		i := m.e.PickIndex(len(cands))
 		s := cands[i]
 		matches := !isCAS || s.Value == op.Expected
 		drop := func() {

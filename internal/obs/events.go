@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// EventSchemaVersion is the version stamped into every event line ("v").
+// Bump it on any incompatible change to an event's JSON shape; stream
+// consumers (the future distributed-fabric coordinator, RaceFixer-style
+// per-race consumers) key on it.
+const EventSchemaVersion = 1
+
+// Stream writes structured events as JSONL through a single drainer
+// goroutine fed by a bounded channel. Emit never blocks the instrumented
+// path: when the channel is full the event is counted in Dropped and
+// discarded — campaign summaries surface any nonzero drop count, and the
+// campaign Compare gate fails on it.
+//
+// Events are marshaled on the emitting goroutine (emission happens at unit-
+// of-work boundaries, never inside the per-execution hot path) and written
+// by the drainer, so writer latency never stalls workers.
+type Stream struct {
+	ch      chan []byte
+	done    chan struct{}
+	w       *bufio.Writer
+	echo    io.Writer
+	emitted atomic.Uint64
+	dropped atomic.Uint64
+
+	mu     sync.Mutex
+	closed bool
+	err    error
+}
+
+// DefaultStreamDepth is the bounded channel depth of NewStream.
+const DefaultStreamDepth = 1024
+
+// NewStream starts a drainer writing JSONL events to w. echo, when non-nil,
+// receives a copy of every line (the CLI -v flag). depth ≤ 0 means
+// DefaultStreamDepth.
+func NewStream(w io.Writer, echo io.Writer, depth int) *Stream {
+	if depth <= 0 {
+		depth = DefaultStreamDepth
+	}
+	s := &Stream{
+		ch:   make(chan []byte, depth),
+		done: make(chan struct{}),
+		w:    bufio.NewWriter(w),
+		echo: echo,
+	}
+	go s.drain()
+	return s
+}
+
+func (s *Stream) drain() {
+	defer close(s.done)
+	for line := range s.ch {
+		if _, err := s.w.Write(line); err != nil && s.err == nil {
+			s.err = err
+		}
+		if s.echo != nil {
+			_, _ = s.echo.Write(line)
+		}
+	}
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+}
+
+// Emit marshals ev and queues it for the drainer. A full channel drops the
+// event (counted); a closed stream drops silently. ev must marshal cleanly —
+// a marshal error counts as a drop.
+func (s *Stream) Emit(ev any) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		s.dropped.Add(1)
+		s.mu.Unlock()
+		return
+	}
+	line = append(line, '\n')
+	select {
+	case s.ch <- line:
+		s.emitted.Add(1)
+	default:
+		s.dropped.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+// Emitted returns the number of events successfully queued.
+func (s *Stream) Emitted() uint64 { return s.emitted.Load() }
+
+// Dropped returns the number of events lost to a full channel (or a marshal
+// failure). A campaign that drops events fails its observability gate.
+func (s *Stream) Dropped() uint64 { return s.dropped.Load() }
+
+// Close stops accepting events, waits for the drainer to write everything
+// queued, flushes, and returns the first write error (it does not close the
+// underlying writer — the opener owns it). Close is idempotent.
+func (s *Stream) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return s.err
+	}
+	s.closed = true
+	close(s.ch)
+	s.mu.Unlock()
+	<-s.done
+	return s.err
+}

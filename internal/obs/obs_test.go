@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c11_test_total", "test counter", Label{"tool", "c11tester"})
+	g := r.Gauge("c11_test_gauge", "test gauge")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramBucketsAndSnapshot(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 4)) // bounds 1,2,4,8
+	for _, v := range []uint64{1, 2, 3, 9, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 115 {
+		t.Fatalf("sum = %d, want 115", h.Sum())
+	}
+	s := h.Snapshot()
+	if s.Count != 5 || s.Sum != 115 {
+		t.Fatalf("snapshot count/sum = %d/%d", s.Count, s.Sum)
+	}
+	// Buckets: ≤1:1, ≤2:1, ≤4:1, +Inf:2 (9 and 100 overflow past bound 8).
+	wantLe := []uint64{1, 2, 4, 0}
+	wantN := []uint64{1, 1, 1, 2}
+	if len(s.Le) != len(wantLe) {
+		t.Fatalf("snapshot buckets = %v/%v", s.Le, s.N)
+	}
+	for i := range wantLe {
+		if s.Le[i] != wantLe[i] || s.N[i] != wantN[i] {
+			t.Fatalf("bucket %d = (%d,%d), want (%d,%d)", i, s.Le[i], s.N[i], wantLe[i], wantN[i])
+		}
+	}
+	if s.P50 == 0 || s.P99 == 0 {
+		t.Fatalf("quantiles not computed: %+v", s)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(ExpBuckets(1, 4))
+	b := NewHistogram(ExpBuckets(1, 4))
+	a.Observe(1)
+	a.Observe(8)
+	b.Observe(1)
+	b.Observe(100)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 4 || sa.Sum != 110 {
+		t.Fatalf("merged count/sum = %d/%d, want 4/110", sa.Count, sa.Sum)
+	}
+	if sa.Le[0] != 1 || sa.N[0] != 2 {
+		t.Fatalf("merged first bucket = (%d,%d), want (1,2)", sa.Le[0], sa.N[0])
+	}
+	// +Inf bucket must sort last.
+	if sa.Le[len(sa.Le)-1] != 0 {
+		t.Fatalf("merged +Inf bucket not last: %v", sa.Le)
+	}
+}
+
+// TestHotPathZeroAlloc pins the instrumentation primitives at zero
+// allocations, the property that lets the campaign thread them through the
+// engine's steady state without breaking the 0 B / 0 objs invariant.
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c11_test_total", "t")
+	h := r.Histogram("c11_test_ns", "t", ExpBuckets(1024, 20))
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		h.Observe(123456)
+	}); n != 0 {
+		t.Fatalf("hot path allocates %.1f objs/op, want 0", n)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c11_execs_total", "executions", Label{"tool", "c11tester"}, Label{"program", "ms-queue"})
+	c.Add(42)
+	h := r.Histogram("c11_exec_ns", "ns per execution", ExpBuckets(1, 2), Label{"tool", "c11tester"})
+	h.Observe(1)
+	h.Observe(5)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP c11_execs_total executions",
+		"# TYPE c11_execs_total counter",
+		`c11_execs_total{tool="c11tester",program="ms-queue"} 42`,
+		"# TYPE c11_exec_ns histogram",
+		`c11_exec_ns_bucket{tool="c11tester",le="1"} 1`,
+		`c11_exec_ns_bucket{tool="c11tester",le="2"} 1`,
+		`c11_exec_ns_bucket{tool="c11tester",le="+Inf"} 2`,
+		`c11_exec_ns_sum{tool="c11tester"} 6`,
+		`c11_exec_ns_count{tool="c11tester"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+type testEvent struct {
+	V    int    `json:"v"`
+	Type string `json:"type"`
+	Seq  int    `json:"seq"`
+}
+
+func TestStreamDrainAndClose(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewStream(&buf, nil, 8)
+	for i := 0; i < 5; i++ {
+		s.Emit(testEvent{V: EventSchemaVersion, Type: "tick", Seq: i})
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), buf.String())
+	}
+	if s.Emitted() != 5 || s.Dropped() != 0 {
+		t.Fatalf("emitted/dropped = %d/%d, want 5/0", s.Emitted(), s.Dropped())
+	}
+	if !strings.Contains(lines[0], `"type":"tick"`) || !strings.Contains(lines[0], `"v":1`) {
+		t.Fatalf("unexpected event line: %s", lines[0])
+	}
+	// Emits after Close are silently ignored.
+	s.Emit(testEvent{Type: "late"})
+	if s.Emitted() != 5 {
+		t.Fatalf("emit after close was queued")
+	}
+}
+
+// blockedWriter blocks until released, forcing the drainer to stall so the
+// bounded channel fills and Emit must drop.
+type blockedWriter struct{ release chan struct{} }
+
+func (w *blockedWriter) Write(p []byte) (int, error) {
+	<-w.release
+	return len(p), nil
+}
+
+func TestStreamDropsWhenFull(t *testing.T) {
+	w := &blockedWriter{release: make(chan struct{})}
+	s := NewStream(w, nil, 2)
+	// Buffered writer absorbs nothing here: bufio only flushes at 4096 bytes,
+	// so force enough events that channel depth 2 (+ one in-flight) overflows.
+	for i := 0; i < 10; i++ {
+		s.Emit(testEvent{Seq: i})
+	}
+	if s.Dropped() == 0 {
+		t.Fatalf("expected drops with a stalled drainer, got emitted=%d dropped=%d", s.Emitted(), s.Dropped())
+	}
+	close(w.release)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c11_execs_total", "executions")
+	c.Add(3)
+	srv := NewServer(r, func() any {
+		return map[string]any{"execs_done": 3, "execs_planned": 10}
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	get := func(path string) string {
+		cl := http.Client{Timeout: 5 * time.Second}
+		resp, err := cl.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, buf.String())
+		}
+		return buf.String()
+	}
+	if out := get("/metrics"); !strings.Contains(out, "c11_execs_total 3") {
+		t.Fatalf("/metrics missing counter:\n%s", out)
+	}
+	if out := get("/progress"); !strings.Contains(out, `"execs_planned": 10`) {
+		t.Fatalf("/progress missing snapshot:\n%s", out)
+	}
+	if out := get("/debug/pprof/cmdline"); out == "" {
+		t.Fatalf("/debug/pprof/cmdline empty")
+	}
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the -status-addr serving surface: /metrics (Prometheus text
+// format), /progress (a JSON snapshot supplied by the owner), and the
+// net/http/pprof handlers under /debug/pprof/. All rendering happens in the
+// handler goroutines, outside the campaign's hot path.
+type Server struct {
+	reg      *Registry
+	progress func() any
+	ln       net.Listener
+	srv      *http.Server
+}
+
+// NewServer returns a server for the given registry. progress, when non-nil,
+// produces the /progress snapshot (any JSON-marshalable value).
+func NewServer(reg *Registry, progress func() any) *Server {
+	s := &Server{reg: reg, progress: progress}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return s
+}
+
+// Start binds addr and serves in a background goroutine. It returns the
+// bound address (useful with a ":0" port).
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	go func() { _ = s.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Stop closes the listener and in-flight connections.
+func (s *Server) Stop() {
+	if s.srv != nil {
+		_ = s.srv.Close()
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	var snap any
+	if s.progress != nil {
+		snap = s.progress()
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	_, _ = w.Write(append(data, '\n'))
+}

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"c11tester/internal/capi"
 	"c11tester/internal/memmodel"
@@ -285,6 +286,16 @@ type Scheduler struct {
 	// pooled mode it stops growing once the pool covers the program's thread
 	// count — the tentpole invariant the fiber-pool tests pin.
 	spawns int
+
+	// measureWait, when set, times every waitSettle park — the tool-side
+	// half of a handoff, where the tool goroutine waits for the program
+	// thread to reach its next visible operation — accumulating into waitNS.
+	// Opt-in because it costs two monotonic clock reads per visible
+	// operation; campaign telemetry enables it, raw perf sweeps do not.
+	// time.Now/Since never allocate, so the instrumented handoff stays
+	// inside the zero-alloc steady state.
+	measureWait bool
+	waitNS      int64
 }
 
 // New returns a scheduler. The same instance is reused across executions via
@@ -304,7 +315,17 @@ func (s *Scheduler) Config() Config { return s.cfg }
 func (s *Scheduler) Reset() {
 	s.threads = s.threads[:0]
 	s.aborting = false
+	s.waitNS = 0
 }
+
+// SetMeasureWait toggles handoff-wait timing for subsequent executions.
+func (s *Scheduler) SetMeasureWait(on bool) { s.measureWait = on }
+
+// WaitNS returns the accumulated handoff wait of the current (or last)
+// execution: total time the tool goroutine spent parked in waitSettle while
+// program threads ran to their next visible operation. Zero unless
+// SetMeasureWait enabled timing.
+func (s *Scheduler) WaitNS() int64 { return s.waitNS }
 
 // Threads returns all threads created so far, indexed by TID.
 func (s *Scheduler) Threads() []*Thread { return s.threads }
@@ -434,7 +455,14 @@ func (s *Scheduler) Reply(t *Thread) State {
 // waitSettle consumes the next settle event, which must come from t: only
 // one program thread runs at a time, so no other thread can settle.
 func (s *Scheduler) waitSettle(t *Thread) {
-	ev := <-s.events
+	var ev *Thread
+	if s.measureWait {
+		t0 := time.Now()
+		ev = <-s.events
+		s.waitNS += int64(time.Since(t0))
+	} else {
+		ev = <-s.events
+	}
 	if ev != t {
 		panic(fmt.Sprintf("sched: thread %d settled while waiting for %d", ev.ID, t.ID))
 	}
