@@ -1,0 +1,70 @@
+// Command c11report renders the offline forensics report of a campaign: it
+// joins the versioned summary artifact (BENCH_campaign.json), the structured
+// JSONL event stream (-events), and the flight-recorder capture directory
+// (-captures) into one view — top slow cells with per-phase breakdowns, the
+// race first-seen timeline, per-cell convergence curves, and a capture index
+// with one-command repro lines.
+//
+// Examples:
+//
+//	go run ./cmd/c11report -summary BENCH_campaign.json
+//	go run ./cmd/c11report -summary BENCH_campaign.json \
+//	    -events events.jsonl -captures captures/
+//
+// Exit codes: 0 success, 1 usage/IO error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"c11tester/internal/campaign"
+	"c11tester/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out *os.File) int {
+	fs := flag.NewFlagSet("c11report", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		summary  = fs.String("summary", "BENCH_campaign.json", "campaign summary artifact")
+		events   = fs.String("events", "", "structured JSONL event stream appended by -events ('' skips the timeline and convergence sections)")
+		captures = fs.String("captures", "", "flight-recorder capture directory holding manifest.json ('' skips the capture index)")
+		top      = fs.Int("top", 5, "rows in the slow-cell table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	sum, err := campaign.LoadSummary(*summary)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c11report:", err)
+		return 1
+	}
+	var evs []campaign.Event
+	if *events != "" {
+		var bad int
+		evs, bad, err = campaign.ReadEvents(*events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "c11report: -events:", err)
+			return 1
+		}
+		if bad > 0 {
+			fmt.Fprintf(os.Stderr, "c11report: %s: skipped %d unparseable line(s)\n", *events, bad)
+		}
+	}
+	var man *obs.Manifest
+	if *captures != "" {
+		man, err = obs.ReadManifest(filepath.Join(*captures, obs.ManifestFileName))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "c11report: -captures:", err)
+			return 1
+		}
+	}
+	campaign.WriteReport(out, sum, evs, man, campaign.ReportOptions{TopSlow: *top, CaptureDir: *captures})
+	return 0
+}

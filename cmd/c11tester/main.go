@@ -27,7 +27,6 @@ import (
 
 	"c11tester/internal/campaign"
 	"c11tester/internal/litmus"
-	"c11tester/internal/obs"
 	"c11tester/internal/structures"
 )
 
@@ -67,13 +66,13 @@ func run(args []string, out *os.File) int {
 		list     = fs.Bool("list", false, "list selectable tools, benchmarks, and litmus tests")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file")
 		memProf  = fs.String("memprofile", "", "write a pprof heap profile taken after the campaign to this file")
-		status   = fs.String("status-addr", "", "serve /metrics (Prometheus text), /progress (JSON), and /debug/pprof on this address while the campaign runs ('' disables)")
-		events   = fs.String("events", "", "append the structured JSONL event stream to this file ('' disables)")
-		verbose  = fs.Bool("v", false, "echo every structured event to stderr as it is emitted")
 	)
+	var tflags campaign.TelemetryFlags
+	tflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
+	tflags.Quiet = *quiet
 	if *compare != "" {
 		return runCompare(*compare, fs.Args(), out)
 	}
@@ -142,44 +141,25 @@ func run(args []string, out *os.File) int {
 		fmt.Fprintln(os.Stderr, "c11tester:", err)
 		return 1
 	}
+	if err := tflags.ApplyCaptureFlags(&spec); err != nil {
+		fmt.Fprintln(os.Stderr, "c11tester:", err)
+		return 1
+	}
 	if err := spec.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "c11tester:", err)
 		return 1
 	}
 
 	// Telemetry fabric: per-wave progress lines, the structured event
-	// stream, and the live serving surface all hang off one Telemetry.
-	topts := campaign.TelemetryOptions{Timestamps: true}
-	if !*quiet {
-		topts.Progress = os.Stderr
+	// stream, and the live serving surface all hang off one Telemetry,
+	// wired by the helper shared with cmd/litmus.
+	tel, cleanup, err := campaign.SetupTelemetry("c11tester", tflags)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
 	}
-	if *verbose {
-		topts.EventEcho = os.Stderr
-	}
-	var eventsFile *os.File
-	if *events != "" {
-		eventsFile, err = os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "c11tester: -events:", err)
-			return 1
-		}
-		defer eventsFile.Close()
-		topts.EventSink = eventsFile
-	}
-	tel := campaign.NewTelemetry(topts)
+	defer cleanup()
 	spec.Telemetry = tel
-	if *status != "" {
-		srv := obs.NewServer(tel.Registry(), func() any { return tel.Progress() })
-		addr, err := srv.Start(*status)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "c11tester: -status-addr:", err)
-			return 1
-		}
-		defer srv.Stop()
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "c11tester: serving /metrics and /progress on http://%s\n", addr)
-		}
-	}
 
 	// Profiling hooks: make hot-path investigation a one-liner
 	// (go run ./cmd/c11tester -runs 200 -cpuprofile cpu.pb.gz, then

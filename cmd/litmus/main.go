@@ -38,11 +38,15 @@ func run(args []string, out *os.File) int {
 		minExecs = fs.Int("min-execs", 0, "converge policy: executions per cell before convergence may be declared (0 = default)")
 		window   = fs.Int("window", 0, "converge policy: trailing window size (0 = default)")
 		epsilon  = fs.Float64("epsilon", 0, "converge policy: max statistic movement per window (0 = default)")
+		quiet    = fs.Bool("q", false, "suppress progress lines on stderr")
 		list     = fs.Bool("list", false, "list the litmus suite and exit")
 	)
+	var tflags campaign.TelemetryFlags
+	tflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
+	tflags.Quiet = *quiet
 	if *list {
 		for _, t := range litmus.Tests() {
 			fmt.Fprintf(out, "%-14s %s\n", t.Name, t.Doc)
@@ -76,10 +80,24 @@ func run(args []string, out *os.File) int {
 			spec.Litmus = append(spec.Litmus, t)
 		}
 	}
+	if err := tflags.ApplyCaptureFlags(&spec); err != nil {
+		fmt.Fprintln(os.Stderr, "litmus:", err)
+		return 1
+	}
 	if err := spec.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "litmus:", err)
 		return 1
 	}
+
+	// The telemetry wiring (-status-addr, -events, -v) is the helper shared
+	// with cmd/c11tester, so both commands expose the same serving surface.
+	tel, cleanup, err := campaign.SetupTelemetry("litmus", tflags)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer cleanup()
+	spec.Telemetry = tel
 
 	sum := campaign.Run(spec)
 

@@ -6,6 +6,7 @@ import (
 
 	"c11tester/internal/capi"
 	"c11tester/internal/core"
+	"c11tester/internal/obs"
 	"c11tester/internal/sched"
 )
 
@@ -19,8 +20,10 @@ import (
 //
 // The measured loop carries the full campaign telemetry instrumentation —
 // pre-bound CellMetrics handles, wall-clock timing, engine exec stats with
-// handoff-wait measurement on — so the observability fabric is itself held
-// to the zero-alloc bar the runner's hot path relies on.
+// handoff-wait AND per-phase span measurement on, plus an armed flight
+// recorder fed a digest per execution — so the observability fabric is
+// itself held to the zero-alloc bar the runner's hot path relies on, exactly
+// as a -capture campaign runs it.
 func TestZeroAllocSteadyState(t *testing.T) {
 	benches, err := SelectBenchmarks("all")
 	if err != nil {
@@ -50,14 +53,24 @@ func TestZeroAllocSteadyState(t *testing.T) {
 			eng, _ := tool.(*core.Engine)
 			if eng != nil {
 				eng.SetHandoffTiming(true)
+				eng.SetPhaseTiming(true)
 			}
+			fr := obs.NewFlightRecorder(obs.FlightRecorderConfig{})
 			run := func(seed int64) {
 				if reset != nil {
 					reset()
 				}
 				t0 := time.Now()
-				tool.Execute(prog, seed)
-				met.ObserveExec(time.Since(t0), eng)
+				res := tool.Execute(prog, seed)
+				dur := time.Since(t0)
+				met.ObserveExec(dur, eng)
+				d := obs.ExecDigest{Index: int(seed), NS: int64(dur),
+					NewRace: len(res.NewRaces) > 0}
+				if eng != nil {
+					st := eng.ExecStats()
+					d.Steps, d.Choices = st.Steps, st.Choices
+				}
+				fr.Check(d)
 			}
 			// Warm the pools across several seeds so capacity growth and the
 			// race-dedup map are settled before measuring.

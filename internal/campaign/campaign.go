@@ -42,6 +42,7 @@ import (
 	"c11tester/internal/explore"
 	"c11tester/internal/harness"
 	"c11tester/internal/litmus"
+	"c11tester/internal/obs"
 	"c11tester/internal/trace"
 )
 
@@ -114,6 +115,20 @@ type Spec struct {
 	// execution instead.
 	RecordDir string
 	RecordAll bool
+	// CaptureDir arms the anomaly-triggered flight recorder: every unit of
+	// work watches its execution digests, and executions that trip a trigger
+	// (first-seen race key, infeasible model state, forbidden litmus outcome,
+	// schedule length above the unit's trailing p99) are re-run with a trace
+	// recorder attached and written here as portable traces, indexed by a
+	// canonical manifest.json. The capture set is a pure function of the seed
+	// indices, so workers=1 ≡ workers=K yields an identical capture
+	// directory.
+	CaptureDir string
+	// CaptureSlowNS additionally arms the wall-clock slow-execution trigger.
+	// Wall time is not a pure function of the seed, so this trigger breaks
+	// the capture set's worker-count independence; it is a diagnosis aid,
+	// off by default.
+	CaptureSlowNS bool
 	// ValidateAxioms checks every execution of a tool whose memory model
 	// exposes total modification orders (core.MOProvider) against the
 	// axiomatic model of Appendix A, counting violations in the summary;
@@ -203,6 +218,9 @@ type fragment struct {
 	vioSamples []string
 	recorded   int
 	recordErrs int
+	// flight-recorder captures (Spec.CaptureDir), in execution-index order
+	// within the unit.
+	captures []obs.CaptureRecord
 	// allocation counters: global heap-allocation deltas observed around
 	// this unit. Under concurrent workers they include other units'
 	// allocations; they are exact at Workers=1 and a regression signal
@@ -231,6 +249,9 @@ func Run(spec Spec) *Summary {
 	spec = spec.withDefaults()
 	if spec.RecordDir != "" {
 		_ = os.MkdirAll(spec.RecordDir, 0o755)
+	}
+	if spec.CaptureDir != "" {
+		_ = os.MkdirAll(spec.CaptureDir, 0o755)
 	}
 	tel := spec.Telemetry
 	if tel == nil {
@@ -266,6 +287,15 @@ func Run(spec Spec) *Summary {
 		PauseTotalNS: ms1.PauseTotalNs - ms0.PauseTotalNs,
 	}
 	sum := aggregate(spec, jobs, frags, budgets, wall, gc)
+	if spec.CaptureDir != "" {
+		// Write the canonical capture manifest (an empty one when nothing
+		// triggered — consumers rely on the file existing). The manifest is
+		// sorted by (tool, litmus, program, seed), so it is byte-identical
+		// for any worker count.
+		if err := captureManifest(frags).WriteFile(filepath.Join(spec.CaptureDir, obs.ManifestFileName)); err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: write capture manifest: %v\n", err)
+		}
+	}
 	// campaignEnd closes the event stream (flushing everything queued), so
 	// the drop counter folded into the summary is final.
 	tel.campaignEnd(totalExecs(sum))
@@ -423,6 +453,10 @@ func runAdaptive(spec Spec, tel *Telemetry) ([]job, []fragment, map[cellKey]*Bud
 			g.plan.used += used[i]
 			wasStopped := g.plan.stopped
 			g.plan.stopped = g.plan.tracker.Converged()
+			// Convergence introspection happens here — at the barrier, from
+			// per-cell-deterministic tracker state — so the snapshot stream
+			// (and /debug/converge) is identical for any worker count.
+			tel.convergeState(wave, waveJobs[i], g.plan.tracker)
 			if g.plan.stopped && !wasStopped {
 				tel.cellConverged(wave, waveJobs[i], g.plan.used)
 			}
@@ -501,6 +535,10 @@ type cellRunner struct {
 	// runner is constructed outside a campaign, e.g. directly in tests).
 	met *CellMetrics
 
+	// fr is the unit's flight recorder (Spec.CaptureDir); nil when capture
+	// is unarmed.
+	fr *obs.FlightRecorder
+
 	// Engine plumbing (trace duties, guided exploration).
 	eng    *core.Engine
 	mo     core.MOProvider
@@ -537,11 +575,17 @@ func newCellRunner(spec Spec, j job) *cellRunner {
 	if spec.Telemetry != nil {
 		r.met = spec.Telemetry.cellMetrics(j)
 		if r.eng != nil {
-			// Campaign executions always run with handoff-wait timing: the
-			// measurement is allocation-free and feeds the per-cell
-			// c11_cell_handoff_wait_ns histogram.
+			// Campaign executions always run with handoff-wait timing and
+			// phase spans: both measurements are allocation-free and feed the
+			// per-cell c11_cell_handoff_wait_ns and c11_cell_phase_ns
+			// histograms. Raw perf sweeps (RunPerf) construct tools without a
+			// Telemetry and keep both off.
 			r.eng.SetHandoffTiming(true)
+			r.eng.SetPhaseTiming(true)
 		}
+	}
+	if spec.CaptureDir != "" {
+		r.fr = obs.NewFlightRecorder(obs.FlightRecorderConfig{SlowNS: spec.CaptureSlowNS})
 	}
 	// Guided exploration: wrap the tool's live strategy in a PrefixGuide
 	// when the guide set has traces for this cell.
@@ -666,6 +710,7 @@ func (r *cellRunner) runOne(i int) explore.Obs {
 		if r.met != nil {
 			r.met.Failures.Inc()
 		}
+		r.flightFail(i)
 		return explore.Obs{}
 	}
 	r.frag.execs++
@@ -722,6 +767,7 @@ func (r *cellRunner) runOne(i int) explore.Obs {
 	if r.met != nil && obs.Detected {
 		r.met.Detected.Inc()
 	}
+	r.flightCheck(i, execDur, len(res.NewRaces) > 0, obs)
 	return obs
 }
 
@@ -738,9 +784,16 @@ func (r *cellRunner) post(res *capi.Result, i int, outcome string, hit bool) {
 		if r.mo != nil {
 			r.frag.checked++
 			var vs []axiom.Violation
-			if ie := core.RecoverInfeasible(func() {
+			// The engine cannot see the campaign's validation duty, so the
+			// campaign brackets the PhaseValidate span itself, feeding the
+			// same per-cell phase histograms as the engine's reset/run/race
+			// spans.
+			vt0 := time.Now()
+			ie := core.RecoverInfeasible(func() {
 				vs = axiom.Check(axiom.FromEngine(r.eng, r.mo))
-			}); ie != nil {
+			})
+			r.observePhase(core.PhaseValidate, vt0)
+			if ie != nil {
 				r.recordFailure(i, ie.Error())
 				// Recording below would hit the same infeasible lifting; if
 				// this execution's trace was owed, count it as dropped.
@@ -767,9 +820,14 @@ func (r *cellRunner) post(res *capi.Result, i int, outcome string, hit bool) {
 		}
 		var tr *trace.Trace
 		var err error
-		if ie := core.RecoverInfeasible(func() {
+		// PhaseRecord span: trace serialization + file write, campaign-
+		// bracketed like PhaseValidate above.
+		rt0 := time.Now()
+		ie := core.RecoverInfeasible(func() {
 			tr, err = trace.Record(r.eng, res, r.rec.Schedule(), meta)
-		}); ie != nil {
+		})
+		if ie != nil {
+			r.observePhase(core.PhaseRecord, rt0)
 			r.recordFailure(i, ie.Error())
 			r.frag.recordErrs++
 			return
@@ -778,6 +836,7 @@ func (r *cellRunner) post(res *capi.Result, i int, outcome string, hit bool) {
 			path := filepath.Join(spec.RecordDir, trace.FileName(r.tool.Name(), r.programName(), seed))
 			err = tr.WriteFile(path)
 		}
+		r.observePhase(core.PhaseRecord, rt0)
 		if err == nil {
 			r.frag.recorded++
 		} else {
@@ -785,6 +844,14 @@ func (r *cellRunner) post(res *capi.Result, i int, outcome string, hit bool) {
 			// persist traces must not drop them silently.
 			r.frag.recordErrs++
 		}
+	}
+}
+
+// observePhase folds a campaign-bracketed phase span (validate, record) into
+// the cell's phase histograms.
+func (r *cellRunner) observePhase(p core.Phase, t0 time.Time) {
+	if r.met != nil {
+		r.met.PhaseNS[p].Observe(uint64(time.Since(t0)))
 	}
 }
 
@@ -841,6 +908,9 @@ func (s Spec) Validate() error {
 	}
 	if s.RecordAll && s.RecordDir == "" {
 		return fmt.Errorf("campaign: RecordAll requires RecordDir")
+	}
+	if s.CaptureSlowNS && s.CaptureDir == "" {
+		return fmt.Errorf("campaign: CaptureSlowNS requires CaptureDir")
 	}
 	if len(s.Benchmarks) == 0 && len(s.Litmus) == 0 {
 		return fmt.Errorf("campaign: no benchmarks or litmus tests selected")

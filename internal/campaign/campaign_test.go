@@ -71,12 +71,15 @@ func canonicalize(s *Summary) *Summary {
 		ts.Benchmarks = append([]CellSummary(nil), ts.Benchmarks...)
 		for j := range ts.Benchmarks {
 			ts.Benchmarks[j].Detection.MeanTimeNS = 0
-			// Timing histograms are wall-clock measurements (schema v4).
+			// Timing and phase histograms are wall-clock measurements
+			// (schema v4/v5).
 			ts.Benchmarks[j].Timing = nil
+			ts.Benchmarks[j].Phases = nil
 		}
 		ts.Litmus = append([]LitmusSummary(nil), ts.Litmus...)
 		for j := range ts.Litmus {
 			ts.Litmus[j].Timing = nil
+			ts.Litmus[j].Phases = nil
 		}
 	}
 	return &c

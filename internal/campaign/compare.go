@@ -128,6 +128,10 @@ type Comparison struct {
 	// regression.
 	OldDropped uint64 `json:"old_events_dropped,omitempty"`
 	NewDropped uint64 `json:"new_events_dropped,omitempty"`
+	// ProvenanceSkew lists build-provenance fields on which the two artifacts
+	// disagree (schema v5). Report-only: wall-clock comparisons across builds
+	// are already flagged as incomparable, and skew alone is not a regression.
+	ProvenanceSkew []string `json:"provenance_skew,omitempty"`
 }
 
 // Compare diffs two campaign summaries.
@@ -142,6 +146,7 @@ func Compare(old, new *Summary) *Comparison {
 	if new.Obs != nil {
 		c.NewDropped = new.Obs.EventsDropped
 	}
+	c.ProvenanceSkew = old.Provenance.Skew(new.Provenance)
 	oldTools := map[string]*ToolSummary{}
 	for i := range old.Tools {
 		oldTools[old.Tools[i].Tool] = &old.Tools[i]
@@ -368,6 +373,9 @@ func (c *Comparison) String() string {
 	}
 	if c.NewDropped > 0 {
 		out += fmt.Sprintf("\nWARNING: new artifact dropped %d telemetry event(s) — its event stream is incomplete", c.NewDropped)
+	}
+	for _, skew := range c.ProvenanceSkew {
+		out += fmt.Sprintf("\nWARNING: build provenance skew: %s — wall-clock comparisons are not meaningful", skew)
 	}
 	for _, td := range c.Tools {
 		for _, k := range td.NewRaceKeys {

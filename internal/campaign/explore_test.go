@@ -312,8 +312,8 @@ func TestEngineFailureRecordedAndCampaignContinues(t *testing.T) {
 	}
 }
 
-// TestSchemaV4ArtifactRoundTrip pins the new summary fields through JSON.
-func TestSchemaV4ArtifactRoundTrip(t *testing.T) {
+// TestSchemaArtifactRoundTrip pins the versioned summary fields through JSON.
+func TestSchemaArtifactRoundTrip(t *testing.T) {
 	sum := Run(Spec{
 		Tools:      []ToolSpec{mustTool(t, "c11tester", ToolOptions{})},
 		Benchmarks: []BenchmarkSpec{benchSpec(t, "ms-queue")},
@@ -321,8 +321,8 @@ func TestSchemaV4ArtifactRoundTrip(t *testing.T) {
 		SeedBase:   1,
 		Policy:     explore.Converge{},
 	})
-	if sum.SchemaVersion != 4 {
-		t.Fatalf("schema version = %d, want 4", sum.SchemaVersion)
+	if sum.SchemaVersion != SchemaVersion {
+		t.Fatalf("schema version = %d, want %d", sum.SchemaVersion, SchemaVersion)
 	}
 	if want := "converge(min=20,window=10,eps=0.02)"; sum.Spec.Policy != want {
 		t.Fatalf("policy echo = %q, want %q", sum.Spec.Policy, want)
@@ -345,5 +345,15 @@ func TestSchemaV4ArtifactRoundTrip(t *testing.T) {
 	tm := rt.Tools[0].Benchmarks[0].Timing
 	if tm == nil || tm.Count == 0 || tm.Sum == 0 || tm.P50 == 0 {
 		t.Fatalf("timing snapshot did not round-trip: %+v", tm)
+	}
+	ph := rt.Tools[0].Benchmarks[0].Phases
+	if ph == nil || ph["run"] == nil || ph["run"].Count == 0 {
+		t.Fatalf("phase snapshots did not round-trip: %+v", ph)
+	}
+	if _, ok := ph["validate"]; ok {
+		t.Fatal("validate phase present without validation duties")
+	}
+	if rt.Provenance == nil || rt.Provenance.GoVersion == "" {
+		t.Fatalf("provenance did not round-trip: %+v", rt.Provenance)
 	}
 }

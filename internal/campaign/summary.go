@@ -29,9 +29,15 @@ import (
 // ("timing", from the telemetry fabric's fixed-bucket histograms) and the
 // campaign-level event-stream accounting ("obs": events emitted/dropped).
 // Compare gates on nonzero drops and reports p99 ns/exec drift.
+//
+// v5: execution forensics — per-cell phase-span histograms ("phases":
+// reset/run/race from the engine's phase timer, validate/record from the
+// campaign duties), per-tool flight-recorder capture counts
+// ("captures"/"capture_errors" with the capture spec echo), and the build
+// provenance header ("provenance"). Compare warns on provenance skew.
 const (
 	SchemaName    = "c11tester/campaign"
-	SchemaVersion = 4
+	SchemaVersion = 5
 )
 
 // SpecInfo echoes the campaign parameters into the summary, making every
@@ -55,6 +61,10 @@ type SpecInfo struct {
 	RecordDir   string `json:"record_dir,omitempty"`
 	RecordAll   bool   `json:"record_all,omitempty"`
 	Validate    bool   `json:"validate,omitempty"`
+	// CaptureDir and CaptureSlowNS echo the flight-recorder configuration
+	// (schema v5).
+	CaptureDir    string `json:"capture_dir,omitempty"`
+	CaptureSlowNS bool   `json:"capture_slow_ns,omitempty"`
 }
 
 // BudgetSummary is the budget accounting of one cell under an adaptive
@@ -113,6 +123,10 @@ type CellSummary struct {
 	// fabric (schema v4; present when the campaign ran with telemetry, which
 	// Run always enables).
 	Timing *obs.HistogramSnapshot `json:"timing,omitempty"`
+	// Phases are the cell's per-phase span histograms keyed by phase name
+	// (schema v5; present when the tool is an engine — phase timing rides the
+	// telemetry fabric).
+	Phases map[string]*obs.HistogramSnapshot `json:"phases,omitempty"`
 }
 
 // ForbiddenOutcome is one observed litmus outcome the memory model must
@@ -146,6 +160,8 @@ type LitmusSummary struct {
 	Failed int            `json:"failed,omitempty"`
 	// Timing mirrors CellSummary's schema v4 ns/exec histogram snapshot.
 	Timing *obs.HistogramSnapshot `json:"timing,omitempty"`
+	// Phases mirrors CellSummary's schema v5 per-phase span histograms.
+	Phases map[string]*obs.HistogramSnapshot `json:"phases,omitempty"`
 }
 
 // ToolPerf carries the allocation counters of one tool's campaign: global
@@ -207,6 +223,12 @@ type ToolSummary struct {
 	// rest of the matrix still runs.
 	EngineFailures int             `json:"engine_failures,omitempty"`
 	FailureSamples []EngineFailure `json:"failure_samples,omitempty"`
+	// Captures counts the flight-recorder captures this tool triggered
+	// (schema v5; the manifest in Spec.CaptureDir has the details);
+	// CaptureErrors counts captures whose re-run could not produce a trace
+	// file (the manifest entry carries the error).
+	Captures      int `json:"captures,omitempty"`
+	CaptureErrors int `json:"capture_errors,omitempty"`
 
 	Benchmarks []CellSummary   `json:"benchmarks,omitempty"`
 	Litmus     []LitmusSummary `json:"litmus,omitempty"`
@@ -237,8 +259,10 @@ type Summary struct {
 	WallNS        int64     `json:"wall_ns"`
 	GC            GCSummary `json:"gc"`
 	// Obs carries the event-stream accounting (schema v4).
-	Obs   *ObsSummary   `json:"obs,omitempty"`
-	Tools []ToolSummary `json:"tools"`
+	Obs *ObsSummary `json:"obs,omitempty"`
+	// Provenance identifies the build that produced the artifact (schema v5).
+	Provenance *Provenance   `json:"provenance,omitempty"`
+	Tools      []ToolSummary `json:"tools"`
 }
 
 // cellAcc accumulates the fragments of one cell.
@@ -263,6 +287,9 @@ type cellAcc struct {
 
 	failed   int
 	failures []execFailure
+
+	captures    int
+	captureErrs int
 
 	guidedExecs    int
 	prefixDepth    int64
@@ -323,6 +350,12 @@ func (a *cellAcc) merge(f fragment) {
 	a.prefixDepth += f.prefixDepth
 	a.prefixConsumed += f.prefixConsumed
 	a.divergences += f.divergences
+	a.captures += len(f.captures)
+	for i := range f.captures {
+		if f.captures[i].Err != "" {
+			a.captureErrs++
+		}
+	}
 }
 
 // specInfo echoes the campaign parameters into their summary form; the same
@@ -335,7 +368,8 @@ func specInfo(spec Spec) SpecInfo {
 		Benchmarks: []string{}, Litmus: []string{},
 		Policy:    spec.Policy.Name(),
 		RecordDir: spec.RecordDir, RecordAll: spec.RecordAll,
-		Validate: spec.ValidateAxioms,
+		Validate:   spec.ValidateAxioms,
+		CaptureDir: spec.CaptureDir, CaptureSlowNS: spec.CaptureSlowNS,
 	}
 	if spec.Guides != nil {
 		info.GuideDir = spec.Guides.Dir()
@@ -381,7 +415,8 @@ func aggregate(spec Spec, jobs []job, frags []fragment, budgets map[cellKey]*Bud
 	}
 
 	sum := &Summary{Schema: SchemaName, SchemaVersion: SchemaVersion,
-		Spec: specInfo(spec), WallNS: int64(wall), GC: gc}
+		Spec: specInfo(spec), WallNS: int64(wall), GC: gc,
+		Provenance: BuildProvenance()}
 	for t, toolSpec := range spec.Tools {
 		ts := ToolSummary{Tool: toolSpec.Name, Races: []harness.RaceSummary{}}
 		var val ValidationSummary
@@ -446,6 +481,7 @@ func aggregate(spec Spec, jobs []job, frags []fragment, budgets map[cellKey]*Bud
 			}
 			if spec.Telemetry != nil {
 				cell.Timing = spec.Telemetry.timingSnapshot(jobBench, t, b)
+				cell.Phases = spec.Telemetry.phaseSnapshots(jobBench, t, b)
 			}
 			ts.Benchmarks = append(ts.Benchmarks, cell)
 			addRaces(toolRaces, b, bench.Name, false, acc.races)
@@ -474,6 +510,7 @@ func aggregate(spec Spec, jobs []job, frags []fragment, budgets map[cellKey]*Bud
 			}
 			if spec.Telemetry != nil {
 				ls.Timing = spec.Telemetry.timingSnapshot(jobLitmus, t, l)
+				ls.Phases = spec.Telemetry.phaseSnapshots(jobLitmus, t, l)
 			}
 			for _, out := range harness.SortedKeys(acc.forbidden) {
 				ls.ForbiddenSeen = append(ls.ForbiddenSeen, ForbiddenOutcome{
@@ -514,6 +551,8 @@ func addToolAcc(ts *ToolSummary, val *ValidationSummary, acc *cellAcc) {
 	ts.Perf.AllocObjects += acc.allocObjs
 	ts.RecordedTraces += acc.recorded
 	ts.RecordErrors += acc.recordErrs
+	ts.Captures += acc.captures
+	ts.CaptureErrors += acc.captureErrs
 	val.Checked += acc.checked
 	val.Skipped += acc.skipped
 	val.Violations += acc.violations
@@ -733,6 +772,13 @@ func (s *Summary) String() string {
 		}
 		if ts.RecordErrors > 0 {
 			out += fmt.Sprintf("\n%s: WARNING: failed to record %d trace(s) to %s\n", ts.Tool, ts.RecordErrors, s.Spec.RecordDir)
+		}
+		if ts.Captures > 0 {
+			out += fmt.Sprintf("\n%s: flight recorder captured %d execution(s) to %s\n", ts.Tool, ts.Captures, s.Spec.CaptureDir)
+		}
+		if ts.CaptureErrors > 0 {
+			out += fmt.Sprintf("\n%s: WARNING: %d capture(s) failed to produce a trace (see %s)\n",
+				ts.Tool, ts.CaptureErrors, s.Spec.CaptureDir)
 		}
 		if ts.EngineFailures > 0 {
 			out += fmt.Sprintf("\n%s: ENGINE FAILURE: %d execution(s) aborted with an infeasible model state\n",

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"c11tester/internal/core"
+	"c11tester/internal/explore"
 	"c11tester/internal/harness"
 	"c11tester/internal/obs"
 )
@@ -34,6 +35,13 @@ type CellMetrics struct {
 	SchedLen  *obs.Histogram
 	Choices   *obs.Histogram
 	HandoffNS *obs.Histogram
+
+	// PhaseNS are the per-phase span histograms (schema v5 forensics),
+	// indexed by core.Phase. The engine phases (reset, run, race) are fed by
+	// ObserveExec when the engine measures them; validate and record are
+	// campaign duties observed by the runner's post step, so their counts
+	// track duty executions rather than all executions.
+	PhaseNS [core.NumPhases]*obs.Histogram
 }
 
 // ObserveExec folds one completed execution into the cell's metrics: its
@@ -48,6 +56,11 @@ func (m *CellMetrics) ObserveExec(d time.Duration, eng *core.Engine) {
 		m.SchedLen.Observe(st.Steps)
 		m.Choices.Observe(st.Choices)
 		m.HandoffNS.Observe(uint64(st.HandoffWaitNS))
+		if eng.PhaseTiming() {
+			m.PhaseNS[core.PhaseReset].Observe(uint64(st.PhaseNS[core.PhaseReset]))
+			m.PhaseNS[core.PhaseRun].Observe(uint64(st.PhaseNS[core.PhaseRun]))
+			m.PhaseNS[core.PhaseRace].Observe(uint64(st.PhaseNS[core.PhaseRace]))
+		}
 	}
 }
 
@@ -94,14 +107,16 @@ type Telemetry struct {
 	benchMet [][]*CellMetrics
 	litMet   [][]*CellMetrics
 
-	mu           sync.Mutex
-	start        time.Time
-	running      bool
-	waves        int
-	raceKeys     map[string]bool // "tool\x00key" — campaign-distinct races
-	failures     int
-	converged    map[cellKey]bool
-	execsPlanned int
+	mu            sync.Mutex
+	start         time.Time
+	running       bool
+	waves         int
+	raceKeys      map[string]bool // "tool\x00key" — campaign-distinct races
+	failures      int
+	converged     map[cellKey]bool
+	convergeSnaps map[cellKey]*explore.TrackerState
+	provenance    *Provenance
+	execsPlanned  int
 	// Trailing-throughput ring for the /progress ETA.
 	samples   []progressSample
 	sampleAt  int
@@ -121,10 +136,12 @@ const progressSampleRing = 64
 // start before the campaign); per-cell handles appear when Run binds it.
 func NewTelemetry(opts TelemetryOptions) *Telemetry {
 	t := &Telemetry{
-		opts:      opts,
-		reg:       obs.NewRegistry(),
-		raceKeys:  map[string]bool{},
-		converged: map[cellKey]bool{},
+		opts:          opts,
+		reg:           obs.NewRegistry(),
+		raceKeys:      map[string]bool{},
+		converged:     map[cellKey]bool{},
+		convergeSnaps: map[cellKey]*explore.TrackerState{},
+		provenance:    BuildProvenance(),
 	}
 	t.wavesC = t.reg.Counter("c11_campaign_waves_total", "campaign waves completed")
 	t.emittedG = t.reg.Gauge("c11_campaign_events_emitted", "structured events queued to the stream")
@@ -170,7 +187,7 @@ func (t *Telemetry) bind(spec Spec) {
 	newCell := func(tool, program string) *CellMetrics {
 		lt := obs.Label{Name: "tool", Value: tool}
 		lp := obs.Label{Name: "program", Value: program}
-		return &CellMetrics{
+		m := &CellMetrics{
 			Execs:     t.reg.Counter("c11_cell_execs_total", "executions completed", lt, lp),
 			Detected:  t.reg.Counter("c11_cell_detected_total", "executions that hit the cell's detection signal", lt, lp),
 			Races:     t.reg.Counter("c11_cell_races_total", "race reports first seen by a unit's tool instance", lt, lp),
@@ -180,6 +197,11 @@ func (t *Telemetry) bind(spec Spec) {
 			Choices:   t.reg.Histogram("c11_cell_choices", "strategy decisions per execution", stepsBuckets, lt, lp),
 			HandoffNS: t.reg.Histogram("c11_cell_handoff_wait_ns", "scheduler handoff wait per execution (ns)", nsBuckets, lt, lp),
 		}
+		for p := 0; p < core.NumPhases; p++ {
+			m.PhaseNS[p] = t.reg.Histogram("c11_cell_phase_ns", "per-phase span time per execution (ns)",
+				nsBuckets, lt, lp, obs.Label{Name: "phase", Value: core.Phase(p).String()})
+		}
+		return m
 	}
 	t.benchMet = make([][]*CellMetrics, len(spec.Tools))
 	t.litMet = make([][]*CellMetrics, len(spec.Tools))
@@ -248,6 +270,13 @@ type Event struct {
 	Outcome string `json:"outcome,omitempty"`
 	Err     string `json:"error,omitempty"`
 	Repro   string `json:"repro,omitempty"`
+
+	// Trigger and File belong to "capture" events (the flight recorder's
+	// manifest entries, re-emitted on the stream so a live consumer sees
+	// captures as they land); Converge belongs to "cell_converge_state".
+	Trigger  string                `json:"trigger,omitempty"`
+	File     string                `json:"file,omitempty"`
+	Converge *explore.TrackerState `json:"converge,omitempty"`
 
 	Budget *BudgetSummary `json:"budget,omitempty"`
 	Spec   *SpecInfo      `json:"spec,omitempty"`
@@ -333,6 +362,13 @@ func (t *Telemetry) unitDone(wave int, j job, frag *fragment) {
 			Tool: toolSpec.Name, Program: program, Litmus: litmus,
 			Recorded: frag.recorded, Lo: j.lo, Hi: j.hi})
 	}
+	for i := range frag.captures {
+		c := &frag.captures[i]
+		t.emit(Event{Type: "capture", Wave: wave,
+			Tool: c.Tool, Program: c.Program, Litmus: c.Litmus,
+			Seed: c.Seed, Trigger: c.Trigger, File: c.File,
+			Outcome: c.Outcome, Err: c.Err, Repro: c.Repro})
+	}
 	t.emit(Event{Type: "cell_end", Wave: wave,
 		Tool: toolSpec.Name, Program: program, Litmus: litmus,
 		Lo: j.lo, Hi: j.hi, Execs: frag.execs, Races: len(frag.races),
@@ -398,6 +434,64 @@ func (t *Telemetry) cellConverged(wave int, j job, used int) {
 	t.emit(Event{Type: "cell_converged", Wave: wave,
 		Tool: t.spec.Tools[j.tool].Name, Program: t.programOf(j), Litmus: j.kind == jobLitmus,
 		Budget: &BudgetSummary{Planned: t.spec.Runs, Used: used, Extended: extended, Converged: true}})
+}
+
+// convergeState snapshots one cell's tracker for /debug/converge and emits
+// the cell_converge_state event. The adaptive planner calls it at the wave
+// barrier — a single-threaded point where the tracker has folded exactly the
+// wave's observations in index order — so the snapshot (and the event) is a
+// pure function of the cell's observation stream, identical for any worker
+// count. Trackers that cannot explain themselves (Uniform) are skipped.
+func (t *Telemetry) convergeState(wave int, j job, tracker explore.Tracker) {
+	in, ok := tracker.(explore.Introspector)
+	if !ok {
+		return
+	}
+	st := in.State()
+	key := cellKey{kind: j.kind, tool: j.tool, cell: j.cell}
+	t.mu.Lock()
+	t.convergeSnaps[key] = &st
+	t.mu.Unlock()
+	t.emit(Event{Type: "cell_converge_state", Wave: wave,
+		Tool: t.spec.Tools[j.tool].Name, Program: t.programOf(j), Litmus: j.kind == jobLitmus,
+		Converge: &st})
+}
+
+// ConvergeCell is one cell's row in the /debug/converge payload.
+type ConvergeCell struct {
+	Tool    string                `json:"tool"`
+	Program string                `json:"program"`
+	Litmus  bool                  `json:"litmus,omitempty"`
+	State   *explore.TrackerState `json:"state"`
+}
+
+// ConvergeSnapshot returns the latest per-cell tracker snapshots in canonical
+// matrix order (tool-major, benchmarks before litmus) — the /debug/converge
+// payload. Cells whose tracker has not reached a wave barrier yet (or whose
+// policy has no introspection) are omitted.
+func (t *Telemetry) ConvergeSnapshot() []ConvergeCell {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []ConvergeCell
+	if !t.bound {
+		return out
+	}
+	add := func(kind jobKind, ti, ci int, program string) {
+		if st := t.convergeSnaps[cellKey{kind: kind, tool: ti, cell: ci}]; st != nil {
+			out = append(out, ConvergeCell{
+				Tool: t.spec.Tools[ti].Name, Program: program,
+				Litmus: kind == jobLitmus, State: st})
+		}
+	}
+	for ti := range t.spec.Tools {
+		for b, bench := range t.spec.Benchmarks {
+			add(jobBench, ti, b, bench.Name)
+		}
+		for l, test := range t.spec.Litmus {
+			add(jobLitmus, ti, l, test.Name)
+		}
+	}
+	return out
 }
 
 // waveEnd emits the wave_end event, bumps the wave counter, and prints the
@@ -474,6 +568,7 @@ type ProgressSnapshot struct {
 	CellsConverged int            `json:"cells_converged"`
 	EventsEmitted  uint64         `json:"events_emitted"`
 	EventsDropped  uint64         `json:"events_dropped"`
+	Provenance     *Provenance    `json:"provenance,omitempty"`
 	Cells          []ProgressCell `json:"cells,omitempty"`
 }
 
@@ -492,6 +587,7 @@ func (t *Telemetry) Progress() *ProgressSnapshot {
 		CellsConverged: len(t.converged),
 		EventsEmitted:  t.EventsEmitted(),
 		EventsDropped:  t.EventsDropped(),
+		Provenance:     t.provenance,
 	}
 	if !t.start.IsZero() {
 		s.WallNS = int64(time.Since(t.start))
@@ -549,6 +645,33 @@ func (t *Telemetry) timingSnapshot(kind jobKind, tool, cell int) *obs.HistogramS
 		m = t.benchMet[tool][cell]
 	}
 	return m.ExecNS.Snapshot()
+}
+
+// phaseSnapshots returns one cell's per-phase span histograms keyed by phase
+// name (the schema v5 summary payload). Phases with no observations — every
+// phase when phase timing was off, validate/record when the campaign had no
+// such duties — are omitted; nil when nothing was observed at all.
+func (t *Telemetry) phaseSnapshots(kind jobKind, tool, cell int) map[string]*obs.HistogramSnapshot {
+	if !t.bound {
+		return nil
+	}
+	var m *CellMetrics
+	if kind == jobLitmus {
+		m = t.litMet[tool][cell]
+	} else {
+		m = t.benchMet[tool][cell]
+	}
+	var out map[string]*obs.HistogramSnapshot
+	for p := 0; p < core.NumPhases; p++ {
+		if m.PhaseNS[p].Count() == 0 {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]*obs.HistogramSnapshot, core.NumPhases)
+		}
+		out[core.Phase(p).String()] = m.PhaseNS[p].Snapshot()
+	}
+	return out
 }
 
 // WriteEngineFailures prints every sampled engine-failure repro triple of a

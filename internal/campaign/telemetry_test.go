@@ -39,9 +39,10 @@ func eventSpec(t *testing.T, workers int, tel *Telemetry) Spec {
 }
 
 // canonicalEvents parses, normalizes, and sorts a JSONL event stream. The
-// only worker-count-dependent content is the campaign_start spec echo
-// (workers), which is stripped; every other event is a pure function of its
-// unit of work, so after sorting the streams must be byte-identical.
+// only run-dependent content is the campaign_start spec echo — the worker
+// count and the (per-TempDir) capture path — which is stripped; every other
+// event is a pure function of its unit of work, so after sorting the streams
+// must be byte-identical.
 func canonicalEvents(t *testing.T, raw []byte) []string {
 	var out []string
 	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
@@ -56,6 +57,7 @@ func canonicalEvents(t *testing.T, raw []byte) []string {
 			if spec, ok := m["spec"].(map[string]any); ok {
 				delete(spec, "workers")
 				delete(spec, "shard_size")
+				delete(spec, "capture_dir")
 			}
 		}
 		norm, err := json.Marshal(m)

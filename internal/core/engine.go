@@ -252,6 +252,11 @@ type Engine struct {
 	// (Close discards the scheduler; the next Execute makes a fresh one).
 	measureWait bool
 
+	// phases is the forensics phase timer (reset/run/race spans), opt-in via
+	// SetPhaseTiming exactly like measureWait. It lives on the engine (not the
+	// scheduler), so it needs no rebuild mirroring.
+	phases PhaseTimer
+
 	readyBuf []*ThreadState
 
 	// Dispatch scratch: the race-conflict buffer handed to the shadow-word
@@ -394,6 +399,12 @@ type ExecStats struct {
 	// program threads during scheduler handoffs; 0 unless SetHandoffTiming
 	// enabled the measurement.
 	HandoffWaitNS int64
+	// PhaseNS is the per-phase wall time of the execution (indexed by Phase);
+	// all zero unless SetPhaseTiming enabled the measurement. Only the
+	// engine-bracketed phases (PhaseReset, PhaseRun, PhaseRace) are filled
+	// here — PhaseValidate and PhaseRecord are campaign duties timed by the
+	// campaign runner. PhaseRace is nested inside PhaseRun.
+	PhaseNS [NumPhases]int64
 }
 
 // ExecStats returns the instrumentation counters of the current (or last)
@@ -404,7 +415,7 @@ func (e *Engine) ExecStats() ExecStats {
 	if e.sch != nil {
 		wait = e.sch.WaitNS()
 	}
-	return ExecStats{Steps: e.steps, Choices: e.choices, HandoffWaitNS: wait}
+	return ExecStats{Steps: e.steps, Choices: e.choices, HandoffWaitNS: wait, PhaseNS: e.phases.Durations()}
 }
 
 // SetHandoffTiming toggles the scheduler's handoff-wait measurement for
@@ -417,6 +428,16 @@ func (e *Engine) SetHandoffTiming(on bool) {
 		e.sch.SetMeasureWait(on)
 	}
 }
+
+// SetPhaseTiming toggles the forensics phase spans (PhaseTimer) for
+// subsequent executions. Like handoff timing it is a handful of monotonic
+// clock reads per execution plus two per race-bearing access, allocates
+// nothing, and is left on by campaign telemetry while raw perf sweeps keep
+// it off.
+func (e *Engine) SetPhaseTiming(on bool) { e.phases.SetEnabled(on) }
+
+// PhaseTiming reports whether phase spans are being measured.
+func (e *Engine) PhaseTiming() bool { return e.phases.Enabled() }
 
 // Execute implements capi.Tool: it runs one execution of p.
 //
@@ -432,7 +453,10 @@ func (e *Engine) SetHandoffTiming(on bool) {
 // with Result.EngineError set; the engine stays usable for further Execute
 // calls. Any other panic propagates.
 func (e *Engine) Execute(p capi.Program, seed int64) (res *capi.Result) {
+	e.phases.Reset()
+	e.phases.Begin(PhaseReset)
 	e.resetExecState(seed)
+	e.phases.End(PhaseReset)
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -446,14 +470,17 @@ func (e *Engine) Execute(p capi.Program, seed int64) (res *capi.Result) {
 		// program's threads are still parked awaiting a reply; Abort unwinds
 		// them all, restoring the all-goroutines-finished state the next
 		// resetExecState relies on.
+		e.phases.End(PhaseRun)
 		e.result.EngineError = ie
 		e.sch.Abort()
 		e.execIndex++
 		res = e.result
 	}()
 
+	e.phases.Begin(PhaseRun)
 	e.spawnThread("main", p.Run, nil)
 	e.loop()
+	e.phases.End(PhaseRun)
 
 	e.execIndex++
 	return e.result

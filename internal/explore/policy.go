@@ -43,6 +43,51 @@ type Tracker interface {
 	Converged() bool
 }
 
+// TrackerState is a serializable snapshot of one tracker's internals: the
+// forensics surface behind the /debug/converge endpoint and the
+// cell_converge_state events. Every field is a pure function of the cell's
+// observation stream, so snapshots taken at deterministic points (wave
+// barriers) are identical across worker counts.
+type TrackerState struct {
+	// Execs and Detected are the full-stream totals; DetectionRate is their
+	// ratio (0 when no executions have been observed).
+	Execs         int     `json:"execs"`
+	Detected      int     `json:"detected"`
+	DetectionRate float64 `json:"detection_rate"`
+	// DistinctRaces counts the race keys ever seen; Outcomes is the full
+	// litmus-outcome histogram ("" excluded).
+	DistinctRaces int            `json:"distinct_races"`
+	Outcomes      map[string]int `json:"outcomes,omitempty"`
+	// Window is the configured trailing-window size and WindowFilled how
+	// much of it has been observed; WindowDetected and WindowOutcomes are
+	// the window's contents, and WindowNewInfo reports whether any window
+	// execution introduced a never-seen race key or outcome.
+	Window         int            `json:"window"`
+	WindowFilled   int            `json:"window_filled"`
+	WindowDetected int            `json:"window_detected"`
+	WindowOutcomes map[string]int `json:"window_outcomes,omitempty"`
+	WindowNewInfo  bool           `json:"window_new_info"`
+	// RateShift is the detection-rate movement the window causes (full-stream
+	// rate minus pre-window rate); OutcomeL1 the L1 distance between the
+	// normalized outcome histograms with and without the window. Both are 0
+	// when the corresponding leg has nothing to compare (no pre-window
+	// history, no outcomes).
+	RateShift float64 `json:"rate_shift"`
+	OutcomeL1 float64 `json:"outcome_l1"`
+	// MinExecs and Epsilon echo the policy thresholds the verdict applied.
+	MinExecs int     `json:"min_execs"`
+	Epsilon  float64 `json:"epsilon"`
+	// Converged is the tracker's current verdict.
+	Converged bool `json:"converged"`
+}
+
+// Introspector is the optional Tracker extension for trackers that can
+// explain their convergence decision. Converge trackers implement it;
+// Uniform's never-converging tracker has nothing to explain and does not.
+type Introspector interface {
+	State() TrackerState
+}
+
 // Policy decides per-cell budgets.
 type Policy interface {
 	// Name renders the policy and its parameters for the summary spec echo.
@@ -174,65 +219,125 @@ func (t *convergeTracker) Observe(o Obs) {
 	}
 }
 
-// Converged implements Tracker: the cell has run its floor, the trailing
-// window introduced no new race key or outcome, and removing the window
-// moves neither the detection rate nor the outcome distribution by more
-// than Epsilon.
-func (t *convergeTracker) Converged() bool {
-	if t.n < t.cfg.MinExecs || len(t.ring) < t.cfg.Window {
-		return false
-	}
-	winDetected, winOutcomes := 0, map[string]int{}
+// windowStats is the shared analysis of the trailing window that both the
+// Converged verdict and the State introspection snapshot read.
+type windowStats struct {
+	detected int
+	outcomes map[string]int
+	newInfo  bool
+	// rateShift is the detection-rate movement the window causes; valid only
+	// when haveRate (there is pre-window history to compare against).
+	haveRate  bool
+	rateShift float64
+	// l1 is the outcome-distribution movement; valid only when haveL1 (the
+	// cell has outcomes). priorTotZero flags the all-outcomes-arrived-inside-
+	// the-window case, which vetoes convergence on its own.
+	haveL1       bool
+	l1           float64
+	priorTotZero bool
+}
+
+func (t *convergeTracker) windowStats() windowStats {
+	s := windowStats{outcomes: map[string]int{}}
 	for _, w := range t.ring {
 		if w.newInfo {
-			return false
+			s.newInfo = true
 		}
 		if w.detected {
-			winDetected++
+			s.detected++
 		}
 		if w.outcome != "" {
-			winOutcomes[w.outcome]++
+			s.outcomes[w.outcome]++
 		}
 	}
-	// Detection-rate movement. With no history before the window (n ==
-	// Window) there is nothing to compare against, and the leg is skipped;
-	// the new-information test above still vetoes windows that introduced
-	// unseen race keys or outcomes.
-	if base := t.n - t.cfg.Window; base > 0 {
+	if base := t.n - len(t.ring); base > 0 && t.n > 0 {
 		full := float64(t.detected) / float64(t.n)
-		prior := float64(t.detected-winDetected) / float64(base)
-		if diff := full - prior; diff > t.cfg.Epsilon || diff < -t.cfg.Epsilon {
-			return false
-		}
+		prior := float64(t.detected-s.detected) / float64(base)
+		s.haveRate = true
+		s.rateShift = full - prior
 	}
-
-	// Outcome-distribution movement (L1 over normalized histograms). Cells
-	// with no outcomes at all (benchmarks) skip this leg.
 	tot := 0
 	for _, n := range t.outcomes {
 		tot += n
 	}
 	if tot > 0 {
+		s.haveL1 = true
 		priorTot := 0
 		for out, n := range t.outcomes {
-			priorTot += n - winOutcomes[out]
+			priorTot += n - s.outcomes[out]
 		}
 		if priorTot == 0 {
-			return false // all outcomes arrived inside the window
-		}
-		var l1 float64
-		for out, n := range t.outcomes {
-			p := float64(n) / float64(tot)
-			q := float64(n-winOutcomes[out]) / float64(priorTot)
-			if d := p - q; d >= 0 {
-				l1 += d
-			} else {
-				l1 -= d
+			s.priorTotZero = true
+		} else {
+			for out, n := range t.outcomes {
+				p := float64(n) / float64(tot)
+				q := float64(n-s.outcomes[out]) / float64(priorTot)
+				if d := p - q; d >= 0 {
+					s.l1 += d
+				} else {
+					s.l1 -= d
+				}
 			}
 		}
-		if l1 > t.cfg.Epsilon {
-			return false
-		}
+	}
+	return s
+}
+
+// Converged implements Tracker: the cell has run its floor, the trailing
+// window introduced no new race key or outcome, and removing the window
+// moves neither the detection rate nor the outcome distribution by more
+// than Epsilon. (With no history before the window there is no rate to
+// compare, and the leg is skipped; the new-information test still vetoes
+// windows that introduced unseen race keys or outcomes. Cells with no
+// outcomes at all — benchmarks — skip the L1 leg.)
+func (t *convergeTracker) Converged() bool {
+	if t.n < t.cfg.MinExecs || len(t.ring) < t.cfg.Window {
+		return false
+	}
+	s := t.windowStats()
+	if s.newInfo {
+		return false
+	}
+	if s.haveRate && (s.rateShift > t.cfg.Epsilon || s.rateShift < -t.cfg.Epsilon) {
+		return false
+	}
+	if s.priorTotZero {
+		return false // all outcomes arrived inside the window
+	}
+	if s.haveL1 && s.l1 > t.cfg.Epsilon {
+		return false
 	}
 	return true
+}
+
+// State implements Introspector.
+func (t *convergeTracker) State() TrackerState {
+	s := t.windowStats()
+	st := TrackerState{
+		Execs:          t.n,
+		Detected:       t.detected,
+		DistinctRaces:  len(t.raceSeen),
+		Window:         t.cfg.Window,
+		WindowFilled:   len(t.ring),
+		WindowDetected: s.detected,
+		WindowNewInfo:  s.newInfo,
+		RateShift:      s.rateShift,
+		OutcomeL1:      s.l1,
+		MinExecs:       t.cfg.MinExecs,
+		Epsilon:        t.cfg.Epsilon,
+		Converged:      t.Converged(),
+	}
+	if t.n > 0 {
+		st.DetectionRate = float64(t.detected) / float64(t.n)
+	}
+	if len(t.outcomes) > 0 {
+		st.Outcomes = make(map[string]int, len(t.outcomes))
+		for k, v := range t.outcomes {
+			st.Outcomes[k] = v
+		}
+	}
+	if len(s.outcomes) > 0 {
+		st.WindowOutcomes = s.outcomes
+	}
+	return st
 }

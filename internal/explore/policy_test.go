@@ -153,3 +153,85 @@ func TestConvergeDeterministicReplay(t *testing.T) {
 		}
 	}
 }
+
+// TestTrackerStateIntrospection pins the State snapshot against a known
+// observation stream: the snapshot's aggregates, window contents, and verdict
+// must agree with the tracker's own Converged decision, and Uniform's tracker
+// must not claim introspection at all.
+func TestTrackerStateIntrospection(t *testing.T) {
+	if _, ok := (Uniform{}).NewTracker().(Introspector); ok {
+		t.Fatal("uniform tracker claims introspection with nothing to explain")
+	}
+	c := Converge{MinExecs: 20, Window: 10, Epsilon: 0.02}
+	tr := c.NewTracker()
+	in, ok := tr.(Introspector)
+	if !ok {
+		t.Fatal("converge tracker does not implement Introspector")
+	}
+
+	// Empty tracker: all zero, not converged.
+	st := in.State()
+	if st.Execs != 0 || st.DetectionRate != 0 || st.WindowFilled != 0 || st.Converged {
+		t.Fatalf("zero-stream state = %+v", st)
+	}
+	if st.Window != 10 || st.MinExecs != 20 || st.Epsilon != 0.02 {
+		t.Fatalf("state does not echo policy thresholds: %+v", st)
+	}
+
+	// 15 detections with race r1 and outcome a, then 10 clean executions
+	// with outcome b: the window holds the 10 clean ones, which introduced
+	// outcome b (new info) and moved the detection rate from 15/15 to 15/25.
+	for i := 0; i < 15; i++ {
+		tr.Observe(Obs{Detected: true, RaceKeys: []string{"r1"}, Outcome: "a"})
+	}
+	for i := 0; i < 10; i++ {
+		tr.Observe(Obs{Detected: false, Outcome: "b"})
+	}
+	st = in.State()
+	if st.Execs != 25 || st.Detected != 15 || st.DistinctRaces != 1 {
+		t.Fatalf("aggregates = %+v", st)
+	}
+	if got, want := st.DetectionRate, 15.0/25.0; got != want {
+		t.Fatalf("detection rate = %g, want %g", got, want)
+	}
+	if st.WindowFilled != 10 || st.WindowDetected != 0 {
+		t.Fatalf("window contents = %+v", st)
+	}
+	if !st.WindowNewInfo {
+		t.Fatal("window introduced outcome b but WindowNewInfo is false")
+	}
+	if st.Outcomes["a"] != 15 || st.Outcomes["b"] != 10 || st.WindowOutcomes["b"] != 10 {
+		t.Fatalf("outcome histograms = %+v", st)
+	}
+	// Rate shift: full 15/25 minus prior 15/15 = -0.4.
+	if got, want := st.RateShift, 15.0/25.0-1.0; got != want {
+		t.Fatalf("rate shift = %g, want %g", got, want)
+	}
+	if st.Converged || st.Converged != tr.Converged() {
+		t.Fatalf("verdict = %v, tracker says %v", st.Converged, tr.Converged())
+	}
+
+	// Run the same mix until it stabilizes; the snapshot verdict must track.
+	for i := 0; i < 40; i++ {
+		out := "a"
+		det := i%2 == 0
+		if !det {
+			out = "b"
+		}
+		tr.Observe(Obs{Detected: det, Outcome: out, RaceKeys: raceIf(det)})
+	}
+	st = in.State()
+	if st.Converged != tr.Converged() {
+		t.Fatalf("snapshot verdict %v diverges from Converged() %v", st.Converged, tr.Converged())
+	}
+	if st.Execs != 65 {
+		t.Fatalf("execs = %d, want 65", st.Execs)
+	}
+}
+
+func raceIf(det bool) []string {
+	if det {
+		return []string{"r1"}
+	}
+	return nil
+}

@@ -16,6 +16,7 @@ import (
 type Server struct {
 	reg      *Registry
 	progress func() any
+	mux      *http.ServeMux
 	ln       net.Listener
 	srv      *http.Server
 }
@@ -32,8 +33,24 @@ func NewServer(reg *Registry, progress func() any) *Server {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux = mux
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	return s
+}
+
+// Handle registers an additional JSON endpoint: fn's value is marshaled
+// (indented) per request, like /progress. The campaign CLIs use it for
+// /debug/converge. It must be called before Start.
+func (s *Server) Handle(path string, fn func() any) {
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		data, err := json.MarshalIndent(fn(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(append(data, '\n'))
+	})
 }
 
 // Start binds addr and serves in a background goroutine. It returns the
