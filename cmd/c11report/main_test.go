@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"c11tester/internal/campaign"
+)
+
+func writeSummary(t *testing.T, dir string) string {
+	t.Helper()
+	tool, err := campaign.StandardTool("c11tester", campaign.ToolOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, err := campaign.SelectBenchmarks("ms-queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := campaign.Run(campaign.Spec{
+		Tools: []campaign.ToolSpec{tool}, Benchmarks: bench,
+		Runs: 2, SeedBase: 5,
+	})
+	path := filepath.Join(dir, "BENCH_campaign.json")
+	if err := sum.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func devNull(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// TestCorruptArtifactsExitStructured fuzzes truncation points of the summary
+// artifact through the report renderer: every cut must exit 1 with a
+// structured error, never panic, never exit 0.
+func TestCorruptArtifactsExitStructured(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSummary(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := devNull(t)
+
+	if code := run([]string{"-summary", path}, out); code != 0 {
+		t.Fatalf("intact summary = exit %d", code)
+	}
+
+	stride := len(data)/40 + 1
+	for cut := 0; cut < len(data)-1; cut += stride {
+		torn := filepath.Join(dir, "torn.json")
+		if err := os.WriteFile(torn, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if code := run([]string{"-summary", torn}, out); code != 1 {
+			t.Fatalf("summary truncated at byte %d = exit %d, want 1", cut, code)
+		}
+	}
+
+	// A torn event stream is lenient (skipped lines), not fatal…
+	events := filepath.Join(dir, "events.jsonl")
+	lines := `{"v":1,"type":"campaign_start"}` + "\n" + `{"v":1,"type":"race_first_seen","key":"k"}` + "\n" + `{"v":1,"type":"torn`
+	if err := os.WriteFile(events, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-summary", path, "-events", events}, out); code != 0 {
+		t.Fatalf("torn event line = exit %d, want lenient 0", code)
+	}
+	// …but an unreadable events path is a structured failure.
+	if code := run([]string{"-summary", path, "-events", filepath.Join(dir, "absent.jsonl")}, out); code != 1 {
+		t.Fatal("missing events file did not exit 1")
+	}
+
+	// Corrupt capture manifest: structured failure.
+	capDir := filepath.Join(dir, "captures")
+	if err := os.MkdirAll(capDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(capDir, "manifest.json"), []byte(`{"schema":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-summary", path, "-captures", capDir}, out); code != 1 {
+		t.Fatal("corrupt capture manifest did not exit 1")
+	}
+}

@@ -43,7 +43,7 @@ func run(args []string, out *os.File) int {
 		lit      = fs.String("litmus", "all", "comma-separated litmus tests, 'all', or 'none'")
 		runs     = fs.Int("runs", 100, "executions per (tool, program) cell")
 		workers  = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		shard    = fs.Int("shard", 0, "executions per shard (0 = default)")
+		shardSz  = fs.Int("shard-size", 0, "executions per work chunk (0 = default)")
 		seed     = fs.Int64("seed", 1, "seed base; execution i runs with seed+i")
 		prune    = fs.String("prune", "off", "c11tester prune mode: off, conservative, or aggressive")
 		sched    = fs.String("sched", "random", "c11tester scheduler strategy: random or quantum")
@@ -69,6 +69,8 @@ func run(args []string, out *os.File) int {
 	)
 	var tflags campaign.TelemetryFlags
 	tflags.Register(fs)
+	var cflags campaign.CrashFlags
+	cflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -109,7 +111,7 @@ func run(args []string, out *os.File) int {
 	}
 	spec := campaign.Spec{
 		Runs: *runs, SeedBase: *seed,
-		Workers: *workers, ShardSize: *shard,
+		Workers: *workers, ShardSize: *shardSz,
 		Policy:       pol,
 		GuideMinFrac: *guideMin, GuideMaxFrac: *guideMax,
 		RecordDir: *record, RecordAll: *recAll,
@@ -142,6 +144,13 @@ func run(args []string, out *os.File) int {
 		return 1
 	}
 	if err := tflags.ApplyCaptureFlags(&spec); err != nil {
+		fmt.Fprintln(os.Stderr, "c11tester:", err)
+		return 1
+	}
+	// Crash-safety flags resolve after the matrix so -resume can validate the
+	// checkpoint's spec digest against the fully-built spec; the rotation of a
+	// previous event stream must also precede SetupTelemetry opening it.
+	if err := cflags.Apply(&spec, tflags.EventsPath, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "c11tester:", err)
 		return 1
 	}
@@ -204,6 +213,16 @@ func run(args []string, out *os.File) int {
 		}
 		if !*quiet {
 			fmt.Fprintf(out, "\nwrote %s\n", *jsonPath)
+		}
+		if sum.Shard != nil {
+			manPath := *jsonPath + ".shard.json"
+			if err := campaign.BuildShardManifest(spec, sum).WriteFile(manPath); err != nil {
+				fmt.Fprintln(os.Stderr, "c11tester:", err)
+				return 1
+			}
+			if !*quiet {
+				fmt.Fprintf(out, "wrote %s\n", manPath)
+			}
 		}
 	}
 	if sum.Failed() {

@@ -43,6 +43,8 @@ func run(args []string, out *os.File) int {
 	)
 	var tflags campaign.TelemetryFlags
 	tflags.Register(fs)
+	var cflags campaign.CrashFlags
+	cflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -81,6 +83,10 @@ func run(args []string, out *os.File) int {
 		}
 	}
 	if err := tflags.ApplyCaptureFlags(&spec); err != nil {
+		fmt.Fprintln(os.Stderr, "litmus:", err)
+		return 1
+	}
+	if err := cflags.Apply(&spec, tflags.EventsPath, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "litmus:", err)
 		return 1
 	}

@@ -141,6 +141,29 @@ type Spec struct {
 	// lines only happen when the caller configures them. One Telemetry
 	// serves exactly one Run.
 	Telemetry *Telemetry `json:"-"`
+	// Shard restricts the campaign to shard Index of Count (uniform policy
+	// only): each cell's chunk sequence is dealt round-robin across the
+	// shards, so the K partial runs cover exactly the seed set of the
+	// single-machine run. The zero value (Count ≤ 1) runs everything. A
+	// sharded summary carries a ShardInfo header; cmd/c11merge folds K
+	// partials back into the single-machine artifact.
+	Shard ShardSel
+	// CheckpointPath, when non-empty, persists an atomic checkpoint of
+	// completed-wave state there at every deterministic wave barrier, plus a
+	// final Complete checkpoint when the campaign ends. Checkpoint write
+	// failures never abort the campaign; they are counted in the summary
+	// (CheckpointErrors) and warned to stderr.
+	CheckpointPath string
+	// Resume, when non-nil, restores checkpointed state instead of starting
+	// fresh: the runner re-enters at the first incomplete wave, and the
+	// finished artifact is byte-identical (Summary.Canonical) to an
+	// uninterrupted run. Load with LoadCheckpoint and gate with
+	// Checkpoint.ValidateAgainst — a checkpoint from a different spec refuses
+	// to resume.
+	Resume *Checkpoint `json:"-"`
+	// checkpointHook observes every checkpoint just before it is persisted
+	// (fault-injection tests).
+	checkpointHook func(*Checkpoint)
 }
 
 func (s Spec) withDefaults() Spec {
@@ -176,9 +199,14 @@ type job struct {
 }
 
 // raceHit is a deduplicated race with the earliest execution that showed it.
+// It carries the report's rendered description rather than the
+// capi.RaceReport itself: tools recycle their race-report storage across
+// Execute calls, so retaining a report beyond runOne would alias mutated
+// memory. Rendering happens only on first sight (or an earlier-run upgrade),
+// never in the steady state.
 type raceHit struct {
-	report capi.RaceReport
-	run    int // global execution index (seed = SeedBase+run)
+	desc string // RaceReport.String() of the winning sighting
+	run  int    // global execution index (seed = SeedBase+run)
 }
 
 // execFailure is one execution the tool itself aborted (core.InfeasibleError
@@ -233,6 +261,68 @@ type fragment struct {
 // carried per fragment and per tool summary.
 const maxViolationSamples = 5
 
+// merge folds src into dst with the same order-independent operations (and
+// the same sample caps, applied in the same order) as cellAcc.merge, so a
+// checkpoint that collapses a cell's completed jobs into one fragment
+// aggregates byte-identically to the original job sequence. Callers merge in
+// job order — execution-index order within a cell — which keeps the capped
+// sample lists deterministic.
+func (dst *fragment) merge(src *fragment) {
+	dst.execs += src.execs
+	dst.detected += src.detected
+	dst.ops.Add(src.ops)
+	dst.elapsed += src.elapsed
+	if dst.races == nil {
+		dst.races = map[string]raceHit{}
+	}
+	mergeRaces(dst.races, src.races)
+	for out, n := range src.outcomes {
+		if dst.outcomes == nil {
+			dst.outcomes = map[string]int{}
+		}
+		dst.outcomes[out] += n
+	}
+	for out, first := range src.forbidden {
+		if dst.forbidden == nil {
+			dst.forbidden = map[string]int{}
+		}
+		if cur, seen := dst.forbidden[out]; !seen || first < cur {
+			dst.forbidden[out] = first
+		}
+	}
+	for out, n := range src.weak {
+		if dst.weak == nil {
+			dst.weak = map[string]int{}
+		}
+		dst.weak[out] += n
+	}
+	dst.failed += src.failed
+	for _, fl := range src.failures {
+		if len(dst.failures) >= maxViolationSamples {
+			break
+		}
+		dst.failures = append(dst.failures, fl)
+	}
+	dst.guidedExecs += src.guidedExecs
+	dst.prefixDepth += src.prefixDepth
+	dst.prefixConsumed += src.prefixConsumed
+	dst.divergences += src.divergences
+	dst.checked += src.checked
+	dst.skipped += src.skipped
+	dst.violations += src.violations
+	for _, s := range src.vioSamples {
+		if len(dst.vioSamples) >= maxViolationSamples {
+			break
+		}
+		dst.vioSamples = append(dst.vioSamples, s)
+	}
+	dst.recorded += src.recorded
+	dst.recordErrs += src.recordErrs
+	dst.captures = append(dst.captures, src.captures...)
+	dst.allocBytes += src.allocBytes
+	dst.allocObjs += src.allocObjs
+}
+
 // readAllocCounters reads the process-wide heap allocation counters (cheap,
 // no stop-the-world).
 func readAllocCounters() (bytes, objects uint64) {
@@ -268,13 +358,22 @@ func Run(spec Spec) *Summary {
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 
+	ck := &ckState{path: spec.CheckpointPath, hook: spec.checkpointHook}
 	var jobs []job
 	var frags []fragment
 	var budgets map[cellKey]*BudgetSummary
-	if _, uniform := spec.Policy.(explore.Uniform); uniform {
+	_, uniform := spec.Policy.(explore.Uniform)
+	switch {
+	case spec.Resume != nil && spec.Resume.Complete:
+		// The previous run finished its matrix and checkpointed Complete but
+		// died before (or while) writing the artifacts: rebuild them from the
+		// checkpoint without re-running anything.
+		jobs, frags, budgets = restoreComplete(spec, spec.Resume, !uniform)
+	case uniform:
 		jobs, frags = runUniform(spec, tel)
-	} else {
-		jobs, frags, budgets = runAdaptive(spec, tel)
+		ck.save(spec, tel, 1, true, nil, jobs, frags)
+	default:
+		jobs, frags, budgets = runAdaptive(spec, tel, ck)
 	}
 
 	wall := time.Since(start)
@@ -287,6 +386,11 @@ func Run(spec Spec) *Summary {
 		PauseTotalNS: ms1.PauseTotalNs - ms0.PauseTotalNs,
 	}
 	sum := aggregate(spec, jobs, frags, budgets, wall, gc)
+	sum.CheckpointErrors = ck.errs
+	if spec.Shard.Count > 1 {
+		sum.Shard = &ShardInfo{Index: spec.Shard.Index, Count: spec.Shard.Count,
+			SpecDigest: SpecDigest(spec)}
+	}
 	if spec.CaptureDir != "" {
 		// Write the canonical capture manifest (an empty one when nothing
 		// triggered — consumers rely on the file existing). The manifest is
@@ -346,16 +450,23 @@ func runPool(spec Spec, n int, fn func(i int)) {
 
 // runUniform is the fixed-budget path: every cell is split into shards of
 // ShardSize executions, and shards are distributed over the worker pool. The
-// whole pass is one telemetry wave.
+// whole pass is one telemetry wave. Under Spec.Shard, each cell's chunk
+// sequence is dealt round-robin and only this shard's deal is run — the K
+// shard runs partition the exact job set of the unsharded run, which is what
+// makes the merged artifact byte-identical to it.
 func runUniform(spec Spec, tel *Telemetry) ([]job, []fragment) {
 	var jobs []job
 	shard := func(kind jobKind, tool, cell int) {
+		ord := 0
 		for lo := 0; lo < spec.Runs; lo += spec.ShardSize {
 			hi := lo + spec.ShardSize
 			if hi > spec.Runs {
 				hi = spec.Runs
 			}
-			jobs = append(jobs, job{kind: kind, tool: tool, cell: cell, lo: lo, hi: hi})
+			if spec.Shard.Count <= 1 || ord%spec.Shard.Count == spec.Shard.Index {
+				jobs = append(jobs, job{kind: kind, tool: tool, cell: cell, lo: lo, hi: hi})
+			}
+			ord++
 		}
 	}
 	for t := range spec.Tools {
@@ -402,7 +513,7 @@ type cellPlan struct {
 // or every cell converged. The total never exceeds Runs × cells, and every
 // decision happens at a barrier from per-cell-deterministic state, so the
 // result is independent of the worker count.
-func runAdaptive(spec Spec, tel *Telemetry) ([]job, []fragment, map[cellKey]*BudgetSummary) {
+func runAdaptive(spec Spec, tel *Telemetry, ck *ckState) ([]job, []fragment, map[cellKey]*BudgetSummary) {
 	chunk := spec.Policy.Chunk()
 	if chunk <= 0 || chunk > spec.Runs {
 		chunk = spec.Runs
@@ -429,6 +540,15 @@ func runAdaptive(spec Spec, tel *Telemetry) ([]job, []fragment, map[cellKey]*Bud
 	// its barrier events: unit events from the workers as grants complete,
 	// cell_converged and wave_end from the deterministic post-barrier state.
 	wave := 0
+	if spec.Resume != nil {
+		// Re-enter at the last completed wave: plans get their used/stopped
+		// budgets and tracker state back, and the completed work re-enters the
+		// job list as one synthetic whole-range job per cell carrying the
+		// checkpointed merged fragment. aggregate folds both shapes
+		// identically, so the finished artifact cannot tell the difference.
+		wave = spec.Resume.Wave
+		restoreAdaptive(spec, spec.Resume, plans, &jobs, &frags)
+	}
 	runWave := func(grants []grant) {
 		wave++
 		tel.waveStart(wave, len(grants))
@@ -465,14 +585,19 @@ func runAdaptive(spec Spec, tel *Telemetry) ([]job, []fragment, map[cellKey]*Bud
 			waveExecs += waveFrags[i].execs
 		}
 		tel.waveEnd(wave, len(grants), waveExecs)
+		// The wave barrier is the checkpoint point: every decision below this
+		// line is a pure function of the state being persisted.
+		ck.save(spec, tel, wave, false, plans, jobs, frags)
 	}
 
-	// Wave 0: initial budgets.
-	wave0 := make([]grant, len(plans))
-	for i, p := range plans {
-		wave0[i] = grant{plan: p, budget: spec.Runs}
+	if spec.Resume == nil {
+		// Wave 0: initial budgets.
+		wave0 := make([]grant, len(plans))
+		for i, p := range plans {
+			wave0[i] = grant{plan: p, budget: spec.Runs}
+		}
+		runWave(wave0)
 	}
-	runWave(wave0)
 
 	// Freed budget: what converged cells left unspent.
 	pool := 0
@@ -506,6 +631,8 @@ func runAdaptive(spec Spec, tel *Telemetry) ([]job, []fragment, map[cellKey]*Bud
 			pool -= p.used
 		}
 	}
+
+	ck.save(spec, tel, wave, true, plans, jobs, frags)
 
 	budgets := map[cellKey]*BudgetSummary{}
 	for _, p := range plans {
@@ -877,7 +1004,7 @@ func recordRaces(frag *fragment, res *capi.Result, run int) {
 	for _, r := range res.Races {
 		key := r.Key()
 		if hit, seen := frag.races[key]; !seen || run < hit.run {
-			frag.races[key] = raceHit{report: r, run: run}
+			frag.races[key] = raceHit{desc: r.String(), run: run}
 		}
 	}
 }
@@ -917,6 +1044,19 @@ func (s Spec) Validate() error {
 	}
 	if s.Runs <= 0 {
 		return fmt.Errorf("campaign: runs must be positive, got %d", s.Runs)
+	}
+	if s.Shard.Count != 0 || s.Shard.Index != 0 {
+		if s.Shard.Count < 1 || s.Shard.Index < 0 || s.Shard.Index >= s.Shard.Count {
+			return fmt.Errorf("campaign: shard %s out of range (want 0 ≤ index < count)", s.Shard)
+		}
+		if s.Policy != nil {
+			if _, uniform := s.Policy.(explore.Uniform); !uniform {
+				return fmt.Errorf("campaign: sharding requires the uniform policy (adaptive budgets redistribute across the whole matrix; got %q)", s.Policy.Name())
+			}
+		}
+		if s.CheckpointPath != "" || s.Resume != nil {
+			return fmt.Errorf("campaign: sharding is incompatible with checkpoint/resume (resume the whole campaign, or re-run the one lost shard)")
+		}
 	}
 	if s.GuideMinFrac < 0 || s.GuideMinFrac > 1 || s.GuideMaxFrac > 1 ||
 		(s.GuideMaxFrac > 0 && s.GuideMinFrac > s.GuideMaxFrac) {

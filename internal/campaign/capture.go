@@ -105,6 +105,10 @@ func captureTrace(spec Spec, j job, seed int64) (string, error) {
 	sub.RecordAll = false
 	sub.ValidateAxioms = false
 	sub.CaptureDir = "" // no recursive recorders
+	sub.CheckpointPath = ""
+	sub.Resume = nil
+	sub.checkpointHook = nil
+	sub.Shard = ShardSel{}
 	cr := newCellRunner(sub, j)
 	defer cr.close()
 	if cr.eng == nil {

@@ -1,0 +1,487 @@
+// checkpoint.go is the crash-safety core of the campaign runner: seed-slice
+// sharding (ShardSel), the spec digest that gates merging and resuming, and
+// the wave-barrier checkpoint (Checkpoint) a killed campaign resumes from.
+//
+// The design leans entirely on the package invariant that every execution is
+// a pure function of (tool, program, seed) and that all budget decisions
+// happen at deterministic wave barriers. A checkpoint therefore only has to
+// persist barrier state — per-cell budgets, converge-tracker state, and one
+// merged result fragment per cell — and a resumed run re-enters the wave loop
+// as if the completed waves had just run: the synthetic whole-range job per
+// cell folds into the aggregate exactly like the original job sequence, so
+// the finished artifact is byte-identical (Summary.Canonical) to an
+// uninterrupted run.
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"c11tester/internal/explore"
+	"c11tester/internal/obs"
+	"c11tester/internal/safeio"
+	"c11tester/internal/trace"
+)
+
+// ShardSel selects shard Index of Count for a sharded campaign run. The zero
+// value means "unsharded".
+type ShardSel struct {
+	Index int
+	Count int
+}
+
+func (s ShardSel) String() string { return fmt.Sprintf("%d/%d", s.Index, s.Count) }
+
+// ParseShard parses the CLI shard selector "index/count" (e.g. "0/3").
+func ParseShard(s string) (ShardSel, error) {
+	head, tail, ok := strings.Cut(s, "/")
+	if !ok {
+		return ShardSel{}, fmt.Errorf("shard %q: want \"index/count\", e.g. 0/3", s)
+	}
+	idx, err1 := strconv.Atoi(strings.TrimSpace(head))
+	cnt, err2 := strconv.Atoi(strings.TrimSpace(tail))
+	if err1 != nil || err2 != nil {
+		return ShardSel{}, fmt.Errorf("shard %q: want \"index/count\", e.g. 0/3", s)
+	}
+	sel := ShardSel{Index: idx, Count: cnt}
+	if cnt < 1 || idx < 0 || idx >= cnt {
+		return ShardSel{}, fmt.Errorf("shard %s out of range (want 0 ≤ index < count)", sel)
+	}
+	return sel, nil
+}
+
+// ShardInfo is the shard header a partial summary carries (schema v6): which
+// slice this is and the digest of the spec that cut it. cmd/c11merge refuses
+// partials whose digests differ.
+type ShardInfo struct {
+	Index      int    `json:"index"`
+	Count      int    `json:"count"`
+	SpecDigest string `json:"spec_digest"`
+}
+
+// SpecDigest fingerprints every outcome-affecting campaign parameter: the
+// tool set (name, repro flags, baseline flavour, trace identity), the program
+// matrix, Runs/SeedBase/ShardSize, the budget policy, the guide configuration,
+// and the validation/record/capture duties. Two specs with equal digests run
+// identical execution sets with identical duties; Workers and artifact paths
+// deliberately do not participate (they change where and how fast, never
+// what).
+func SpecDigest(spec Spec) string {
+	spec = spec.withDefaults()
+	type digestTool struct {
+		Name       string           `json:"name"`
+		ReproFlags string           `json:"repro_flags"`
+		Baseline   bool             `json:"baseline"`
+		Trace      trace.ToolConfig `json:"trace"`
+	}
+	d := struct {
+		Tools         []digestTool `json:"tools"`
+		Benchmarks    []string     `json:"benchmarks"`
+		Litmus        []string     `json:"litmus"`
+		Runs          int          `json:"runs"`
+		SeedBase      int64        `json:"seed_base"`
+		ShardSize     int          `json:"shard_size"`
+		Policy        string       `json:"policy"`
+		GuideDir      string       `json:"guide_dir,omitempty"`
+		GuideTraces   int          `json:"guide_traces,omitempty"`
+		GuideMinFrac  float64      `json:"guide_min_frac,omitempty"`
+		GuideMaxFrac  float64      `json:"guide_max_frac,omitempty"`
+		Validate      bool         `json:"validate,omitempty"`
+		Record        bool         `json:"record,omitempty"`
+		RecordAll     bool         `json:"record_all,omitempty"`
+		Capture       bool         `json:"capture,omitempty"`
+		CaptureSlowNS bool         `json:"capture_slow_ns,omitempty"`
+	}{
+		Benchmarks: []string{}, Litmus: []string{},
+		Runs: spec.Runs, SeedBase: spec.SeedBase, ShardSize: spec.ShardSize,
+		Policy:   spec.Policy.Name(),
+		Validate: spec.ValidateAxioms,
+		Record:   spec.RecordDir != "", RecordAll: spec.RecordAll,
+		Capture: spec.CaptureDir != "", CaptureSlowNS: spec.CaptureSlowNS,
+	}
+	for _, t := range spec.Tools {
+		d.Tools = append(d.Tools, digestTool{Name: t.Name, ReproFlags: t.ReproFlags,
+			Baseline: t.Baseline, Trace: t.TraceConfig})
+	}
+	for _, b := range spec.Benchmarks {
+		d.Benchmarks = append(d.Benchmarks, b.Name)
+	}
+	for _, l := range spec.Litmus {
+		d.Litmus = append(d.Litmus, l.Name)
+	}
+	if spec.Guides != nil {
+		d.GuideDir = spec.Guides.Dir()
+		d.GuideTraces = spec.Guides.Len()
+		d.GuideMinFrac = spec.GuideMinFrac
+		d.GuideMaxFrac = spec.GuideMaxFrac
+	}
+	b, err := json.Marshal(d)
+	if err != nil {
+		// Every field above is a plain value; Marshal cannot fail. Keep the
+		// signature infallible.
+		panic(fmt.Sprintf("campaign: spec digest: %v", err))
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(b))
+}
+
+// Schema identifiers of the serialized checkpoint.
+const (
+	CheckpointSchemaName    = "c11tester/checkpoint"
+	CheckpointSchemaVersion = 1
+)
+
+// Checkpoint is the wave-barrier state of a campaign: everything a resumed
+// run needs to re-enter at the first incomplete wave and finish with an
+// artifact byte-identical (Summary.Canonical) to an uninterrupted run.
+type Checkpoint struct {
+	Schema        string   `json:"schema"`
+	SchemaVersion int      `json:"schema_version"`
+	SpecDigest    string   `json:"spec_digest"`
+	Spec          SpecInfo `json:"spec"`
+	// Provenance pins the build that wrote the checkpoint; resuming under a
+	// skewed build is refused (a different toolchain may schedule
+	// differently).
+	Provenance *Provenance `json:"provenance,omitempty"`
+	// Wave is the last completed wave; Complete marks the whole matrix done
+	// (resuming a Complete checkpoint rebuilds the artifacts without running
+	// anything).
+	Wave     int  `json:"wave"`
+	Complete bool `json:"complete,omitempty"`
+	// Event/capture cursors: accounting of the append-only artifacts at the
+	// barrier, for introspection and post-crash audit.
+	EventsEmitted uint64 `json:"events_emitted,omitempty"`
+	EventsDropped uint64 `json:"events_dropped,omitempty"`
+	Captures      int    `json:"captures,omitempty"`
+	// Cells holds one entry per campaign cell, in matrix order.
+	Cells []CellCheckpoint `json:"cells"`
+}
+
+// CellCheckpoint is one cell's barrier state: its budget accounting, its
+// converge-tracker snapshot (adaptive policies), and its merged result
+// fragment.
+type CellCheckpoint struct {
+	Kind    string `json:"kind"` // "bench" or "litmus"
+	Tool    int    `json:"tool"`
+	Cell    int    `json:"cell"`
+	ToolRef string `json:"tool_name"`
+	Program string `json:"program"`
+	Used    int    `json:"used"`
+	Stopped bool   `json:"stopped,omitempty"`
+
+	Tracker *explore.TrackerSnapshot `json:"tracker,omitempty"`
+	Frag    FragState                `json:"frag"`
+}
+
+// RaceState is one deduplicated race of a checkpointed fragment.
+type RaceState struct {
+	Key  string `json:"key"`
+	Desc string `json:"desc"`
+	Run  int    `json:"run"`
+}
+
+// FailureState is one sampled engine failure of a checkpointed fragment.
+type FailureState struct {
+	Run int    `json:"run"`
+	Err string `json:"err"`
+}
+
+// FragState is the serialized form of a cell's merged result fragment —
+// field-for-field the unexported fragment type, with races flattened to a
+// key-sorted list so the encoding is canonical.
+type FragState struct {
+	Execs          int                 `json:"execs"`
+	Detected       int                 `json:"detected,omitempty"`
+	AtomicOps      uint64              `json:"atomic_ops,omitempty"`
+	NormalOps      uint64              `json:"normal_ops,omitempty"`
+	ElapsedNS      int64               `json:"elapsed_ns,omitempty"`
+	Races          []RaceState         `json:"races,omitempty"`
+	Outcomes       map[string]int      `json:"outcomes,omitempty"`
+	Forbidden      map[string]int      `json:"forbidden,omitempty"`
+	Weak           map[string]int      `json:"weak,omitempty"`
+	Failed         int                 `json:"failed,omitempty"`
+	Failures       []FailureState      `json:"failures,omitempty"`
+	GuidedExecs    int                 `json:"guided_execs,omitempty"`
+	PrefixDepth    int64               `json:"prefix_depth,omitempty"`
+	PrefixConsumed int64               `json:"prefix_consumed,omitempty"`
+	Divergences    int                 `json:"divergences,omitempty"`
+	Checked        int                 `json:"checked,omitempty"`
+	Skipped        int                 `json:"skipped,omitempty"`
+	Violations     int                 `json:"violations,omitempty"`
+	VioSamples     []string            `json:"vio_samples,omitempty"`
+	Recorded       int                 `json:"recorded,omitempty"`
+	RecordErrs     int                 `json:"record_errs,omitempty"`
+	Captures       []obs.CaptureRecord `json:"captures,omitempty"`
+	AllocBytes     uint64              `json:"alloc_bytes,omitempty"`
+	AllocObjs      uint64              `json:"alloc_objs,omitempty"`
+}
+
+// fragState serializes a merged fragment.
+func fragState(f *fragment) FragState {
+	s := FragState{
+		Execs: f.execs, Detected: f.detected,
+		AtomicOps: f.ops.AtomicOps, NormalOps: f.ops.NormalOps,
+		ElapsedNS: int64(f.elapsed),
+		Outcomes:  f.outcomes, Forbidden: f.forbidden, Weak: f.weak,
+		Failed:      f.failed,
+		GuidedExecs: f.guidedExecs, PrefixDepth: f.prefixDepth,
+		PrefixConsumed: f.prefixConsumed, Divergences: f.divergences,
+		Checked: f.checked, Skipped: f.skipped, Violations: f.violations,
+		VioSamples: f.vioSamples,
+		Recorded:   f.recorded, RecordErrs: f.recordErrs,
+		Captures:   f.captures,
+		AllocBytes: f.allocBytes, AllocObjs: f.allocObjs,
+	}
+	for _, key := range sortedStringKeys(f.races) {
+		hit := f.races[key]
+		s.Races = append(s.Races, RaceState{Key: key, Desc: hit.desc, Run: hit.run})
+	}
+	for _, fl := range f.failures {
+		s.Failures = append(s.Failures, FailureState{Run: fl.run, Err: fl.err})
+	}
+	return s
+}
+
+// fragment rebuilds the in-memory fragment a FragState serialized.
+func (s *FragState) fragment() fragment {
+	f := fragment{
+		execs: s.Execs, detected: s.Detected,
+		elapsed:   time.Duration(s.ElapsedNS),
+		races:     map[string]raceHit{},
+		outcomes:  s.Outcomes, forbidden: s.Forbidden, weak: s.Weak,
+		failed:      s.Failed,
+		guidedExecs: s.GuidedExecs, prefixDepth: s.PrefixDepth,
+		prefixConsumed: s.PrefixConsumed, divergences: s.Divergences,
+		checked: s.Checked, skipped: s.Skipped, violations: s.Violations,
+		vioSamples: s.VioSamples,
+		recorded:   s.Recorded, recordErrs: s.RecordErrs,
+		captures:   s.Captures,
+		allocBytes: s.AllocBytes, allocObjs: s.AllocObjs,
+	}
+	f.ops.AtomicOps = s.AtomicOps
+	f.ops.NormalOps = s.NormalOps
+	for _, r := range s.Races {
+		f.races[r.Key] = raceHit{desc: r.Desc, run: r.Run}
+	}
+	for _, fl := range s.Failures {
+		f.failures = append(f.failures, execFailure{run: fl.Run, err: fl.Err})
+	}
+	return f
+}
+
+func sortedStringKeys(m map[string]raceHit) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+const (
+	cellKindBench  = "bench"
+	cellKindLitmus = "litmus"
+)
+
+func kindName(k jobKind) string {
+	if k == jobLitmus {
+		return cellKindLitmus
+	}
+	return cellKindBench
+}
+
+func kindOf(name string) jobKind {
+	if name == cellKindLitmus {
+		return jobLitmus
+	}
+	return jobBench
+}
+
+// buildCheckpoint folds the completed work into one CellCheckpoint per cell,
+// in matrix order, merging each cell's job fragments in job order (execution-
+// index order within a cell) so the capped sample lists stay deterministic.
+// plans supplies budget/tracker state under an adaptive policy; nil (uniform)
+// derives the cell list from the jobs.
+func buildCheckpoint(spec Spec, tel *Telemetry, wave int, complete bool, plans []*cellPlan, jobs []job, frags []fragment) *Checkpoint {
+	c := &Checkpoint{
+		Schema: CheckpointSchemaName, SchemaVersion: CheckpointSchemaVersion,
+		SpecDigest: SpecDigest(spec), Spec: specInfo(spec),
+		Provenance: BuildProvenance(),
+		Wave:       wave, Complete: complete,
+		EventsEmitted: tel.EventsEmitted(), EventsDropped: tel.EventsDropped(),
+		Cells: []CellCheckpoint{},
+	}
+	merged := map[cellKey]*fragment{}
+	hi := map[cellKey]int{}
+	var order []cellKey
+	if plans != nil {
+		for _, p := range plans {
+			order = append(order, cellKey{kind: p.kind, tool: p.tool, cell: p.cell})
+		}
+	}
+	for i := range jobs {
+		key := cellKey{kind: jobs[i].kind, tool: jobs[i].tool, cell: jobs[i].cell}
+		f := merged[key]
+		if f == nil {
+			f = &fragment{}
+			merged[key] = f
+			if plans == nil {
+				order = append(order, key)
+			}
+		}
+		f.merge(&frags[i])
+		if jobs[i].hi > hi[key] {
+			hi[key] = jobs[i].hi
+		}
+	}
+	planOf := map[cellKey]*cellPlan{}
+	for _, p := range plans {
+		planOf[cellKey{kind: p.kind, tool: p.tool, cell: p.cell}] = p
+	}
+	for _, key := range order {
+		cc := CellCheckpoint{
+			Kind: kindName(key.kind), Tool: key.tool, Cell: key.cell,
+			ToolRef: spec.Tools[key.tool].Name,
+			Used:    hi[key],
+		}
+		if key.kind == jobLitmus {
+			cc.Program = spec.Litmus[key.cell].Name
+		} else {
+			cc.Program = spec.Benchmarks[key.cell].Name
+		}
+		if p := planOf[key]; p != nil {
+			cc.Used = p.used
+			cc.Stopped = p.stopped
+			if s, ok := p.tracker.(explore.Snapshotter); ok {
+				cc.Tracker = s.Snapshot()
+			}
+		}
+		if f := merged[key]; f != nil {
+			cc.Frag = fragState(f)
+			c.Captures += len(f.captures)
+		}
+		c.Cells = append(c.Cells, cc)
+	}
+	return c
+}
+
+// ckState carries the checkpoint duty through the runner: the target path
+// (empty = disarmed), the test hook, and the write-failure count surfaced as
+// Summary.CheckpointErrors. Checkpoint failures never abort a campaign — a
+// full disk costs the resume point, not the run.
+type ckState struct {
+	path string
+	hook func(*Checkpoint)
+	errs int
+}
+
+func (ck *ckState) save(spec Spec, tel *Telemetry, wave int, complete bool, plans []*cellPlan, jobs []job, frags []fragment) {
+	if ck.path == "" {
+		return
+	}
+	// The checkpoint's event cursor must not run ahead of the durable stream:
+	// flush queued event lines before persisting the barrier state.
+	tel.syncEvents()
+	c := buildCheckpoint(spec, tel, wave, complete, plans, jobs, frags)
+	if ck.hook != nil {
+		ck.hook(c)
+	}
+	if err := safeio.WriteJSONAtomic(ck.path, c, 0o644); err != nil {
+		ck.errs++
+		fmt.Fprintf(os.Stderr, "campaign: checkpoint: %v\n", err)
+	}
+}
+
+// LoadCheckpoint reads and schema-checks a checkpoint. Truncated or corrupt
+// files come back as a *safeio.DecodeError naming the byte offset.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := safeio.DecodeJSONFile(path, &c); err != nil {
+		return nil, err
+	}
+	if c.Schema != CheckpointSchemaName {
+		return nil, fmt.Errorf("campaign: %s: schema %q, want %q", path, c.Schema, CheckpointSchemaName)
+	}
+	if c.SchemaVersion < 1 || c.SchemaVersion > CheckpointSchemaVersion {
+		return nil, fmt.Errorf("campaign: %s: unsupported checkpoint schema version %d", path, c.SchemaVersion)
+	}
+	return &c, nil
+}
+
+// ValidateAgainst reports why the checkpoint cannot resume the given spec:
+// a spec-digest mismatch (different execution set or duties) or build
+// provenance skew (a different toolchain cannot promise identical replay).
+func (c *Checkpoint) ValidateAgainst(spec Spec) error {
+	if d := SpecDigest(spec); c.SpecDigest != d {
+		return fmt.Errorf("campaign: checkpoint was cut from a different campaign spec (digest %.12s… vs %.12s…): resuming would mix incompatible runs — point -checkpoint at a fresh path to start over", c.SpecDigest, d)
+	}
+	if skew := BuildProvenance().Skew(c.Provenance); len(skew) > 0 {
+		return fmt.Errorf("campaign: checkpoint build provenance skew (%s): a different build cannot promise byte-identical resume — re-run the campaign from scratch", strings.Join(skew, "; "))
+	}
+	return nil
+}
+
+// restoreAdaptive pushes a checkpoint's barrier state back into the adaptive
+// runner: plan budgets, tracker snapshots, and one synthetic whole-range job
+// per cell carrying the merged fragment.
+func restoreAdaptive(spec Spec, c *Checkpoint, plans []*cellPlan, jobs *[]job, frags *[]fragment) {
+	planOf := map[cellKey]*cellPlan{}
+	for _, p := range plans {
+		planOf[cellKey{kind: p.kind, tool: p.tool, cell: p.cell}] = p
+	}
+	for i := range c.Cells {
+		cc := &c.Cells[i]
+		key := cellKey{kind: kindOf(cc.Kind), tool: cc.Tool, cell: cc.Cell}
+		p := planOf[key]
+		if p == nil {
+			// Unreachable behind ValidateAgainst (the digest pins the matrix);
+			// skipping beats corrupting plan state.
+			continue
+		}
+		p.used = cc.Used
+		p.stopped = cc.Stopped
+		if s, ok := p.tracker.(explore.Snapshotter); ok {
+			s.Restore(cc.Tracker)
+		}
+		if cc.Used > 0 {
+			*jobs = append(*jobs, job{kind: key.kind, tool: key.tool, cell: key.cell, lo: 0, hi: cc.Used})
+			*frags = append(*frags, cc.Frag.fragment())
+		}
+	}
+}
+
+// restoreComplete rebuilds the aggregate inputs of a finished campaign from
+// its Complete checkpoint, without re-running anything. adaptive additionally
+// rebuilds the per-cell budget reports.
+func restoreComplete(spec Spec, c *Checkpoint, adaptive bool) ([]job, []fragment, map[cellKey]*BudgetSummary) {
+	var jobs []job
+	var frags []fragment
+	var budgets map[cellKey]*BudgetSummary
+	if adaptive {
+		budgets = map[cellKey]*BudgetSummary{}
+	}
+	for i := range c.Cells {
+		cc := &c.Cells[i]
+		key := cellKey{kind: kindOf(cc.Kind), tool: cc.Tool, cell: cc.Cell}
+		if cc.Used > 0 {
+			jobs = append(jobs, job{kind: key.kind, tool: key.tool, cell: key.cell, lo: 0, hi: cc.Used})
+			frags = append(frags, cc.Frag.fragment())
+		}
+		if adaptive {
+			extended := cc.Used - spec.Runs
+			if extended < 0 {
+				extended = 0
+			}
+			budgets[key] = &BudgetSummary{
+				Planned: spec.Runs, Used: cc.Used,
+				Extended: extended, Converged: cc.Stopped,
+			}
+		}
+	}
+	return jobs, frags, budgets
+}

@@ -1,15 +1,14 @@
 package campaign
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"sort"
 	"strings"
 	"time"
 
 	"c11tester/internal/harness"
 	"c11tester/internal/obs"
+	"c11tester/internal/safeio"
 )
 
 // SplitComparePaths resolves the -compare argument convention shared by
@@ -35,13 +34,11 @@ func SplitComparePaths(oldArg string, positional []string) (oldPath, newPath str
 // newer versions are rejected, since a bump signals an incompatible reshape
 // that would silently decode to zero values here.
 func LoadSummary(path string) (*Summary, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
 	var s Summary
-	if err := json.Unmarshal(data, &s); err != nil {
-		return nil, fmt.Errorf("campaign: %s: %v", path, err)
+	if err := safeio.DecodeJSONFile(path, &s); err != nil {
+		// A truncated artifact (a campaign killed mid-write predates the
+		// atomic writer) comes back named with its byte offset.
+		return nil, err
 	}
 	if s.Schema != SchemaName {
 		return nil, fmt.Errorf("campaign: %s: schema %q, want %q", path, s.Schema, SchemaName)

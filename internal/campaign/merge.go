@@ -1,0 +1,548 @@
+// merge.go folds the partial artifacts of a sharded campaign — summaries,
+// capture manifests, event streams — back into the single-machine artifact.
+// Shards partition the execution set (each seed runs in exactly one shard),
+// and every summary statistic is either a sum, a sorted union, or a
+// min-by-(cell order, seed) winner, so the merge is exact: the merged summary
+// is byte-identical (Summary.Canonical) to the summary of an unsharded run.
+// The capped sample lists (races keep a min-winner per key; violation and
+// failure samples keep the first five by (cell order, seed)) stay exact too:
+// any element of the global first-five necessarily ranks in the first five of
+// its own shard, so a sorted union of the partials' lists, truncated to five,
+// reproduces the single-machine list.
+//
+// Merging refuses partials that were not cut from the same campaign: every
+// partial carries its spec digest (ShardInfo.SpecDigest) and build
+// provenance, and mismatched digests, duplicate or missing shard indices, and
+// provenance skew are structured errors, not silently wrong artifacts.
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"c11tester/internal/capi"
+	"c11tester/internal/harness"
+	"c11tester/internal/obs"
+	"c11tester/internal/safeio"
+)
+
+// MergeSummaries folds K shard partials into the whole-campaign summary.
+// Parts may be given in any order; they are validated (same spec digest, same
+// shard count, indices exactly 0..K-1, schema v6, uniform policy) and merged
+// deterministically. force skips the provenance-skew refusal (never the
+// digest checks).
+func MergeSummaries(parts []*Summary, force bool) (*Summary, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("campaign: merge: no partial summaries")
+	}
+	sorted := make([]*Summary, len(parts))
+	copy(sorted, parts)
+	for _, p := range sorted {
+		if p.Schema != SchemaName {
+			return nil, fmt.Errorf("campaign: merge: schema %q, want %q", p.Schema, SchemaName)
+		}
+		if p.SchemaVersion != SchemaVersion {
+			return nil, fmt.Errorf("campaign: merge: partial has schema version %d; merging needs exactly %d (regenerate the shards with this build)", p.SchemaVersion, SchemaVersion)
+		}
+		if p.Shard == nil {
+			return nil, fmt.Errorf("campaign: merge: summary has no shard header (not a partial — was it produced with -shard?)")
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Shard.Index < sorted[j].Shard.Index })
+	first := sorted[0]
+	if len(sorted) != first.Shard.Count {
+		return nil, fmt.Errorf("campaign: merge: have %d partial(s), shard headers say count=%d", len(sorted), first.Shard.Count)
+	}
+	for i, p := range sorted {
+		if p.Shard.Index != i {
+			return nil, fmt.Errorf("campaign: merge: shard indices are not exactly 0..%d (duplicate or missing shard %d)", first.Shard.Count-1, i)
+		}
+		if p.Shard.SpecDigest != first.Shard.SpecDigest {
+			return nil, fmt.Errorf("campaign: merge: shard %d was cut from a different campaign spec (digest %.12s… vs %.12s…)", p.Shard.Index, p.Shard.SpecDigest, first.Shard.SpecDigest)
+		}
+		if p.Spec.Policy != "" && p.Spec.Policy != "uniform" {
+			return nil, fmt.Errorf("campaign: merge: shard %d ran policy %q; only uniform campaigns shard", p.Shard.Index, p.Spec.Policy)
+		}
+		if skew := first.Provenance.Skew(p.Provenance); len(skew) > 0 && !force {
+			return nil, fmt.Errorf("campaign: merge: shard %d build provenance skew (%s); pass -force to merge anyway", p.Shard.Index, strings.Join(skew, "; "))
+		}
+	}
+
+	m := &Summary{
+		Schema: SchemaName, SchemaVersion: SchemaVersion,
+		Spec:       first.Spec,
+		Provenance: first.Provenance,
+	}
+	// Workers describes one machine's pool; a merged artifact has no single
+	// meaningful value. Canonical zeroes it anyway.
+	m.Spec.Workers = 0
+	var obsAcc ObsSummary
+	haveObs := false
+	for _, p := range sorted {
+		m.WallNS += p.WallNS
+		m.GC.AllocBytes += p.GC.AllocBytes
+		m.GC.Mallocs += p.GC.Mallocs
+		m.GC.NumGC += p.GC.NumGC
+		m.GC.PauseTotalNS += p.GC.PauseTotalNS
+		m.CheckpointErrors += p.CheckpointErrors
+		if p.Obs != nil {
+			haveObs = true
+			obsAcc.EventsEmitted += p.Obs.EventsEmitted
+			obsAcc.EventsDropped += p.Obs.EventsDropped
+		}
+	}
+	if haveObs {
+		m.Obs = &obsAcc
+	}
+
+	cellOrder := cellOrderOf(first.Spec)
+	for t := range first.Tools {
+		var partTools []*ToolSummary
+		for _, p := range sorted {
+			if t >= len(p.Tools) || p.Tools[t].Tool != first.Tools[t].Tool {
+				return nil, fmt.Errorf("campaign: merge: tool matrix mismatch at %q (digest collision?)", first.Tools[t].Tool)
+			}
+			partTools = append(partTools, &p.Tools[t])
+		}
+		ts, err := mergeToolSummaries(first.Spec, cellOrder, partTools)
+		if err != nil {
+			return nil, err
+		}
+		m.Tools = append(m.Tools, *ts)
+	}
+	return m, nil
+}
+
+// cellOrderOf maps a program name to its matrix position — benchmarks first,
+// then litmus tests — the order every capped sample list is built in.
+func cellOrderOf(info SpecInfo) map[string]int {
+	order := map[string]int{}
+	for i, b := range info.Benchmarks {
+		order[b] = i
+	}
+	for i, l := range info.Litmus {
+		order["litmus/"+l] = len(info.Benchmarks) + i
+	}
+	return order
+}
+
+func cellRank(order map[string]int, program string, litmus bool) int {
+	if litmus {
+		return order["litmus/"+program]
+	}
+	return order[program]
+}
+
+func mergeToolSummaries(info SpecInfo, order map[string]int, parts []*ToolSummary) (*ToolSummary, error) {
+	first := parts[0]
+	ts := &ToolSummary{Tool: first.Tool, Races: []harness.RaceSummary{}}
+	for _, p := range parts {
+		ts.Execs += p.Execs
+		ts.WorkNS += p.WorkNS
+		ts.AtomicOps += p.AtomicOps
+		ts.NormalOps += p.NormalOps
+		ts.Perf.AllocBytes += p.Perf.AllocBytes
+		ts.Perf.AllocObjects += p.Perf.AllocObjects
+		ts.RecordedTraces += p.RecordedTraces
+		ts.RecordErrors += p.RecordErrors
+		ts.EngineFailures += p.EngineFailures
+		ts.Captures += p.Captures
+		ts.CaptureErrors += p.CaptureErrors
+	}
+	ts.ExecsPerSec = harness.ExecsPerSec(ts.Execs, time.Duration(ts.WorkNS))
+	if ts.Execs > 0 {
+		ts.Perf.BytesPerExec = float64(ts.Perf.AllocBytes) / float64(ts.Execs)
+	}
+
+	// Validation: all-or-none across shards (the duty is part of the digest).
+	if first.Validation != nil {
+		val := &ValidationSummary{}
+		type vioSample struct {
+			text string
+			cell int
+			seed int64
+		}
+		var samples []vioSample
+		for _, p := range parts {
+			if p.Validation == nil {
+				return nil, fmt.Errorf("campaign: merge: tool %s has validation results in some shards but not others", first.Tool)
+			}
+			val.Checked += p.Validation.Checked
+			val.Skipped += p.Validation.Skipped
+			val.Violations += p.Validation.Violations
+			for _, s := range p.Validation.Samples {
+				cell, seed, err := parseVioSample(order, first.Tool, s)
+				if err != nil {
+					return nil, err
+				}
+				samples = append(samples, vioSample{text: s, cell: cell, seed: seed})
+			}
+		}
+		sort.Slice(samples, func(i, j int) bool {
+			if samples[i].cell != samples[j].cell {
+				return samples[i].cell < samples[j].cell
+			}
+			return samples[i].seed < samples[j].seed
+		})
+		for _, s := range samples {
+			if len(val.Samples) >= maxViolationSamples {
+				break
+			}
+			val.Samples = append(val.Samples, s.text)
+		}
+		ts.Validation = val
+	}
+
+	// Engine-failure samples: first five by (cell order, seed), reconstructed
+	// from the structured repro triples.
+	var fails []EngineFailure
+	for _, p := range parts {
+		fails = append(fails, p.FailureSamples...)
+	}
+	sort.Slice(fails, func(i, j int) bool {
+		ci := cellRank(order, fails[i].Repro.Program, fails[i].Repro.Litmus)
+		cj := cellRank(order, fails[j].Repro.Program, fails[j].Repro.Litmus)
+		if ci != cj {
+			return ci < cj
+		}
+		return fails[i].Repro.Seed < fails[j].Repro.Seed
+	})
+	for _, f := range fails {
+		if len(ts.FailureSamples) >= maxViolationSamples {
+			break
+		}
+		ts.FailureSamples = append(ts.FailureSamples, f)
+	}
+
+	// Per-cell summaries merge element-wise: the digest pins the matrix, so
+	// every shard has the same cells in the same order.
+	for b := range first.Benchmarks {
+		var cells []*CellSummary
+		for _, p := range parts {
+			cells = append(cells, &p.Benchmarks[b])
+		}
+		ts.Benchmarks = append(ts.Benchmarks, *mergeCells(cells))
+	}
+	for l := range first.Litmus {
+		var cells []*LitmusSummary
+		for _, p := range parts {
+			cells = append(cells, &p.Litmus[l])
+		}
+		ts.Litmus = append(ts.Litmus, *mergeLitmus(cells))
+	}
+
+	ts.Races = mergeRaceSummaries(order, parts, func(p *ToolSummary) []harness.RaceSummary { return p.Races })
+	ts.UnexpectedRaces = mergeRaceSummaries(order, parts, func(p *ToolSummary) []harness.RaceSummary { return p.UnexpectedRaces })
+	if len(ts.UnexpectedRaces) == 0 {
+		ts.UnexpectedRaces = nil
+	}
+	return ts, nil
+}
+
+// mergeRaceSummaries unions the partials' deduplicated races, keeping the
+// earliest winner per key by (cell order, seed) — the same total order the
+// single-machine aggregation uses.
+func mergeRaceSummaries(order map[string]int, parts []*ToolSummary, get func(*ToolSummary) []harness.RaceSummary) []harness.RaceSummary {
+	type winner struct {
+		r    harness.RaceSummary
+		cell int
+	}
+	best := map[string]winner{}
+	for _, p := range parts {
+		for _, r := range get(p) {
+			cand := winner{r: r, cell: cellRank(order, r.Repro.Program, r.Repro.Litmus)}
+			cur, seen := best[r.Key]
+			if !seen || cand.cell < cur.cell ||
+				(cand.cell == cur.cell && cand.r.Repro.Seed < cur.r.Repro.Seed) {
+				best[r.Key] = cand
+			}
+		}
+	}
+	out := []harness.RaceSummary{}
+	for _, key := range harness.SortedKeys(best) {
+		out = append(out, best[key].r)
+	}
+	return out
+}
+
+func mergeGuided(parts []*GuideStats) *GuideStats {
+	var g *GuideStats
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if g == nil {
+			g = &GuideStats{Traces: p.Traces}
+		}
+		g.GuidedExecs += p.GuidedExecs
+		g.Divergences += p.Divergences
+		g.PrefixDepthSum += p.PrefixDepthSum
+		g.ConsumedSum += p.ConsumedSum
+	}
+	if g != nil && g.GuidedExecs > 0 {
+		n := float64(g.GuidedExecs)
+		g.MeanPrefixDepth = float64(g.PrefixDepthSum) / n
+		g.MeanConsumed = float64(g.ConsumedSum) / n
+	}
+	return g
+}
+
+func mergeCells(parts []*CellSummary) *CellSummary {
+	first := parts[0]
+	cell := &CellSummary{Program: first.Program}
+	det := harness.Detection{}
+	var timeWeighted int64
+	keys := map[string]bool{}
+	var guided []*GuideStats
+	for _, p := range parts {
+		det.Runs += p.Detection.Runs
+		det.Detected += p.Detection.Detected
+		det.Ops.Add(capi.OpStats{AtomicOps: p.Detection.AtomicOps, NormalOps: p.Detection.NormalOps})
+		timeWeighted += p.Detection.MeanTimeNS * int64(p.Detection.Runs)
+		for _, k := range p.RaceKeys {
+			keys[k] = true
+		}
+		cell.Failed += p.Failed
+		guided = append(guided, p.Guided)
+		if p.Timing != nil {
+			if cell.Timing == nil {
+				cell.Timing = &obs.HistogramSnapshot{}
+			}
+			cell.Timing.Merge(p.Timing)
+		}
+		for name, h := range p.Phases {
+			if cell.Phases == nil {
+				cell.Phases = map[string]*obs.HistogramSnapshot{}
+			}
+			if cell.Phases[name] == nil {
+				cell.Phases[name] = &obs.HistogramSnapshot{}
+			}
+			cell.Phases[name].Merge(h)
+		}
+	}
+	if det.Runs > 0 {
+		det.Time = time.Duration(timeWeighted / int64(det.Runs))
+	}
+	cell.Detection = det.Summary()
+	cell.RaceKeys = harness.SortedKeys(keys)
+	cell.Guided = mergeGuided(guided)
+	return cell
+}
+
+func mergeLitmus(parts []*LitmusSummary) *LitmusSummary {
+	first := parts[0]
+	ls := &LitmusSummary{
+		Test: first.Test, Outcomes: map[string]int{},
+		WeakSeen: []string{}, WeakDefined: first.WeakDefined,
+	}
+	weak := map[string]bool{}
+	type forb struct {
+		repro harness.Repro
+	}
+	forbidden := map[string]forb{}
+	var guided []*GuideStats
+	for _, p := range parts {
+		ls.Execs += p.Execs
+		ls.Failed += p.Failed
+		for out, n := range p.Outcomes {
+			ls.Outcomes[out] += n
+		}
+		for _, w := range p.WeakSeen {
+			weak[w] = true
+		}
+		for _, f := range p.ForbiddenSeen {
+			if cur, seen := forbidden[f.Outcome]; !seen || f.Repro.Seed < cur.repro.Seed {
+				forbidden[f.Outcome] = forb{repro: f.Repro}
+			}
+		}
+		guided = append(guided, p.Guided)
+		if p.Timing != nil {
+			if ls.Timing == nil {
+				ls.Timing = &obs.HistogramSnapshot{}
+			}
+			ls.Timing.Merge(p.Timing)
+		}
+		for name, h := range p.Phases {
+			if ls.Phases == nil {
+				ls.Phases = map[string]*obs.HistogramSnapshot{}
+			}
+			if ls.Phases[name] == nil {
+				ls.Phases[name] = &obs.HistogramSnapshot{}
+			}
+			ls.Phases[name].Merge(h)
+		}
+	}
+	ls.WeakSeen = harness.SortedKeys(weak)
+	for _, out := range harness.SortedKeys(forbidden) {
+		ls.ForbiddenSeen = append(ls.ForbiddenSeen, ForbiddenOutcome{
+			Test: first.Test, Outcome: out,
+			// Every occurrence of a forbidden outcome lands in its shard's
+			// ForbiddenSeen (forbidden-ness is a pure predicate of the
+			// outcome), so the merged count is the merged outcome count.
+			Count: ls.Outcomes[out],
+			Repro: forbidden[out].repro,
+		})
+	}
+	ls.Guided = mergeGuided(guided)
+	return ls
+}
+
+// parseVioSample recovers the (cell, seed) sort key from a violation sample
+// line ("tool/program seed N: ..."). Samples are rendered by this package, so
+// a parse failure means a corrupt artifact.
+func parseVioSample(order map[string]int, tool, s string) (cell int, seed int64, err error) {
+	rest, ok := strings.CutPrefix(s, tool+"/")
+	if !ok {
+		return 0, 0, fmt.Errorf("campaign: merge: malformed violation sample %q (want %q prefix)", s, tool+"/")
+	}
+	program, rest, ok := strings.Cut(rest, " seed ")
+	if !ok {
+		return 0, 0, fmt.Errorf("campaign: merge: malformed violation sample %q", s)
+	}
+	num, _, ok := strings.Cut(rest, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("campaign: merge: malformed violation sample %q", s)
+	}
+	seed, err = strconv.ParseInt(strings.TrimSpace(num), 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("campaign: merge: malformed violation sample %q: %v", s, err)
+	}
+	// Validation runs on engine cells; litmus programs and benchmarks share
+	// one name space in practice, and benchmarks come first in cell order —
+	// prefer the benchmark slot, fall back to the litmus slot.
+	if c, ok := order[program]; ok {
+		return c, seed, nil
+	}
+	if c, ok := order["litmus/"+program]; ok {
+		return c, seed, nil
+	}
+	return 0, 0, fmt.Errorf("campaign: merge: violation sample names unknown program %q", program)
+}
+
+// MergeManifests folds the shards' capture manifests into one, re-sorted
+// canonically. Shards capture disjoint seed sets, so concatenation is exact.
+func MergeManifests(parts []*obs.Manifest) *obs.Manifest {
+	m := obs.NewManifest()
+	m.Captures = []obs.CaptureRecord{}
+	for _, p := range parts {
+		m.Captures = append(m.Captures, p.Captures...)
+	}
+	m.Sort()
+	return m
+}
+
+// lifecycleEvents are shard-local: their counts describe one process's run
+// (its own wave barriers and campaign bracket), not the campaign outcome, so
+// the canonical merged stream drops them.
+var lifecycleEvents = map[string]bool{
+	"campaign_start": true,
+	"campaign_end":   true,
+	"wave_start":     true,
+	"wave_end":       true,
+}
+
+// CanonicalEvents reads one or more JSONL event streams and returns the
+// canonical unit-level line set: lifecycle events dropped, timestamps
+// stripped, lines re-marshaled through the Event schema and sorted. Two
+// streams that observed the same executions — one machine or K shards, any
+// worker interleaving — canonicalize to identical line sets. bad counts
+// unparseable (torn) lines across all inputs.
+func CanonicalEvents(paths ...string) (lines []string, bad int, err error) {
+	lines = []string{}
+	for _, path := range paths {
+		b, err := safeio.ForEachJSONLine(path, func(line []byte) bool {
+			var ev Event
+			if json.Unmarshal(line, &ev) != nil || ev.Type == "" {
+				return false
+			}
+			if lifecycleEvents[ev.Type] {
+				return true
+			}
+			ev.T = 0
+			// Re-marshal through the struct: field order is fixed by the
+			// type, so equal events render equal bytes.
+			out, err := json.Marshal(ev)
+			if err != nil {
+				return false
+			}
+			lines = append(lines, string(out))
+			return true
+		})
+		bad += b
+		if err != nil {
+			return nil, bad, err
+		}
+	}
+	sort.Strings(lines)
+	return lines, bad, nil
+}
+
+// Schema identifiers of the shard manifest written next to a partial summary.
+const (
+	ShardManifestSchemaName    = "c11tester/shard"
+	ShardManifestSchemaVersion = 1
+)
+
+// ShardManifest describes one shard's slice of a campaign: which shard, cut
+// by which spec (digest + echo), built where, covering which seed ranges,
+// with the partial's event/capture accounting. It makes a directory of
+// partials auditable before merging.
+type ShardManifest struct {
+	Schema        string      `json:"schema"`
+	SchemaVersion int         `json:"schema_version"`
+	Shard         ShardInfo   `json:"shard"`
+	Spec          SpecInfo    `json:"spec"`
+	Provenance    *Provenance `json:"provenance,omitempty"`
+	// SeedRanges are the [lo, hi) seed sub-ranges this shard ran in every
+	// cell (the round-robin deal of the cell's chunk sequence).
+	SeedRanges [][2]int64 `json:"seed_ranges"`
+	// Execs counts completed executions; events/captures mirror the
+	// summary's accounting.
+	Execs         int    `json:"execs"`
+	EventsEmitted uint64 `json:"events_emitted,omitempty"`
+	EventsDropped uint64 `json:"events_dropped,omitempty"`
+	Captures      int    `json:"captures,omitempty"`
+}
+
+// BuildShardManifest renders the manifest of one partial summary.
+func BuildShardManifest(spec Spec, sum *Summary) *ShardManifest {
+	spec = spec.withDefaults()
+	m := &ShardManifest{
+		Schema: ShardManifestSchemaName, SchemaVersion: ShardManifestSchemaVersion,
+		Spec:       sum.Spec,
+		Provenance: sum.Provenance,
+		SeedRanges: [][2]int64{},
+	}
+	if sum.Shard != nil {
+		m.Shard = *sum.Shard
+	}
+	ord := 0
+	for lo := 0; lo < spec.Runs; lo += spec.ShardSize {
+		hi := lo + spec.ShardSize
+		if hi > spec.Runs {
+			hi = spec.Runs
+		}
+		if spec.Shard.Count <= 1 || ord%spec.Shard.Count == spec.Shard.Index {
+			m.SeedRanges = append(m.SeedRanges, [2]int64{spec.SeedBase + int64(lo), spec.SeedBase + int64(hi)})
+		}
+		ord++
+	}
+	for _, ts := range sum.Tools {
+		m.Execs += ts.Execs
+		m.Captures += ts.Captures
+	}
+	if sum.Obs != nil {
+		m.EventsEmitted = sum.Obs.EventsEmitted
+		m.EventsDropped = sum.Obs.EventsDropped
+	}
+	return m
+}
+
+// WriteFile persists the shard manifest atomically.
+func (m *ShardManifest) WriteFile(path string) error {
+	return safeio.WriteJSONAtomic(path, m, 0o644)
+}

@@ -8,11 +8,9 @@
 package campaign
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"sort"
 	"time"
@@ -20,32 +18,26 @@ import (
 	"c11tester/internal/core"
 	"c11tester/internal/harness"
 	"c11tester/internal/obs"
+	"c11tester/internal/safeio"
 )
 
-// ReadEvents reads a JSONL event stream appended by -events. Unparseable
-// lines are counted, not fatal: an interrupted campaign may leave a torn
-// final line, and the report should still render the rest.
+// ReadEvents reads a JSONL event stream appended by -events, through the
+// shared lenient reader (safeio.ForEachJSONLine). Unparseable lines are
+// counted, not fatal: an interrupted campaign may leave a torn final line,
+// and the report should still render the rest.
 func ReadEvents(path string) (events []Event, bad int, err error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, 0, err
-	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
+	bad, err = safeio.ForEachJSONLine(path, func(line []byte) bool {
 		var ev Event
 		if json.Unmarshal(line, &ev) != nil || ev.Type == "" {
-			bad++
-			continue
+			return false
 		}
 		events = append(events, ev)
+		return true
+	})
+	if err != nil {
+		return nil, bad, err
 	}
-	return events, bad, sc.Err()
+	return events, bad, nil
 }
 
 // ReportOptions configures WriteReport.

@@ -3,12 +3,12 @@ package campaign
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"time"
 
 	"c11tester/internal/capi"
 	"c11tester/internal/harness"
 	"c11tester/internal/obs"
+	"c11tester/internal/safeio"
 )
 
 // Schema identifiers of the serialized campaign summary. Bump SchemaVersion
@@ -35,9 +35,16 @@ import (
 // campaign duties), per-tool flight-recorder capture counts
 // ("captures"/"capture_errors" with the capture spec echo), and the build
 // provenance header ("provenance"). Compare warns on provenance skew.
+//
+// v6: crash-safe campaigns — the shard header of a partial run ("shard":
+// index/count plus the spec digest cmd/c11merge validates), the
+// checkpoint-write failure count ("checkpoint_errors"), and exact
+// guided-exploration sums ("prefix_depth_sum"/"consumed_sum" next to the v3
+// means) so merged partials reproduce the single-machine statistics without
+// floating-point drift.
 const (
 	SchemaName    = "c11tester/campaign"
-	SchemaVersion = 5
+	SchemaVersion = 6
 )
 
 // SpecInfo echoes the campaign parameters into the summary, making every
@@ -89,6 +96,11 @@ type GuideStats struct {
 	MeanPrefixDepth float64 `json:"mean_prefix_depth"`
 	MeanConsumed    float64 `json:"mean_consumed"`
 	Divergences     int     `json:"divergences"`
+	// PrefixDepthSum and ConsumedSum are the raw sums behind the means
+	// (schema v6): merging shard partials recomputes exact means from summed
+	// integers instead of averaging averages.
+	PrefixDepthSum int64 `json:"prefix_depth_sum,omitempty"`
+	ConsumedSum    int64 `json:"consumed_sum,omitempty"`
 }
 
 // EngineFailure is one sampled execution the tool itself aborted (schema
@@ -263,6 +275,14 @@ type Summary struct {
 	// Provenance identifies the build that produced the artifact (schema v5).
 	Provenance *Provenance   `json:"provenance,omitempty"`
 	Tools      []ToolSummary `json:"tools"`
+	// Shard marks a partial artifact from a sharded run (schema v6): this is
+	// shard Index of Count, cut by the spec with the given digest. Absent on
+	// whole-campaign artifacts, including merged ones.
+	Shard *ShardInfo `json:"shard,omitempty"`
+	// CheckpointErrors counts checkpoint writes that failed (schema v6).
+	// The campaign still completes — a failed checkpoint costs the resume
+	// point, not the results — but the loss is never silent.
+	CheckpointErrors int `json:"checkpoint_errors,omitempty"`
 }
 
 // cellAcc accumulates the fragments of one cell.
@@ -434,7 +454,8 @@ func aggregate(spec Spec, jobs []job, frags []fragment, budgets map[cellKey]*Bud
 				repro := harness.Repro{Tool: toolSpec.Name, Program: program,
 					Seed: spec.SeedBase + int64(hit.run), Litmus: inLitmus,
 					Flags: toolSpec.ReproFlags}
-				cand := toolRace{summary: harness.NewRaceSummary(hit.report, repro),
+				cand := toolRace{summary: harness.RaceSummary{Key: key,
+					Description: hit.desc, Repro: repro},
 					cell: cellIdx, run: hit.run}
 				if cur, seen := dst[key]; !seen ||
 					cand.cell < cur.cell || (cand.cell == cur.cell && cand.run < cur.run) {
@@ -578,6 +599,8 @@ func guideStatsOf(spec Spec, tool, program string, acc *cellAcc) *GuideStats {
 		MeanPrefixDepth: float64(acc.prefixDepth) / n,
 		MeanConsumed:    float64(acc.prefixConsumed) / n,
 		Divergences:     acc.divergences,
+		PrefixDepthSum:  acc.prefixDepth,
+		ConsumedSum:     acc.prefixConsumed,
 	}
 }
 
@@ -799,11 +822,61 @@ func (s *Summary) String() string {
 	return out
 }
 
-// WriteJSON writes the indented artifact file (BENCH_campaign.json).
+// WriteJSON writes the indented artifact file (BENCH_campaign.json)
+// atomically: readers never observe a torn summary, even if the writer is
+// killed mid-write.
 func (s *Summary) WriteJSON(path string) error {
-	data, err := json.MarshalIndent(s, "", "  ")
+	return safeio.WriteJSONAtomic(path, s, 0o644)
+}
+
+// Canonical returns a deep copy with every wall-clock-derived measurement
+// zeroed, leaving only model outcomes. This is the form in which the
+// package's byte-identity guarantees hold: workers=1 vs workers=K, merged
+// shard partials vs the single-machine run, and a SIGKILL-then-resume run vs
+// an uninterrupted one all marshal to identical bytes after Canonical.
+// Zeroed: wall clock, GC and allocation counters, per-cell mean times and
+// timing/phase histograms, per-tool work time and throughput, event-stream
+// accounting, and the run-shape echoes (Workers, artifact directories) plus
+// the shard header, checkpoint accounting, and build provenance (`go run`
+// and `go build` of the same tree stamp different VCS metadata, and the
+// guarantee must hold across binaries; skew is surfaced by Compare and
+// refused by MergeSummaries instead). Kept: everything the model produced —
+// detections, races, outcomes, budgets, guide sums, validation.
+func (s *Summary) Canonical() *Summary {
+	data, err := json.Marshal(s)
 	if err != nil {
-		return err
+		panic(fmt.Sprintf("campaign: canonicalize: %v", err))
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	var c Summary
+	if err := json.Unmarshal(data, &c); err != nil {
+		panic(fmt.Sprintf("campaign: canonicalize: %v", err))
+	}
+	c.WallNS = 0
+	c.GC = GCSummary{}
+	c.Obs = nil
+	c.Shard = nil
+	c.CheckpointErrors = 0
+	c.Provenance = nil
+	c.Spec.Workers = 0
+	c.Spec.RecordDir = ""
+	c.Spec.CaptureDir = ""
+	c.Spec.GuideDir = ""
+	for t := range c.Tools {
+		ts := &c.Tools[t]
+		ts.WorkNS = 0
+		ts.ExecsPerSec = 0
+		ts.Perf = ToolPerf{}
+		for b := range ts.Benchmarks {
+			cell := &ts.Benchmarks[b]
+			cell.Detection.MeanTimeNS = 0
+			cell.Timing = nil
+			cell.Phases = nil
+		}
+		for l := range ts.Litmus {
+			ls := &ts.Litmus[l]
+			ls.Timing = nil
+			ls.Phases = nil
+		}
+	}
+	return &c
 }

@@ -176,6 +176,15 @@ func (t *Telemetry) EventsDropped() uint64 {
 	return t.stream.Dropped()
 }
 
+// syncEvents flushes every queued event line through to the sink. Checkpoint
+// writes call it so a persisted barrier never references events still in the
+// drainer's buffer.
+func (t *Telemetry) syncEvents() {
+	if t.stream != nil {
+		_ = t.stream.Sync()
+	}
+}
+
 // bind registers the per-cell metric handles for spec's matrix. Run calls it
 // once; binding a Telemetry to a second campaign is a programming error.
 func (t *Telemetry) bind(spec Spec) {
@@ -215,7 +224,24 @@ func (t *Telemetry) bind(spec Spec) {
 			t.litMet[i][l] = newCell(tool.Name, test.Name)
 		}
 	}
-	t.execsPlanned = spec.Runs * len(spec.Tools) * (len(spec.Benchmarks) + len(spec.Litmus))
+	cellExecs := spec.Runs
+	if spec.Shard.Count > 1 {
+		// A sharded run only plans its round-robin share of each cell's chunk
+		// sequence (every cell deals identically, so one cell's share scales).
+		cellExecs = 0
+		ord := 0
+		for lo := 0; lo < spec.Runs; lo += spec.ShardSize {
+			hi := lo + spec.ShardSize
+			if hi > spec.Runs {
+				hi = spec.Runs
+			}
+			if ord%spec.Shard.Count == spec.Shard.Index {
+				cellExecs += hi - lo
+			}
+			ord++
+		}
+	}
+	t.execsPlanned = cellExecs * len(spec.Tools) * (len(spec.Benchmarks) + len(spec.Litmus))
 	t.plannedG.Set(int64(t.execsPlanned))
 	// Aim for ~10 periodic progress lines on uniform campaigns; wave
 	// barriers print their own lines either way.
@@ -342,7 +368,7 @@ func (t *Telemetry) unitDone(wave int, j job, frag *fragment) {
 		hit := frag.races[key]
 		t.emit(Event{Type: "race_first_seen", Wave: wave,
 			Tool: toolSpec.Name, Program: program, Litmus: litmus,
-			Key: key, Desc: hit.report.String(),
+			Key: key, Desc: hit.desc,
 			Seed: t.spec.SeedBase + int64(hit.run), Repro: repro(hit.run)})
 	}
 	for _, out := range harness.SortedKeys(frag.forbidden) {

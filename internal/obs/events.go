@@ -24,7 +24,7 @@ const EventSchemaVersion = 1
 // of-work boundaries, never inside the per-execution hot path) and written
 // by the drainer, so writer latency never stalls workers.
 type Stream struct {
-	ch      chan []byte
+	ch      chan streamItem
 	done    chan struct{}
 	w       *bufio.Writer
 	echo    io.Writer
@@ -33,7 +33,31 @@ type Stream struct {
 
 	mu     sync.Mutex
 	closed bool
-	err    error
+
+	errMu sync.Mutex
+	err   error // first write/flush error, guarded by errMu
+}
+
+func (s *Stream) setErr(err error) {
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
+}
+
+func (s *Stream) firstErr() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+// streamItem is one drainer message: an event line, or (when flush is
+// non-nil) a Sync barrier the drainer acknowledges by flushing the buffered
+// writer and closing flush.
+type streamItem struct {
+	line  []byte
+	flush chan struct{}
 }
 
 // DefaultStreamDepth is the bounded channel depth of NewStream.
@@ -47,7 +71,7 @@ func NewStream(w io.Writer, echo io.Writer, depth int) *Stream {
 		depth = DefaultStreamDepth
 	}
 	s := &Stream{
-		ch:   make(chan []byte, depth),
+		ch:   make(chan streamItem, depth),
 		done: make(chan struct{}),
 		w:    bufio.NewWriter(w),
 		echo: echo,
@@ -58,16 +82,23 @@ func NewStream(w io.Writer, echo io.Writer, depth int) *Stream {
 
 func (s *Stream) drain() {
 	defer close(s.done)
-	for line := range s.ch {
-		if _, err := s.w.Write(line); err != nil && s.err == nil {
-			s.err = err
+	for item := range s.ch {
+		if item.flush != nil {
+			if err := s.w.Flush(); err != nil {
+				s.setErr(err)
+			}
+			close(item.flush)
+			continue
+		}
+		if _, err := s.w.Write(item.line); err != nil {
+			s.setErr(err)
 		}
 		if s.echo != nil {
-			_, _ = s.echo.Write(line)
+			_, _ = s.echo.Write(item.line)
 		}
 	}
-	if err := s.w.Flush(); err != nil && s.err == nil {
-		s.err = err
+	if err := s.w.Flush(); err != nil {
+		s.setErr(err)
 	}
 }
 
@@ -88,12 +119,32 @@ func (s *Stream) Emit(ev any) {
 	}
 	line = append(line, '\n')
 	select {
-	case s.ch <- line:
+	case s.ch <- streamItem{line: line}:
 		s.emitted.Add(1)
 	default:
 		s.dropped.Add(1)
 	}
 	s.mu.Unlock()
+}
+
+// Sync blocks until everything emitted before the call has been handed to the
+// underlying writer and the buffered writer flushed. Checkpoint writers call
+// it before persisting event-stream cursors so a checkpoint never references
+// lines still sitting in the drainer's buffer. Sync on a closed stream is a
+// no-op returning the stream's first write error.
+func (s *Stream) Sync() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return s.firstErr()
+	}
+	marker := make(chan struct{})
+	// Blocking send is safe under mu: the drainer always consumes, and Close
+	// (which also takes mu) cannot close the channel while we hold it.
+	s.ch <- streamItem{flush: marker}
+	s.mu.Unlock()
+	<-marker
+	return s.firstErr()
 }
 
 // Emitted returns the number of events successfully queued.
@@ -111,11 +162,11 @@ func (s *Stream) Close() error {
 	if s.closed {
 		s.mu.Unlock()
 		<-s.done
-		return s.err
+		return s.firstErr()
 	}
 	s.closed = true
 	close(s.ch)
 	s.mu.Unlock()
 	<-s.done
-	return s.err
+	return s.firstErr()
 }

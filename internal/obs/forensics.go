@@ -14,10 +14,10 @@
 package obs
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"sort"
+
+	"c11tester/internal/safeio"
 )
 
 // Trigger identifies why the flight recorder nominated an execution for
@@ -276,25 +276,20 @@ func (m *Manifest) Sort() {
 	})
 }
 
-// WriteFile writes the manifest as indented JSON, sorted canonically.
+// WriteFile writes the manifest as indented JSON, sorted canonically. The
+// write is atomic (temp + rename) so a crash mid-campaign never leaves a torn
+// manifest next to valid captures.
 func (m *Manifest) WriteFile(path string) error {
 	m.Sort()
-	data, err := json.MarshalIndent(m, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return safeio.WriteJSONAtomic(path, m, 0o644)
 }
 
-// ReadManifest loads a capture manifest.
+// ReadManifest loads a capture manifest. Truncated or corrupt files come back
+// as a *safeio.DecodeError naming the byte offset.
 func ReadManifest(path string) (*Manifest, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
 	var m Manifest
-	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, fmt.Errorf("obs: parse %s: %w", path, err)
+	if err := safeio.DecodeJSONFile(path, &m); err != nil {
+		return nil, err
 	}
 	if m.Schema != ManifestSchemaName {
 		return nil, fmt.Errorf("obs: %s: schema %q, want %q", path, m.Schema, ManifestSchemaName)

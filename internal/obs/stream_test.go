@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestStreamEmitWhileCloseRace hammers Emit from many goroutines while Close
+// runs concurrently (run under -race): no send-on-closed-channel panic, and
+// the accounting must be exact — every event is either written to the sink or
+// counted in Dropped, never lost silently.
+func TestStreamEmitWhileCloseRace(t *testing.T) {
+	type ev struct {
+		Type string `json:"type"`
+		N    int    `json:"n"`
+	}
+	for round := 0; round < 50; round++ {
+		var buf bytes.Buffer
+		s := NewStream(&buf, nil, 4) // tiny depth: force the drop path too
+
+		const emitters, perEmitter = 8, 20
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < emitters; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < perEmitter; i++ {
+					s.Emit(ev{Type: "unit", N: g*perEmitter + i})
+				}
+			}(g)
+		}
+		closed := make(chan error, 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			closed <- s.Close()
+		}()
+		close(start)
+		wg.Wait()
+		if err := <-closed; err != nil {
+			t.Fatal(err)
+		}
+		// Emits that land after Close are silently refused by contract; the
+		// ones accepted must all reach the sink.
+		written := 0
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if line != "" {
+				written++
+			}
+		}
+		if uint64(written) != s.Emitted() {
+			t.Fatalf("round %d: %d line(s) written, %d emitted — events lost between queue and sink",
+				round, written, s.Emitted())
+		}
+		if s.Emitted()+s.Dropped() > emitters*perEmitter {
+			t.Fatalf("round %d: emitted %d + dropped %d > %d sent",
+				round, s.Emitted(), s.Dropped(), emitters*perEmitter)
+		}
+	}
+}
+
+// TestStreamSyncFlushes pins Sync's barrier contract: after Sync returns,
+// every prior emit is in the underlying writer, not the drainer's buffer.
+func TestStreamSyncFlushes(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewStream(&buf, nil, 64)
+	for i := 0; i < 10; i++ {
+		s.Emit(map[string]int{"n": i})
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 10 {
+		t.Fatalf("after Sync the sink holds %d line(s), want 10", got)
+	}
+	// Sync is repeatable and still works interleaved with more emits.
+	s.Emit(map[string]int{"n": 10})
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 11 {
+		t.Fatalf("after second Sync the sink holds %d line(s), want 11", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Sync on a closed stream is a no-op, not a deadlock.
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// errWriter fails every write after the first n bytes worth of calls.
+type errWriter struct{ failAfter int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.failAfter <= 0 {
+		return 0, errors.New("sink failed")
+	}
+	w.failAfter--
+	return len(p), nil
+}
+
+// TestStreamSyncSurfacesWriteError pins that a sink failure comes back from
+// Sync (and Close), not just silently recorded.
+func TestStreamSyncSurfacesWriteError(t *testing.T) {
+	s := NewStream(&errWriter{failAfter: 0}, nil, 4)
+	// Overflow the bufio buffer so the flush actually hits the sink.
+	big := strings.Repeat("x", 100_000)
+	s.Emit(map[string]string{"pad": big})
+	if err := s.Sync(); err == nil {
+		t.Error("Sync returned nil after sink failure")
+	}
+	if err := s.Close(); err == nil {
+		t.Error("Close returned nil after sink failure")
+	}
+}
+
+// TestStreamConcurrentSyncAndEmit runs Sync, Emit, and Close concurrently
+// under -race to pin the lock discipline (Sync's blocking send under mu must
+// not deadlock against the drainer).
+func TestStreamConcurrentSyncAndEmit(t *testing.T) {
+	s := NewStream(io.Discard, nil, 2)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Emit(map[string]int{"n": i})
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = s.Sync()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -20,13 +20,13 @@ package trace
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"sort"
 
 	"c11tester/internal/axiom"
 	"c11tester/internal/capi"
 	"c11tester/internal/core"
 	"c11tester/internal/memmodel"
+	"c11tester/internal/safeio"
 )
 
 // Schema identifiers of the serialized trace. Bump SchemaVersion on any
@@ -293,24 +293,23 @@ func (tr *Trace) Validate() ([]axiom.Violation, error) {
 	return axiom.Check(ex), nil
 }
 
-// WriteFile serializes the trace to path as indented JSON.
+// WriteFile serializes the trace to path as indented JSON. The write is
+// atomic (temp + rename): a run SIGKILLed mid-capture leaves no torn trace
+// for replay tooling to choke on.
 func (tr *Trace) WriteFile(path string) error {
 	data, err := json.MarshalIndent(tr, "", " ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return safeio.WriteFileAtomic(path, append(data, '\n'), 0o644)
 }
 
-// ReadFile loads and sanity-checks a serialized trace.
+// ReadFile loads and sanity-checks a serialized trace. Truncated or corrupt
+// files come back as a *safeio.DecodeError naming the byte offset.
 func ReadFile(path string) (*Trace, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
 	var tr Trace
-	if err := json.Unmarshal(data, &tr); err != nil {
-		return nil, fmt.Errorf("trace: %s: %v", path, err)
+	if err := safeio.DecodeJSONFile(path, &tr); err != nil {
+		return nil, err
 	}
 	if tr.Schema != SchemaName {
 		return nil, fmt.Errorf("trace: %s: schema %q, want %q", path, tr.Schema, SchemaName)
