@@ -25,6 +25,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"c11tester/internal/analysis"
 	"c11tester/internal/campaign"
 	"c11tester/internal/litmus"
 	"c11tester/internal/structures"
@@ -38,34 +39,35 @@ func run(args []string, out *os.File) int {
 	fs := flag.NewFlagSet("c11tester", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		tools    = fs.String("tools", strings.Join(campaign.StandardToolNames(), ","), "comma-separated tools to run")
-		bench    = fs.String("bench", "all", "comma-separated benchmarks, 'all', or 'none'")
-		lit      = fs.String("litmus", "all", "comma-separated litmus tests, 'all', or 'none'")
-		runs     = fs.Int("runs", 100, "executions per (tool, program) cell")
-		workers  = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		shardSz  = fs.Int("shard-size", 0, "executions per work chunk (0 = default)")
-		seed     = fs.Int64("seed", 1, "seed base; execution i runs with seed+i")
-		prune    = fs.String("prune", "off", "c11tester prune mode: off, conservative, or aggressive")
-		sched    = fs.String("sched", "random", "c11tester scheduler strategy: random or quantum")
-		quantum  = fs.Int("quantum", 0, "mean scheduling quantum for quantum strategies (0 = default)")
-		maxSteps = fs.Uint64("max-steps", 0, "per-execution visible-operation cap (0 = default)")
-		faithful = fs.Bool("faithful-handoff", false, "run tsan11rec on kernel-thread handoff (Figure 14 regime)")
-		jsonPath = fs.String("json", "BENCH_campaign.json", "campaign artifact path ('' disables)")
-		policy   = fs.String("policy", "uniform", "per-cell budget policy: uniform, or converge (stop a cell early once its statistics stabilize and reassign the freed budget)")
-		minExecs = fs.Int("min-execs", 0, "converge policy: executions per cell before convergence may be declared (0 = default)")
-		window   = fs.Int("window", 0, "converge policy: trailing window size of the convergence test (0 = default)")
-		epsilon  = fs.Float64("epsilon", 0, "converge policy: max detection-rate/outcome-histogram movement the window may cause (0 = default)")
-		guide    = fs.String("guide", "", "directory of recorded traces for trace-guided exploration: matching cells replay a schedule prefix before exploring live ('' disables)")
-		guideMin = fs.Float64("guide-min", 0, "guided prefix depth lower bound, as a fraction of the recorded schedule (0 = default)")
-		guideMax = fs.Float64("guide-max", 0, "guided prefix depth upper bound, as a fraction of the recorded schedule (0 = default)")
-		record   = fs.String("record", "", "directory to persist portable traces of racy/forbidden executions ('' disables)")
-		recAll   = fs.Bool("record-all", false, "with -record, persist a trace for every execution")
-		validate = fs.Bool("validate", false, "axiom-check every explored execution against the Appendix A model")
-		compare  = fs.String("compare", "", "diff two campaign artifacts: -compare old.json new.json (or old.json,new.json)")
-		quiet    = fs.Bool("q", false, "suppress the human-readable report")
-		list     = fs.Bool("list", false, "list selectable tools, benchmarks, and litmus tests")
-		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file")
-		memProf  = fs.String("memprofile", "", "write a pprof heap profile taken after the campaign to this file")
+		tools     = fs.String("tools", strings.Join(campaign.StandardToolNames(), ","), "comma-separated tools to run")
+		bench     = fs.String("bench", "all", "comma-separated benchmarks, 'all', or 'none'")
+		lit       = fs.String("litmus", "all", "comma-separated litmus tests, 'all', or 'none'")
+		runs      = fs.Int("runs", 100, "executions per (tool, program) cell")
+		workers   = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		shardSz   = fs.Int("shard-size", 0, "executions per work chunk (0 = default)")
+		seed      = fs.Int64("seed", 1, "seed base; execution i runs with seed+i")
+		prune     = fs.String("prune", "off", "c11tester prune mode: off, conservative, or aggressive")
+		sched     = fs.String("sched", "random", "c11tester scheduler strategy: random or quantum")
+		quantum   = fs.Int("quantum", 0, "mean scheduling quantum for quantum strategies (0 = default)")
+		maxSteps  = fs.Uint64("max-steps", 0, "per-execution visible-operation cap (0 = default)")
+		faithful  = fs.Bool("faithful-handoff", false, "run tsan11rec on kernel-thread handoff (Figure 14 regime)")
+		jsonPath  = fs.String("json", "BENCH_campaign.json", "campaign artifact path ('' disables)")
+		policy    = fs.String("policy", "uniform", "per-cell budget policy: uniform, or converge (stop a cell early once its statistics stabilize and reassign the freed budget)")
+		minExecs  = fs.Int("min-execs", 0, "converge policy: executions per cell before convergence may be declared (0 = default)")
+		window    = fs.Int("window", 0, "converge policy: trailing window size of the convergence test (0 = default)")
+		epsilon   = fs.Float64("epsilon", 0, "converge policy: max detection-rate/outcome-histogram movement the window may cause (0 = default)")
+		guide     = fs.String("guide", "", "directory of recorded traces for trace-guided exploration: matching cells replay a schedule prefix before exploring live ('' disables)")
+		guideMin  = fs.Float64("guide-min", 0, "guided prefix depth lower bound, as a fraction of the recorded schedule (0 = default)")
+		guideMax  = fs.Float64("guide-max", 0, "guided prefix depth upper bound, as a fraction of the recorded schedule (0 = default)")
+		record    = fs.String("record", "", "directory to persist portable traces of racy/forbidden executions ('' disables)")
+		recAll    = fs.Bool("record-all", false, "with -record, persist a trace for every execution")
+		validate  = fs.Bool("validate", false, "axiom-check every explored execution against the Appendix A model")
+		analyzers = fs.String("analyzers", "", "comma-separated execution analyzers to run per cell, 'all', or 'none' (see -list)")
+		compare   = fs.String("compare", "", "diff two campaign artifacts: -compare old.json new.json (or old.json,new.json)")
+		quiet     = fs.Bool("q", false, "suppress the human-readable report")
+		list      = fs.Bool("list", false, "list selectable tools, benchmarks, and litmus tests")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file")
+		memProf   = fs.String("memprofile", "", "write a pprof heap profile taken after the campaign to this file")
 	)
 	var tflags campaign.TelemetryFlags
 	tflags.Register(fs)
@@ -82,6 +84,7 @@ func run(args []string, out *os.File) int {
 		fmt.Fprintf(out, "tools:      %s\n", strings.Join(campaign.StandardToolNames(), " "))
 		fmt.Fprintf(out, "benchmarks: %s\n", strings.Join(structures.Names(), " "))
 		fmt.Fprintf(out, "litmus:     %s\n", strings.Join(litmus.Names(), " "))
+		fmt.Fprintf(out, "analyzers:  %s\n", strings.Join(analysis.Names(), " "))
 		return 0
 	}
 
@@ -116,6 +119,7 @@ func run(args []string, out *os.File) int {
 		GuideMinFrac: *guideMin, GuideMaxFrac: *guideMax,
 		RecordDir: *record, RecordAll: *recAll,
 		ValidateAxioms: *validate,
+		Analyzers:      campaign.ParseAnalyzers(*analyzers),
 	}
 	if *guide != "" {
 		guides, err := campaign.LoadGuides(*guide)

@@ -29,17 +29,18 @@ func run(args []string, out *os.File) int {
 	fs := flag.NewFlagSet("litmus", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		tools    = fs.String("tools", strings.Join(campaign.StandardToolNames(), ","), "comma-separated tools to run")
-		tests    = fs.String("tests", "all", "comma-separated litmus tests or 'all'")
-		runs     = fs.Int("runs", 300, "executions per (tool, test) cell")
-		workers  = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		seed     = fs.Int64("seed", 1, "seed base; execution i runs with seed+i")
-		policy   = fs.String("policy", "uniform", "per-cell budget policy: uniform or converge")
-		minExecs = fs.Int("min-execs", 0, "converge policy: executions per cell before convergence may be declared (0 = default)")
-		window   = fs.Int("window", 0, "converge policy: trailing window size (0 = default)")
-		epsilon  = fs.Float64("epsilon", 0, "converge policy: max statistic movement per window (0 = default)")
-		quiet    = fs.Bool("q", false, "suppress progress lines on stderr")
-		list     = fs.Bool("list", false, "list the litmus suite and exit")
+		tools     = fs.String("tools", strings.Join(campaign.StandardToolNames(), ","), "comma-separated tools to run")
+		tests     = fs.String("tests", "all", "comma-separated litmus tests or 'all'")
+		runs      = fs.Int("runs", 300, "executions per (tool, test) cell")
+		workers   = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		seed      = fs.Int64("seed", 1, "seed base; execution i runs with seed+i")
+		policy    = fs.String("policy", "uniform", "per-cell budget policy: uniform or converge")
+		analyzers = fs.String("analyzers", "", "comma-separated execution analyzers to run per cell, 'all', or 'none'")
+		minExecs  = fs.Int("min-execs", 0, "converge policy: executions per cell before convergence may be declared (0 = default)")
+		window    = fs.Int("window", 0, "converge policy: trailing window size (0 = default)")
+		epsilon   = fs.Float64("epsilon", 0, "converge policy: max statistic movement per window (0 = default)")
+		quiet     = fs.Bool("q", false, "suppress progress lines on stderr")
+		list      = fs.Bool("list", false, "list the litmus suite and exit")
 	)
 	var tflags campaign.TelemetryFlags
 	tflags.Register(fs)
@@ -61,7 +62,8 @@ func run(args []string, out *os.File) int {
 		fmt.Fprintln(os.Stderr, "litmus:", err)
 		return 1
 	}
-	spec := campaign.Spec{Runs: *runs, SeedBase: *seed, Workers: *workers, Policy: pol}
+	spec := campaign.Spec{Runs: *runs, SeedBase: *seed, Workers: *workers, Policy: pol,
+		Analyzers: campaign.ParseAnalyzers(*analyzers)}
 	for _, name := range campaign.SplitList(*tools) {
 		ts, err := campaign.StandardTool(name, campaign.ToolOptions{})
 		if err != nil {
@@ -133,6 +135,12 @@ func run(args []string, out *os.File) int {
 		}
 	}
 
+	for _, ts := range sum.Tools {
+		for _, f := range ts.Findings {
+			fmt.Fprintf(out, "FINDING [%s] %s: %s (×%d)\n  repro: %s\n",
+				f.Analyzer, f.Program, f.Description, f.Count, f.Repro.Command())
+		}
+	}
 	for _, f := range sum.Forbidden() {
 		fmt.Fprintf(out, "FORBIDDEN OUTCOME: %s %s=%q ×%d\n  repro: %s\n",
 			f.Repro.Tool, f.Test, f.Outcome, f.Count, f.Repro.Command())

@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestBuiltinsRegistered(t *testing.T) {
+	want := []string{"atomicity", "sc-robustness"}
+	got := Names()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Errorf("Names() not sorted: %v", got)
+	}
+	for _, name := range want {
+		a, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if a.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, a.Name())
+		}
+		if !a.NeedsTrace() {
+			t.Errorf("%s: both built-ins read the action trace", name)
+		}
+	}
+	// Only sc-robustness needs a concrete modification order; atomicity runs
+	// on baseline tools too.
+	if a, _ := New("sc-robustness"); !a.NeedsMO() {
+		t.Error("sc-robustness must require a modification order")
+	}
+	if a, _ := New("atomicity"); a.NeedsMO() {
+		t.Error("atomicity must not require a modification order")
+	}
+}
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := New("nope"); err == nil {
+		t.Fatal("New(nope) succeeded")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register("sc-robustness", func() Analyzer { return nil })
+}

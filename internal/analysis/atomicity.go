@@ -1,0 +1,179 @@
+// atomicity.go is the conflict-serializability atomicity monitor (after
+// Tunç et al., "Fast Atomicity Monitoring"): programs bracket intended-
+// atomic code with Env.BeginAtomic/EndAtomic, and the analyzer checks each
+// execution's conflict graph — block instances plus singleton transactions
+// for unbracketed accesses, with an edge for every trace-ordered conflicting
+// access pair — for acyclicity. A cycle certifies the execution is not
+// conflict-serializable: no serial order of the marked blocks explains the
+// observed interleaving, i.e. an atomicity violation was actually exercised.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"c11tester/internal/capi"
+	"c11tester/internal/core"
+	"c11tester/internal/memmodel"
+)
+
+func init() {
+	Register("atomicity", func() Analyzer { return &atomicity{} })
+}
+
+type atomicity struct{}
+
+func (*atomicity) Name() string     { return "atomicity" }
+func (*atomicity) NeedsTrace() bool { return true }
+func (*atomicity) NeedsMO() bool    { return false }
+
+// Observe builds the execution's transaction conflict graph and reports one
+// finding per marked block on the first cycle found. Programs without block
+// annotations produce no transactions and therefore no findings.
+func (*atomicity) Observe(x *Exec) []Finding {
+	blocks := x.Result.Blocks
+	if len(blocks) == 0 || x.Engine == nil {
+		return nil
+	}
+	tr := x.Engine.Trace()
+
+	// Transactions: node b < len(blocks) is block instance b; every shared-
+	// memory access outside any block is its own singleton transaction.
+	// Singleton-to-singleton edges follow trace order (acyclic on their
+	// own), so any conflict-graph cycle passes through at least one block.
+	nodes := len(blocks)
+	type access struct {
+		txn   int
+		write bool
+	}
+	byLoc := map[memmodel.LocID][]access{}
+	var locs []memmodel.LocID
+	for _, a := range tr {
+		if a.Loc == memmodel.NoLoc || (!a.Kind.IsRead() && !a.Kind.IsWrite()) {
+			continue
+		}
+		txn := blockOf(blocks, a)
+		if txn < 0 {
+			txn = nodes
+			nodes++
+		}
+		if len(byLoc[a.Loc]) == 0 {
+			locs = append(locs, a.Loc)
+		}
+		byLoc[a.Loc] = append(byLoc[a.Loc], access{txn: txn, write: a.Kind.IsWrite()})
+	}
+
+	// Conflict edges: same location, at least one write, different
+	// transactions, directed by trace order. Iterating locations in
+	// first-touch order keeps the adjacency — and the cycle found first —
+	// deterministic.
+	adj := make([][]int, nodes)
+	seen := map[[2]int]bool{}
+	for _, loc := range locs {
+		accs := byLoc[loc]
+		for i, early := range accs {
+			for _, late := range accs[i+1:] {
+				if early.txn == late.txn || (!early.write && !late.write) {
+					continue
+				}
+				e := [2]int{early.txn, late.txn}
+				if !seen[e] {
+					seen[e] = true
+					adj[early.txn] = append(adj[early.txn], late.txn)
+				}
+			}
+		}
+	}
+
+	cycle := findCycle(adj)
+	if cycle == nil {
+		return nil
+	}
+	names := map[string]bool{}
+	for _, n := range cycle {
+		if n < len(blocks) {
+			names[blocks[n].Name] = true
+		}
+	}
+	var out []Finding
+	for _, name := range sortedNames(names) {
+		out = append(out, Finding{
+			Key:  "block/" + name,
+			Desc: fmt.Sprintf("atomic block %q is not conflict-serializable: its accesses interleave with a conflicting transaction (cycle of %d transaction(s) in the conflict graph)", name, len(cycle)),
+		})
+	}
+	return out
+}
+
+// blockOf returns the index of the innermost block span containing action a,
+// or -1. Spans with End == 0 were still open when the execution finished and
+// extend to its end. Blocks nest per thread and are appended in Begin order,
+// so the last matching span is the innermost.
+func blockOf(blocks []capi.BlockSpan, a *core.Action) int {
+	for i := len(blocks) - 1; i >= 0; i-- {
+		b := blocks[i]
+		if b.TID == a.TID && b.Begin <= a.Seq && (b.End == 0 || a.Seq < b.End) {
+			return i
+		}
+	}
+	return -1
+}
+
+// findCycle returns the node set of the first directed cycle found by a
+// deterministic DFS over the adjacency list, or nil if the graph is acyclic.
+func findCycle(adj [][]int) []int {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]byte, len(adj))
+	type frame struct {
+		node int
+		next int
+	}
+	var stack []frame
+	for start := range adj {
+		if color[start] != white {
+			continue
+		}
+		color[start] = grey
+		stack = append(stack[:0], frame{node: start})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(adj[f.node]) {
+				to := adj[f.node][f.next]
+				f.next++
+				switch color[to] {
+				case grey:
+					// The cycle is the stack suffix from to's frame.
+					for i := range stack {
+						if stack[i].node == to {
+							var cycle []int
+							for _, fr := range stack[i:] {
+								cycle = append(cycle, fr.node)
+							}
+							return cycle
+						}
+					}
+				case white:
+					color[to] = grey
+					stack = append(stack, frame{node: to})
+				}
+				continue
+			}
+			color[f.node] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return nil
+}
+
+func sortedNames(set map[string]bool) []string {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,163 @@
+// sc.go decides per-execution sequential-consistency explainability: whether
+// a lifted execution's outcome could have been produced by some interleaving
+// under sequential consistency. Following the classic Shasha–Snir criterion
+// (and its dynamic-robustness use in Margalit et al., "Dynamic Robustness
+// Verification Against Weak Memory"), an execution is SC-explainable iff the
+// union of
+//
+//	sb  (sequenced-before: program order per thread, plus the
+//	     create→child / child→join synchronization edges),
+//	rf  (reads-from),
+//	mo  (the concrete per-location modification order), and
+//	fr  (from-read: read → mo-successor of the store it read from)
+//
+// is acyclic: a topological order of that graph is exactly an SC
+// interleaving reproducing every read's value. A cycle certifies that the
+// weak memory model was load-bearing for the observed outcome — e.g. the
+// store-buffering result r1=0 ∧ r2=0 is a four-edge sb/fr cycle.
+package axiom
+
+import (
+	"c11tester/internal/core"
+	"c11tester/internal/memmodel"
+)
+
+// SCExplainable reports whether the execution's outcome is explainable under
+// sequential consistency. It reuses the lifted form FromEngine builds for the
+// axiomatic checker; executions with an empty trace are trivially SC.
+func SCExplainable(ex *Execution) bool {
+	n := len(ex.Trace)
+	if n == 0 {
+		return true
+	}
+	pos := make(map[*core.Action]int, n)
+	for i, a := range ex.Trace {
+		pos[a] = i
+	}
+	moIx := map[*core.Action]int{}
+	for _, moList := range ex.MO {
+		for i, a := range moList {
+			moIx[a] = i
+		}
+	}
+
+	adj := make([][]int, n)
+	addEdge := func(from, to *core.Action) {
+		i, iok := pos[from]
+		j, jok := pos[to]
+		if !iok || !jok || i == j {
+			return
+		}
+		adj[i] = append(adj[i], j)
+	}
+
+	// sb: successive actions of the same thread (trace order is a linear
+	// extension of every thread's program order), plus the thread
+	// create/join synchronization edges — both are orderings any SC
+	// interleaving must respect.
+	lastOf := map[memmodel.TID]*core.Action{}
+	firstOf := map[memmodel.TID]*core.Action{}
+	for _, a := range ex.Trace {
+		if prev := lastOf[a.TID]; prev != nil {
+			addEdge(prev, a)
+		} else {
+			firstOf[a.TID] = a
+		}
+		lastOf[a.TID] = a
+	}
+	for _, a := range ex.Trace {
+		switch a.Kind {
+		case memmodel.KThreadCreate:
+			if first := firstOf[memmodel.TID(a.Value)]; first != nil {
+				addEdge(a, first)
+			}
+		case memmodel.KThreadJoin:
+			if last := lastOf[memmodel.TID(a.Value)]; last != nil {
+				addEdge(last, a)
+			}
+		}
+	}
+
+	// rf and mo: a read follows its source store; each location's stores
+	// follow their modification order.
+	for _, a := range ex.Trace {
+		if a.Kind.IsRead() && a.RF != nil {
+			addEdge(a.RF, a)
+		}
+	}
+	for _, moList := range ex.MO {
+		for i := 1; i < len(moList); i++ {
+			addEdge(moList[i-1], moList[i])
+		}
+	}
+
+	// fr: a read is overwritten by every store mo-after its source, so it
+	// must be scheduled before the source's mo-successor (the rest of the
+	// chain follows through mo). A read from the initial value (RF == nil)
+	// precedes the location's first store. The RMW reading from w *is* w's
+	// mo-successor (rmw-atomic); skipping the self-edge leaves exactly the
+	// mo edges, which are already present.
+	for _, a := range ex.Trace {
+		if !a.Kind.IsRead() {
+			continue
+		}
+		var succ *core.Action
+		if a.RF != nil {
+			ix, ok := moIx[a.RF]
+			if !ok {
+				continue
+			}
+			if moList := ex.MO[a.RF.Loc]; ix+1 < len(moList) {
+				succ = moList[ix+1]
+			}
+		} else if moList := ex.MO[a.Loc]; len(moList) > 0 {
+			succ = moList[0]
+		}
+		if succ != nil && succ != a {
+			addEdge(a, succ)
+		}
+	}
+
+	return acyclic(adj)
+}
+
+// acyclic reports whether the adjacency list has no directed cycle, via an
+// iterative three-color DFS (the trace can be long; no recursion).
+func acyclic(adj [][]int) bool {
+	const (
+		white = 0 // unvisited
+		grey  = 1 // on the DFS stack
+		black = 2 // done
+	)
+	color := make([]byte, len(adj))
+	type frame struct {
+		node int
+		next int // index into adj[node] of the next edge to follow
+	}
+	var stack []frame
+	for start := range adj {
+		if color[start] != white {
+			continue
+		}
+		color[start] = grey
+		stack = append(stack[:0], frame{node: start})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(adj[f.node]) {
+				to := adj[f.node][f.next]
+				f.next++
+				switch color[to] {
+				case grey:
+					return false
+				case white:
+					color[to] = grey
+					stack = append(stack, frame{node: to})
+				}
+				continue
+			}
+			color[f.node] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return true
+}

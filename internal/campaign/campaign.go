@@ -36,6 +36,7 @@ import (
 	"sync"
 	"time"
 
+	"c11tester/internal/analysis"
 	"c11tester/internal/axiom"
 	"c11tester/internal/capi"
 	"c11tester/internal/core"
@@ -134,6 +135,16 @@ type Spec struct {
 	// axiomatic model of Appendix A, counting violations in the summary;
 	// executions of other tools are counted as skipped.
 	ValidateAxioms bool
+	// Analyzers names the internal/analysis plug-ins to run over every
+	// finished execution (e.g. "sc-robustness", "atomicity"). Each cell
+	// builds its own instances; analyzers whose trace or modification-order
+	// needs the cell's tool cannot meet are skipped on that cell, mirroring
+	// how validation skips non-MOProvider tools. Findings are deduplicated
+	// per (analyzer, cell, key) with min-seed repro winners and merged
+	// across shards exactly like races. Empty (the default) composes no
+	// analyzer stage — the default pipeline is byte-identical to the
+	// pre-analyzer runner, and stays allocation-free.
+	Analyzers []string
 	// Telemetry is the campaign's observability fabric (metrics registry,
 	// event stream, live progress). Nil means Run builds a quiet internal
 	// one — the metrics core is always on (it is allocation-free and the
@@ -217,6 +228,22 @@ type execFailure struct {
 	err string
 }
 
+// findingID identifies one deduplicated analyzer finding within a cell —
+// the analyzer's name plus the finding's key (analysis.Finding.Key).
+type findingID struct {
+	analyzer string
+	key      string
+}
+
+// findingHit is a deduplicated analyzer finding: the description of the
+// earliest execution that showed it (the repro winner, like raceHit) plus
+// the number of executions that reproduced it.
+type findingHit struct {
+	desc  string
+	run   int // global execution index of the winner (seed = SeedBase+run)
+	count int
+}
+
 // fragment is the result of one unit of work. Fields are aggregated with
 // order-independent merges only, which is what keeps the campaign
 // deterministic under any worker count.
@@ -246,6 +273,9 @@ type fragment struct {
 	vioSamples []string
 	recorded   int
 	recordErrs int
+	// analyzer findings (Spec.Analyzers), deduplicated per (analyzer, key)
+	// with min-run winners; nil when no analyzer stage is composed.
+	findings map[findingID]findingHit
 	// flight-recorder captures (Spec.CaptureDir), in execution-index order
 	// within the unit.
 	captures []obs.CaptureRecord
@@ -318,6 +348,20 @@ func (dst *fragment) merge(src *fragment) {
 	}
 	dst.recorded += src.recorded
 	dst.recordErrs += src.recordErrs
+	for id, hit := range src.findings {
+		if dst.findings == nil {
+			dst.findings = map[findingID]findingHit{}
+		}
+		if cur, seen := dst.findings[id]; seen {
+			if hit.run < cur.run {
+				cur.desc, cur.run = hit.desc, hit.run
+			}
+			cur.count += hit.count
+			dst.findings[id] = cur
+		} else {
+			dst.findings[id] = hit
+		}
+	}
 	dst.captures = append(dst.captures, src.captures...)
 	dst.allocBytes += src.allocBytes
 	dst.allocObjs += src.allocObjs
@@ -650,6 +694,36 @@ func runAdaptive(spec Spec, tel *Telemetry, ck *ckState) ([]job, []fragment, map
 	return jobs, frags, budgets
 }
 
+// execCtx is the per-execution state threaded through the pipeline stages.
+// The cellRunner reuses one instance (rewritten at the top of runOne), so
+// composing stages costs no per-execution allocation.
+type execCtx struct {
+	res     *capi.Result
+	i       int    // global execution index (seed = SeedBase+i)
+	outcome string // rendered litmus outcome ("" for benchmarks)
+	// hit marks executions owed a recorded trace: a detection signal, a
+	// race, or a forbidden outcome (the signal stage computes it).
+	hit bool
+	// abort marks the execution's model state untrustworthy (an infeasible
+	// modification-order lifting): later stages that would lift it again
+	// are skipped.
+	abort bool
+	obs   explore.Obs
+}
+
+// stage is one pipeline step run over every completed execution. Stages are
+// method expressions composed once per cell in newCellRunner — which duties
+// run, and in what order, is a property of the spec, not a branch in the
+// per-execution path.
+type stage func(*cellRunner)
+
+// cellAnalyzer is one analysis plug-in instance bound to a cell, carrying
+// its position in Spec.Analyzers (the pre-bound metric slot).
+type cellAnalyzer struct {
+	analysis.Analyzer
+	ix int
+}
+
 // cellRunner executes a range of one cell's executions with a fresh tool
 // instance, folding results into its fragment.
 type cellRunner struct {
@@ -657,6 +731,15 @@ type cellRunner struct {
 	j    job
 	tool capi.Tool
 	frag fragment
+
+	// stages is the cell's composed pipeline, run in order after every
+	// completed execution: the cell-kind signal stage (benchmark detection
+	// or litmus verdict, including race dedup), then — per spec — axiom
+	// validation, the analyzer stage, and trace recording.
+	stages []stage
+	// x is the reused per-execution context the stages communicate
+	// through.
+	x execCtx
 
 	// met is the cell's pre-bound metric handle set (nil only when the
 	// runner is constructed outside a campaign, e.g. directly in tests).
@@ -672,6 +755,12 @@ type cellRunner struct {
 	rec    *trace.Recorder
 	pg     *trace.PrefixGuide
 	guides []*trace.Trace
+
+	// analyzers are the cell's analysis plug-in instances (cell-confined;
+	// see analysis.Analyzer), minus the ones this cell's tool cannot feed;
+	// ax is the reused Exec handed to them.
+	analyzers []cellAnalyzer
+	ax        analysis.Exec
 
 	// Program under test.
 	prog  capi.Program
@@ -734,16 +823,64 @@ func newCellRunner(spec Spec, j job) *cellRunner {
 			r.eng.SetStrategy(r.pg)
 		}
 	}
+	// Analyzer plug-ins: one fresh instance per cell. An analyzer whose
+	// needs this cell's tool cannot meet — a trace needs the engine, a
+	// modification order needs an MOProvider model — is skipped on this
+	// cell, the way axiom validation skips non-MOProvider tools. Unknown
+	// names were refused by Spec.Validate; a name slipping past it here is
+	// skipped rather than crashed on (workers have nowhere to return an
+	// error).
+	for ix, name := range spec.Analyzers {
+		a, err := analysis.New(name)
+		if err != nil {
+			continue
+		}
+		if a.NeedsTrace() && r.eng == nil {
+			continue
+		}
+		if a.NeedsMO() && r.mo == nil {
+			continue
+		}
+		r.analyzers = append(r.analyzers, cellAnalyzer{Analyzer: a, ix: ix})
+	}
 	// Trace duties: engines whose model exposes total modification orders
-	// run in trace mode for validation and event recording; the recorder
-	// strategy wrapper captures the (effective, guided included) schedule of
-	// every execution.
-	if r.eng != nil && r.mo != nil && (spec.ValidateAxioms || spec.RecordDir != "") {
+	// run in trace mode for validation and event recording, and any
+	// analyzer that reads the action trace turns tracing on too; the
+	// recorder strategy wrapper captures the (effective, guided included)
+	// schedule of every execution.
+	needTrace := r.mo != nil && (spec.ValidateAxioms || spec.RecordDir != "")
+	for _, ca := range r.analyzers {
+		if ca.NeedsTrace() {
+			needTrace = true
+		}
+	}
+	if r.eng != nil && needTrace {
 		r.eng.SetTrace(true)
 	}
 	if r.eng != nil && spec.RecordDir != "" {
 		r.rec = trace.NewRecorder(r.eng.Strategy())
 		r.eng.SetStrategy(r.rec)
+	}
+	// Compose the pipeline. The stage set and order are fixed per cell:
+	// signal first (it computes hit, the trace-owed flag), then validation
+	// (it decides abort), then analyzers, then recording. With the default
+	// spec — no analyzers, no duties — the pipeline is just the signal
+	// stage, and the composed path mutates the fragment in exactly the
+	// order the pre-pipeline runner did, which is what keeps default
+	// campaign artifacts byte-identical across the refactor.
+	if j.kind == jobLitmus {
+		r.stages = append(r.stages, (*cellRunner).stageLitmus)
+	} else {
+		r.stages = append(r.stages, (*cellRunner).stageBench)
+	}
+	if spec.ValidateAxioms {
+		r.stages = append(r.stages, (*cellRunner).stageValidate)
+	}
+	if len(r.analyzers) > 0 {
+		r.stages = append(r.stages, (*cellRunner).stageAnalyze)
+	}
+	if r.rec != nil {
+		r.stages = append(r.stages, (*cellRunner).stageRecord)
 	}
 	return r
 }
@@ -857,120 +994,192 @@ func (r *cellRunner) runOne(i int) explore.Obs {
 		}
 	}
 
-	var obs explore.Obs
-	obs.RaceKeys = raceKeysOf(res)
-	switch r.j.kind {
-	case jobBench:
-		hit := r.bench.Signal.Hit(res)
-		if hit {
-			r.frag.detected++
-		}
-		r.frag.ops.Add(res.Stats)
-		recordRaces(&r.frag, res, i)
-		r.post(res, i, "", hit || len(res.Races) > 0)
-		obs.Detected = hit
-	case jobLitmus:
-		r.frag.ops.Add(res.Stats)
-		// Litmus programs only touch shared state atomically, so any race
-		// here is a detector soundness bug, not a finding.
-		recordRaces(&r.frag, res, i)
-		forbidden := false
-		if r.out != "" {
-			r.frag.outcomes[r.out]++
-			if isForbidden(r.test, r.out, r.spec.Tools[r.j.tool].Baseline) {
-				forbidden = true
-				if first, seen := r.frag.forbidden[r.out]; !seen || i < first {
-					r.frag.forbidden[r.out] = i
-				}
-			}
-			if r.test.Weak[r.out] {
-				r.frag.weak[r.out]++
-			}
-		}
-		r.post(res, i, r.out, forbidden || len(res.Races) > 0)
-		obs.Detected = forbidden
-		obs.Outcome = r.out
+	// Run the composed pipeline over the reused execution context, then the
+	// unconditional tail: the detection metric and the flight-recorder
+	// check fire whether or not a stage aborted.
+	r.x = execCtx{res: res, i: i}
+	r.x.obs.RaceKeys = raceKeysOf(res)
+	for _, st := range r.stages {
+		st(r)
 	}
-	if r.met != nil && obs.Detected {
+	if r.met != nil && r.x.obs.Detected {
 		r.met.Detected.Inc()
 	}
-	r.flightCheck(i, execDur, len(res.NewRaces) > 0, obs)
-	return obs
+	r.flightCheck(i, execDur, len(res.NewRaces) > 0, r.x.obs)
+	return r.x.obs
 }
 
-// post runs after every completed execution: axiomatic validation and (for
-// signal-bearing executions, or all of them with RecordAll) trace
-// persistence. It must run before the engine's next Execute. Both duties
-// call the model's TotalMO lifting, which can itself hit an infeasible state
-// (a modification-order cycle); RecoverInfeasible converts that into a
-// recorded failure instead of a dead worker.
-func (r *cellRunner) post(res *capi.Result, i int, outcome string, hit bool) {
-	spec := r.spec
-	seed := spec.SeedBase + int64(i)
-	if spec.ValidateAxioms {
-		if r.mo != nil {
-			r.frag.checked++
-			var vs []axiom.Violation
-			// The engine cannot see the campaign's validation duty, so the
-			// campaign brackets the PhaseValidate span itself, feeding the
-			// same per-cell phase histograms as the engine's reset/run/race
-			// spans.
-			vt0 := time.Now()
-			ie := core.RecoverInfeasible(func() {
-				vs = axiom.Check(axiom.FromEngine(r.eng, r.mo))
-			})
-			r.observePhase(core.PhaseValidate, vt0)
-			if ie != nil {
-				r.recordFailure(i, ie.Error())
-				// Recording below would hit the same infeasible lifting; if
-				// this execution's trace was owed, count it as dropped.
-				if r.rec != nil && (hit || spec.RecordAll) {
-					r.frag.recordErrs++
-				}
-				return
+// stageBench is the benchmark-cell signal stage: the suite's detection
+// signal, op accounting, and race dedup.
+func (r *cellRunner) stageBench() {
+	res, i := r.x.res, r.x.i
+	hit := r.bench.Signal.Hit(res)
+	if hit {
+		r.frag.detected++
+	}
+	r.frag.ops.Add(res.Stats)
+	recordRaces(&r.frag, res, i)
+	r.x.hit = hit || len(res.Races) > 0
+	r.x.obs.Detected = hit
+}
+
+// stageLitmus is the litmus-cell signal stage: outcome accounting, the
+// forbidden/weak verdicts, and race dedup.
+func (r *cellRunner) stageLitmus() {
+	res, i := r.x.res, r.x.i
+	r.frag.ops.Add(res.Stats)
+	// Litmus programs only touch shared state atomically, so any race
+	// here is a detector soundness bug, not a finding.
+	recordRaces(&r.frag, res, i)
+	forbidden := false
+	if r.out != "" {
+		r.frag.outcomes[r.out]++
+		if isForbidden(r.test, r.out, r.spec.Tools[r.j.tool].Baseline) {
+			forbidden = true
+			if first, seen := r.frag.forbidden[r.out]; !seen || i < first {
+				r.frag.forbidden[r.out] = i
 			}
-			if len(vs) > 0 {
-				r.frag.violations += len(vs)
-				if len(r.frag.vioSamples) < maxViolationSamples {
-					r.frag.vioSamples = append(r.frag.vioSamples,
-						fmt.Sprintf("%s/%s seed %d: %v", r.tool.Name(), r.programName(), seed, vs[0]))
-				}
-			}
-		} else {
-			r.frag.skipped++
+		}
+		if r.test.Weak[r.out] {
+			r.frag.weak[r.out]++
 		}
 	}
-	if r.rec != nil && (hit || spec.RecordAll) {
-		meta := trace.Meta{
-			Tool: spec.Tools[r.j.tool].TraceConfig, Program: r.programName(),
-			Litmus: r.test != nil, Seed: seed, Outcome: outcome,
+	r.x.outcome = r.out
+	r.x.hit = forbidden || len(res.Races) > 0
+	r.x.obs.Detected = forbidden
+	r.x.obs.Outcome = r.out
+}
+
+// stageValidate checks the execution against the axiomatic model. The
+// lifting (the model's TotalMO) can itself hit an infeasible state — a
+// modification-order cycle; RecoverInfeasible converts that into a recorded
+// failure, and abort tells the later trace-lifting stages (analyzers,
+// recording) to skip this execution.
+func (r *cellRunner) stageValidate() {
+	if r.mo == nil {
+		r.frag.skipped++
+		return
+	}
+	i := r.x.i
+	r.frag.checked++
+	var vs []axiom.Violation
+	// The engine cannot see the campaign's validation duty, so the
+	// campaign brackets the PhaseValidate span itself, feeding the same
+	// per-cell phase histograms as the engine's reset/run/race spans.
+	vt0 := time.Now()
+	ie := core.RecoverInfeasible(func() {
+		vs = axiom.Check(axiom.FromEngine(r.eng, r.mo))
+	})
+	r.observePhase(core.PhaseValidate, vt0)
+	if ie != nil {
+		r.recordFailure(i, ie.Error())
+		r.x.abort = true
+		// The record stage would hit the same infeasible lifting; if this
+		// execution's trace was owed, count it as dropped.
+		if r.rec != nil && (r.x.hit || r.spec.RecordAll) {
+			r.frag.recordErrs++
 		}
-		var tr *trace.Trace
-		var err error
-		// PhaseRecord span: trace serialization + file write, campaign-
-		// bracketed like PhaseValidate above.
-		rt0 := time.Now()
+		return
+	}
+	if len(vs) > 0 {
+		r.frag.violations += len(vs)
+		if len(r.frag.vioSamples) < maxViolationSamples {
+			r.frag.vioSamples = append(r.frag.vioSamples,
+				fmt.Sprintf("%s/%s seed %d: %v", r.tool.Name(), r.programName(),
+					r.spec.SeedBase+int64(i), vs[0]))
+		}
+	}
+}
+
+// stageAnalyze hands the finished execution to the cell's analyzer
+// instances and folds their findings into the fragment. Each Observe is
+// individually recovered: an infeasible lifting inside one analyzer records
+// a failure and moves on to the next.
+func (r *cellRunner) stageAnalyze() {
+	if r.x.abort {
+		return
+	}
+	r.ax = analysis.Exec{
+		Result: r.x.res, Index: r.x.i, Seed: r.spec.SeedBase + int64(r.x.i),
+		Tool: r.spec.Tools[r.j.tool].Name, Program: r.programName(),
+		Litmus: r.test != nil, Outcome: r.x.outcome,
+		Engine: r.eng, MO: r.mo,
+	}
+	for _, ca := range r.analyzers {
+		var fs []analysis.Finding
 		ie := core.RecoverInfeasible(func() {
-			tr, err = trace.Record(r.eng, res, r.rec.Schedule(), meta)
+			fs = ca.Observe(&r.ax)
 		})
 		if ie != nil {
-			r.observePhase(core.PhaseRecord, rt0)
-			r.recordFailure(i, ie.Error())
-			r.frag.recordErrs++
-			return
+			r.recordFailure(r.x.i, ie.Error())
+			continue
 		}
-		if err == nil {
-			path := filepath.Join(spec.RecordDir, trace.FileName(r.tool.Name(), r.programName(), seed))
-			err = tr.WriteFile(path)
+		for _, f := range fs {
+			r.addFinding(ca, f)
 		}
+	}
+}
+
+// addFinding folds one analyzer finding into the fragment — min-run winner
+// per (analyzer, key), counts summed — and bumps the analyzer's pre-bound
+// findings counter.
+func (r *cellRunner) addFinding(ca cellAnalyzer, f analysis.Finding) {
+	if r.frag.findings == nil {
+		r.frag.findings = map[findingID]findingHit{}
+	}
+	id := findingID{analyzer: ca.Name(), key: f.Key}
+	hit, seen := r.frag.findings[id]
+	if !seen {
+		hit = findingHit{desc: f.Desc, run: r.x.i}
+	} else if r.x.i < hit.run {
+		hit.desc, hit.run = f.Desc, r.x.i
+	}
+	hit.count++
+	r.frag.findings[id] = hit
+	if r.met != nil && ca.ix < len(r.met.Findings) {
+		r.met.Findings[ca.ix].Inc()
+	}
+}
+
+// stageRecord persists the execution's portable trace when one is owed (a
+// signal-bearing execution, or every execution under RecordAll).
+func (r *cellRunner) stageRecord() {
+	if r.x.abort || !(r.x.hit || r.spec.RecordAll) {
+		return
+	}
+	spec := r.spec
+	i := r.x.i
+	seed := spec.SeedBase + int64(i)
+	meta := trace.Meta{
+		Tool: spec.Tools[r.j.tool].TraceConfig, Program: r.programName(),
+		Litmus: r.test != nil, Seed: seed, Outcome: r.x.outcome,
+	}
+	var tr *trace.Trace
+	var err error
+	// PhaseRecord span: trace serialization + file write, campaign-
+	// bracketed like PhaseValidate above.
+	rt0 := time.Now()
+	ie := core.RecoverInfeasible(func() {
+		tr, err = trace.Record(r.eng, r.x.res, r.rec.Schedule(), meta)
+	})
+	if ie != nil {
 		r.observePhase(core.PhaseRecord, rt0)
-		if err == nil {
-			r.frag.recorded++
-		} else {
-			// Counted and surfaced in the summary: a campaign asked to
-			// persist traces must not drop them silently.
-			r.frag.recordErrs++
-		}
+		r.recordFailure(i, ie.Error())
+		r.frag.recordErrs++
+		r.x.abort = true
+		return
+	}
+	if err == nil {
+		path := filepath.Join(spec.RecordDir, trace.FileName(r.tool.Name(), r.programName(), seed))
+		err = tr.WriteFile(path)
+	}
+	r.observePhase(core.PhaseRecord, rt0)
+	if err == nil {
+		r.frag.recorded++
+	} else {
+		// Counted and surfaced in the summary: a campaign asked to
+		// persist traces must not drop them silently.
+		r.frag.recordErrs++
 	}
 }
 
@@ -1062,6 +1271,16 @@ func (s Spec) Validate() error {
 		(s.GuideMaxFrac > 0 && s.GuideMinFrac > s.GuideMaxFrac) {
 		return fmt.Errorf("campaign: guide prefix fractions [%g, %g] outside 0 ≤ min ≤ max ≤ 1",
 			s.GuideMinFrac, s.GuideMaxFrac)
+	}
+	seenAnalyzer := map[string]bool{}
+	for _, name := range s.Analyzers {
+		if _, err := analysis.New(name); err != nil {
+			return fmt.Errorf("campaign: %v", err)
+		}
+		if seenAnalyzer[name] {
+			return fmt.Errorf("campaign: duplicate analyzer %q", name)
+		}
+		seenAnalyzer[name] = true
 	}
 	seen := map[string]bool{}
 	for _, t := range s.Tools {

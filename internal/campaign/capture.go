@@ -104,6 +104,7 @@ func captureTrace(spec Spec, j job, seed int64) (string, error) {
 	sub.RecordDir = ""
 	sub.RecordAll = false
 	sub.ValidateAxioms = false
+	sub.Analyzers = nil
 	sub.CaptureDir = "" // no recursive recorders
 	sub.CheckpointPath = ""
 	sub.Resume = nil

@@ -97,6 +97,9 @@ func SpecDigest(spec Spec) string {
 		RecordAll     bool         `json:"record_all,omitempty"`
 		Capture       bool         `json:"capture,omitempty"`
 		CaptureSlowNS bool         `json:"capture_slow_ns,omitempty"`
+		// Analyzers change what a campaign observes and reports, so they are
+		// digest material; omitempty keeps pre-analyzer digests unchanged.
+		Analyzers []string `json:"analyzers,omitempty"`
 	}{
 		Benchmarks: []string{}, Litmus: []string{},
 		Runs: spec.Runs, SeedBase: spec.SeedBase, ShardSize: spec.ShardSize,
@@ -120,6 +123,9 @@ func SpecDigest(spec Spec) string {
 		d.GuideTraces = spec.Guides.Len()
 		d.GuideMinFrac = spec.GuideMinFrac
 		d.GuideMaxFrac = spec.GuideMaxFrac
+	}
+	if len(spec.Analyzers) > 0 {
+		d.Analyzers = spec.Analyzers
 	}
 	b, err := json.Marshal(d)
 	if err != nil {
@@ -191,6 +197,16 @@ type FailureState struct {
 	Err string `json:"err"`
 }
 
+// FindingState is one deduplicated analyzer finding of a checkpointed
+// fragment (schema v7 campaigns).
+type FindingState struct {
+	Analyzer string `json:"analyzer"`
+	Key      string `json:"key"`
+	Desc     string `json:"desc"`
+	Run      int    `json:"run"`
+	Count    int    `json:"count"`
+}
+
 // FragState is the serialized form of a cell's merged result fragment —
 // field-for-field the unexported fragment type, with races flattened to a
 // key-sorted list so the encoding is canonical.
@@ -219,6 +235,7 @@ type FragState struct {
 	Captures       []obs.CaptureRecord `json:"captures,omitempty"`
 	AllocBytes     uint64              `json:"alloc_bytes,omitempty"`
 	AllocObjs      uint64              `json:"alloc_objs,omitempty"`
+	Findings       []FindingState      `json:"findings,omitempty"`
 }
 
 // fragState serializes a merged fragment.
@@ -244,6 +261,11 @@ func fragState(f *fragment) FragState {
 	for _, fl := range f.failures {
 		s.Failures = append(s.Failures, FailureState{Run: fl.run, Err: fl.err})
 	}
+	for _, id := range sortedFindingIDs(f.findings) {
+		hit := f.findings[id]
+		s.Findings = append(s.Findings, FindingState{Analyzer: id.analyzer,
+			Key: id.key, Desc: hit.desc, Run: hit.run, Count: hit.count})
+	}
 	return s
 }
 
@@ -251,9 +273,9 @@ func fragState(f *fragment) FragState {
 func (s *FragState) fragment() fragment {
 	f := fragment{
 		execs: s.Execs, detected: s.Detected,
-		elapsed:   time.Duration(s.ElapsedNS),
-		races:     map[string]raceHit{},
-		outcomes:  s.Outcomes, forbidden: s.Forbidden, weak: s.Weak,
+		elapsed:  time.Duration(s.ElapsedNS),
+		races:    map[string]raceHit{},
+		outcomes: s.Outcomes, forbidden: s.Forbidden, weak: s.Weak,
 		failed:      s.Failed,
 		guidedExecs: s.GuidedExecs, prefixDepth: s.PrefixDepth,
 		prefixConsumed: s.PrefixConsumed, divergences: s.Divergences,
@@ -270,6 +292,13 @@ func (s *FragState) fragment() fragment {
 	}
 	for _, fl := range s.Failures {
 		f.failures = append(f.failures, execFailure{run: fl.Run, err: fl.Err})
+	}
+	for _, fd := range s.Findings {
+		if f.findings == nil {
+			f.findings = map[findingID]findingHit{}
+		}
+		f.findings[findingID{analyzer: fd.Analyzer, key: fd.Key}] =
+			findingHit{desc: fd.Desc, run: fd.Run, count: fd.Count}
 	}
 	return f
 }

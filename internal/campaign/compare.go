@@ -93,9 +93,15 @@ type ToolDelta struct {
 	ThroughputRatio float64 `json:"throughput_ratio"`
 	// NewRaceKeys are race keys present only in the new artifact; LostRaceKeys
 	// only in the old one.
-	NewRaceKeys  []string    `json:"new_race_keys,omitempty"`
-	LostRaceKeys []string    `json:"lost_race_keys,omitempty"`
-	Detection    []CellDelta `json:"detection,omitempty"`
+	NewRaceKeys  []string `json:"new_race_keys,omitempty"`
+	LostRaceKeys []string `json:"lost_race_keys,omitempty"`
+	// NewFindingKeys and LostFindingKeys are analyzer finding identities
+	// ("analyzer program key") present in only one artifact (schema v7),
+	// compared only when both artifacts ran the same analyzer set — an
+	// artifact without analyzers has nothing to lose.
+	NewFindingKeys  []string    `json:"new_finding_keys,omitempty"`
+	LostFindingKeys []string    `json:"lost_finding_keys,omitempty"`
+	Detection       []CellDelta `json:"detection,omitempty"`
 	// Litmus lists the (tool, test) cells whose weak-outcome coverage moved.
 	Litmus []LitmusDelta `json:"litmus,omitempty"`
 	// Validation is present when both artifacts carry validation results.
@@ -165,6 +171,10 @@ func Compare(old, new *Summary) *Comparison {
 			td.ThroughputRatio = nt.ExecsPerSec / ot.ExecsPerSec
 		}
 		td.NewRaceKeys, td.LostRaceKeys = diffRaceKeys(ot.Races, nt.Races)
+		if sameAnalyzers(old.Spec.Analyzers, new.Spec.Analyzers) {
+			lost, gained := diffOutcomes(findingIdents(ot.Findings), findingIdents(nt.Findings))
+			td.LostFindingKeys, td.NewFindingKeys = lost, gained
+		}
 
 		oldCells := map[string]harness.DetectionSummary{}
 		for _, cell := range ot.Benchmarks {
@@ -234,6 +244,34 @@ func toolP99(ts *ToolSummary) uint64 {
 	return merged.P99
 }
 
+// sameAnalyzers reports whether two artifacts ran the same non-empty
+// analyzer set, making their finding lists comparable.
+func sameAnalyzers(old, new []string) bool {
+	if len(old) == 0 || len(old) != len(new) {
+		return false
+	}
+	for i := range old {
+		if old[i] != new[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// findingIdents renders a finding list as sortable identity strings
+// ("analyzer program key"; litmus programs carry the litmus/ prefix).
+func findingIdents(fs []FindingSummary) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		program := f.Program
+		if f.Litmus {
+			program = "litmus/" + program
+		}
+		out[i] = f.Analyzer + " " + program + " " + f.Key
+	}
+	return out
+}
+
 // diffOutcomes returns the outcomes only in old (lost) and only in new
 // (gained), sorted. Inputs are the sorted WeakSeen lists of a litmus cell.
 func diffOutcomes(old, new []string) (lost, gained []string) {
@@ -272,7 +310,8 @@ func diffRaceKeys(old, new []harness.RaceSummary) (added, lost []string) {
 	return added, lost
 }
 
-// Regressed reports whether the new artifact lost race keys, lost more than
+// Regressed reports whether the new artifact lost race keys, lost analyzer
+// findings (schema v7, same-analyzer-set artifacts only), lost more than
 // 10 percentage points of detection rate in any cell, lost litmus
 // weak-outcome coverage, introduced axiomatic violations, or dropped
 // telemetry events — the signals the PR trajectory check keys on. The
@@ -286,6 +325,9 @@ func (c *Comparison) Regressed() bool {
 	}
 	for _, td := range c.Tools {
 		if len(td.LostRaceKeys) > 0 {
+			return true
+		}
+		if len(td.LostFindingKeys) > 0 {
 			return true
 		}
 		for _, d := range td.Detection {
@@ -381,6 +423,12 @@ func (c *Comparison) String() string {
 		for _, k := range td.LostRaceKeys {
 			out += fmt.Sprintf("\n%s: LOST race key %s", td.Tool, k)
 		}
+		for _, k := range td.NewFindingKeys {
+			out += fmt.Sprintf("\n%s: NEW analyzer finding %s", td.Tool, k)
+		}
+		for _, k := range td.LostFindingKeys {
+			out += fmt.Sprintf("\n%s: LOST analyzer finding %s", td.Tool, k)
+		}
 		for _, ld := range td.Litmus {
 			for _, o := range ld.LostOutcomes {
 				out += fmt.Sprintf("\n%s: LOST weak outcome %s=%q", td.Tool, ld.Test, o)
@@ -394,7 +442,7 @@ func (c *Comparison) String() string {
 		out += fmt.Sprintf("\ntools only in new artifact: %v", c.UnmatchedNew)
 	}
 	if c.Regressed() {
-		out += "\n\nREGRESSION: lost race keys, a detection-rate drop > 10 points, lost weak-outcome coverage, new axiom violations, or dropped telemetry events\n"
+		out += "\n\nREGRESSION: lost race keys, lost analyzer findings, a detection-rate drop > 10 points, lost weak-outcome coverage, new axiom violations, or dropped telemetry events\n"
 	} else {
 		out += "\n\nno regression detected\n"
 	}

@@ -32,7 +32,7 @@ import (
 
 // MergeSummaries folds K shard partials into the whole-campaign summary.
 // Parts may be given in any order; they are validated (same spec digest, same
-// shard count, indices exactly 0..K-1, schema v6, uniform policy) and merged
+// shard count, indices exactly 0..K-1, schema v7, uniform policy) and merged
 // deterministically. force skips the provenance-skew refusal (never the
 // digest checks).
 func MergeSummaries(parts []*Summary, force bool) (*Summary, error) {
@@ -240,7 +240,77 @@ func mergeToolSummaries(info SpecInfo, order map[string]int, parts []*ToolSummar
 	if len(ts.UnexpectedRaces) == 0 {
 		ts.UnexpectedRaces = nil
 	}
+
+	// Analyzer findings: the analyzer set is digest material, so every shard
+	// ran the same pipeline; counts sum and the earliest (cell order, seed)
+	// occurrence keeps the description and repro, exactly like races. The
+	// rollups are recomputed from the merged finding list.
+	ts.Findings = mergeFindingSummaries(order, parts)
+	for _, name := range info.Analyzers {
+		as := AnalyzerSummary{Analyzer: name}
+		for _, f := range ts.Findings {
+			if f.Analyzer == name {
+				as.Distinct++
+				as.Count += f.Count
+			}
+		}
+		ts.Analyzers = append(ts.Analyzers, as)
+	}
 	return ts, nil
+}
+
+// mergeFindingSummaries unions the partials' deduplicated analyzer findings.
+// Finding identity is (analyzer, cell, key) — unlike races, which dedup
+// campaign-wide by key — and the merged list is re-sorted by (analyzer, cell
+// order, key), the order the single-machine aggregation emits.
+func mergeFindingSummaries(order map[string]int, parts []*ToolSummary) []FindingSummary {
+	type fkey struct {
+		analyzer string
+		program  string
+		litmus   bool
+		key      string
+	}
+	type winner struct {
+		f    FindingSummary
+		cell int
+	}
+	best := map[fkey]winner{}
+	var keys []fkey
+	for _, p := range parts {
+		for _, f := range p.Findings {
+			k := fkey{analyzer: f.Analyzer, program: f.Program, litmus: f.Litmus, key: f.Key}
+			cand := winner{f: f, cell: cellRank(order, f.Program, f.Litmus)}
+			cur, seen := best[k]
+			if !seen {
+				keys = append(keys, k)
+				best[k] = cand
+				continue
+			}
+			if cand.cell < cur.cell || (cand.cell == cur.cell && cand.f.Repro.Seed < cur.f.Repro.Seed) {
+				cand.f.Count += cur.f.Count
+				best[k] = cand
+			} else {
+				cur.f.Count += cand.f.Count
+				best[k] = cur
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.analyzer != b.analyzer {
+			return a.analyzer < b.analyzer
+		}
+		ca, cb := cellRank(order, a.program, a.litmus), cellRank(order, b.program, b.litmus)
+		if ca != cb {
+			return ca < cb
+		}
+		return a.key < b.key
+	})
+	var out []FindingSummary
+	for _, k := range keys {
+		out = append(out, best[k].f)
+	}
+	return out
 }
 
 // mergeRaceSummaries unions the partials' deduplicated races, keeping the

@@ -1,5 +1,5 @@
 // report.go is the offline forensics renderer behind cmd/c11report: it joins
-// the three artifacts a campaign leaves behind — the schema v5 summary
+// the three artifacts a campaign leaves behind — the versioned summary
 // (BENCH_campaign.json), the structured event stream (events.jsonl), and the
 // flight-recorder capture manifest — into one human-readable report. Every
 // section degrades gracefully when its source artifact is absent, so the
@@ -79,9 +79,35 @@ func WriteReport(w io.Writer, sum *Summary, events []Event, man *obs.Manifest, o
 	fmt.Fprintf(w, "wall clock: %s\n", harness.FmtDuration(time.Duration(sum.WallNS)))
 
 	writeSlowCells(w, sum, opts.TopSlow)
+	writeFindings(w, sum)
 	writeRaceTimeline(w, events)
 	writeConvergence(w, events)
 	writeCaptureIndex(w, man, opts.CaptureDir)
+}
+
+// writeFindings renders the analyzer pipeline's results (schema v7): the
+// per-analyzer rollups and each deduplicated finding with its one-command
+// repro line.
+func writeFindings(w io.Writer, sum *Summary) {
+	for _, ts := range sum.Tools {
+		if len(ts.Analyzers) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "\n%s: analyzer findings:\n", ts.Tool)
+		tb := &harness.Table{Header: []string{"analyzer", "distinct", "hits"}}
+		for _, as := range ts.Analyzers {
+			tb.AddRow(as.Analyzer, fmt.Sprintf("%d", as.Distinct), fmt.Sprintf("%d", as.Count))
+		}
+		fmt.Fprint(w, tb.String())
+		for _, f := range ts.Findings {
+			program := f.Program
+			if f.Litmus {
+				program = "litmus/" + program
+			}
+			fmt.Fprintf(w, "  [%s] %s: %s (×%d)\n    repro: %s\n",
+				f.Analyzer, program, f.Description, f.Count, f.Repro.Command())
+		}
+	}
 }
 
 // writeSlowCells renders the top cells by p99 ns/exec with their per-phase

@@ -3,6 +3,8 @@ package campaign
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 
 	"c11tester/internal/capi"
@@ -42,9 +44,15 @@ import (
 // guided-exploration sums ("prefix_depth_sum"/"consumed_sum" next to the v3
 // means) so merged partials reproduce the single-machine statistics without
 // floating-point drift.
+//
+// v7: analyzer pipeline — the analyzer-set echo ("analyzers" in the spec),
+// per-tool per-analyzer rollups ("analyzers": distinct keys and total hits),
+// and the deduplicated finding list ("findings") with one-command repro
+// triples, merged across shards by the same min-by-(cell, seed) winner
+// algebra as races.
 const (
 	SchemaName    = "c11tester/campaign"
-	SchemaVersion = 6
+	SchemaVersion = 7
 )
 
 // SpecInfo echoes the campaign parameters into the summary, making every
@@ -72,6 +80,8 @@ type SpecInfo struct {
 	// (schema v5).
 	CaptureDir    string `json:"capture_dir,omitempty"`
 	CaptureSlowNS bool   `json:"capture_slow_ns,omitempty"`
+	// Analyzers echoes the analyzer pipeline composed per cell (schema v7).
+	Analyzers []string `json:"analyzers,omitempty"`
 }
 
 // BudgetSummary is the budget accounting of one cell under an adaptive
@@ -198,6 +208,33 @@ type ValidationSummary struct {
 	Samples    []string `json:"samples,omitempty"`
 }
 
+// AnalyzerSummary is one analyzer's per-tool rollup (schema v7): how many
+// distinct finding keys it produced across the tool's cells and the total
+// number of executions that hit one of them. A campaign run with -analyzers
+// emits one entry per requested analyzer, in request order, even when the
+// analyzer found nothing (or was skipped on every cell because the tool
+// cannot satisfy its trace/MO needs).
+type AnalyzerSummary struct {
+	Analyzer string `json:"analyzer"`
+	Distinct int    `json:"distinct"`
+	Count    int    `json:"count"`
+}
+
+// FindingSummary is one deduplicated analyzer finding (schema v7): the
+// analyzer that emitted it, its key (unique per (analyzer, cell)), and the
+// reproduction triple of the earliest execution that produced it — the repro
+// flags include "-analyzers <name>" so the one-command replay re-runs the
+// analyzer that found it.
+type FindingSummary struct {
+	Analyzer    string        `json:"analyzer"`
+	Key         string        `json:"key"`
+	Description string        `json:"description"`
+	Program     string        `json:"program"`
+	Litmus      bool          `json:"litmus,omitempty"`
+	Count       int           `json:"count"`
+	Repro       harness.Repro `json:"repro"`
+}
+
 // GCSummary is the campaign-wide memory profile: heap allocation and GC
 // deltas measured across the whole run.
 type GCSummary struct {
@@ -241,6 +278,12 @@ type ToolSummary struct {
 	// file (the manifest entry carries the error).
 	Captures      int `json:"captures,omitempty"`
 	CaptureErrors int `json:"capture_errors,omitempty"`
+	// Analyzers and Findings carry the analyzer pipeline's results (schema
+	// v7): per-analyzer rollups and the deduplicated findings with repro
+	// triples, sorted by (analyzer, cell order, key). Present only when the
+	// campaign ran with a non-empty analyzer set.
+	Analyzers []AnalyzerSummary `json:"analyzers,omitempty"`
+	Findings  []FindingSummary  `json:"findings,omitempty"`
 
 	Benchmarks []CellSummary   `json:"benchmarks,omitempty"`
 	Litmus     []LitmusSummary `json:"litmus,omitempty"`
@@ -295,6 +338,7 @@ type cellAcc struct {
 	outcomes  map[string]int
 	forbidden map[string]int
 	weak      map[string]int
+	findings  map[findingID]findingHit
 
 	checked    int
 	skipped    int
@@ -323,6 +367,7 @@ func newCellAcc() *cellAcc {
 		outcomes:  map[string]int{},
 		forbidden: map[string]int{},
 		weak:      map[string]int{},
+		findings:  map[findingID]findingHit{},
 	}
 }
 
@@ -342,6 +387,19 @@ func (a *cellAcc) merge(f fragment) {
 	}
 	for out, n := range f.weak {
 		a.weak[out] += n
+	}
+	// Findings fold like races: counts sum, the earliest run wins the
+	// description (fragments merge in execution-index order).
+	for id, hit := range f.findings {
+		if cur, seen := a.findings[id]; seen {
+			if hit.run < cur.run {
+				cur.desc, cur.run = hit.desc, hit.run
+			}
+			cur.count += hit.count
+			a.findings[id] = cur
+		} else {
+			a.findings[id] = hit
+		}
 	}
 	a.checked += f.checked
 	a.skipped += f.skipped
@@ -390,6 +448,7 @@ func specInfo(spec Spec) SpecInfo {
 		RecordDir: spec.RecordDir, RecordAll: spec.RecordAll,
 		Validate:   spec.ValidateAxioms,
 		CaptureDir: spec.CaptureDir, CaptureSlowNS: spec.CaptureSlowNS,
+		Analyzers: spec.Analyzers,
 	}
 	if spec.Guides != nil {
 		info.GuideDir = spec.Guides.Dir()
@@ -465,6 +524,30 @@ func aggregate(spec Spec, jobs []job, frags []fragment, budgets map[cellKey]*Bud
 		}
 		toolRaces := map[string]toolRace{}
 
+		// addFindings renders a cell's deduplicated analyzer findings. The
+		// finding identity includes the cell (unlike races, which dedup
+		// campaign-wide), so cells contribute disjoint entries; cellIdx ranks
+		// benchmarks before litmus cells for the final sort.
+		type toolFinding struct {
+			summary FindingSummary
+			cell    int
+		}
+		var toolFindings []toolFinding
+		addFindings := func(cellIdx int, program string, inLitmus bool, findings map[findingID]findingHit) {
+			for _, id := range sortedFindingIDs(findings) {
+				hit := findings[id]
+				flags := strings.TrimSpace(toolSpec.ReproFlags + " -analyzers " + id.analyzer)
+				toolFindings = append(toolFindings, toolFinding{
+					summary: FindingSummary{Analyzer: id.analyzer, Key: id.key,
+						Description: hit.desc, Program: program, Litmus: inLitmus,
+						Count: hit.count,
+						Repro: harness.Repro{Tool: toolSpec.Name, Program: program,
+							Seed: spec.SeedBase + int64(hit.run), Litmus: inLitmus,
+							Flags: flags}},
+					cell: cellIdx})
+			}
+		}
+
 		// addFailures folds a cell's sampled engine failures into the tool
 		// summary with their repro triples (cells visited in matrix order,
 		// samples already in run order, so the result is deterministic).
@@ -506,6 +589,7 @@ func aggregate(spec Spec, jobs []job, frags []fragment, budgets map[cellKey]*Bud
 			}
 			ts.Benchmarks = append(ts.Benchmarks, cell)
 			addRaces(toolRaces, b, bench.Name, false, acc.races)
+			addFindings(b, bench.Name, false, acc.findings)
 			addFailures(bench.Name, false, acc)
 			ts.Execs += acc.execs
 			ts.WorkNS += int64(acc.elapsed)
@@ -543,6 +627,7 @@ func aggregate(spec Spec, jobs []job, frags []fragment, budgets map[cellKey]*Bud
 			}
 			ts.Litmus = append(ts.Litmus, ls)
 			addRaces(unexpected, l, test.Name, true, acc.races)
+			addFindings(len(spec.Benchmarks)+l, test.Name, true, acc.findings)
 			addFailures(test.Name, true, acc)
 			ts.Execs += acc.execs
 			ts.WorkNS += int64(acc.elapsed)
@@ -552,6 +637,32 @@ func aggregate(spec Spec, jobs []job, frags []fragment, budgets map[cellKey]*Bud
 		}
 		for _, key := range harness.SortedKeys(unexpected) {
 			ts.UnexpectedRaces = append(ts.UnexpectedRaces, unexpected[key].summary)
+		}
+		// Findings sort by (analyzer, cell order, key) — a total order
+		// independent of worker scheduling; the per-analyzer rollups follow
+		// the spec's request order so every requested analyzer appears.
+		sort.Slice(toolFindings, func(i, j int) bool {
+			a, b := toolFindings[i], toolFindings[j]
+			if a.summary.Analyzer != b.summary.Analyzer {
+				return a.summary.Analyzer < b.summary.Analyzer
+			}
+			if a.cell != b.cell {
+				return a.cell < b.cell
+			}
+			return a.summary.Key < b.summary.Key
+		})
+		for _, tf := range toolFindings {
+			ts.Findings = append(ts.Findings, tf.summary)
+		}
+		for _, name := range spec.Analyzers {
+			as := AnalyzerSummary{Analyzer: name}
+			for _, f := range ts.Findings {
+				if f.Analyzer == name {
+					as.Distinct++
+					as.Count += f.Count
+				}
+			}
+			ts.Analyzers = append(ts.Analyzers, as)
 		}
 		ts.ExecsPerSec = harness.ExecsPerSec(ts.Execs, time.Duration(ts.WorkNS))
 		if ts.Execs > 0 {
@@ -583,6 +694,22 @@ func addToolAcc(ts *ToolSummary, val *ValidationSummary, acc *cellAcc) {
 		}
 		val.Samples = append(val.Samples, s)
 	}
+}
+
+// sortedFindingIDs orders a findings map by (analyzer, key), the iteration
+// order every consumer (aggregate, checkpoint, events) uses.
+func sortedFindingIDs(m map[findingID]findingHit) []findingID {
+	ids := make([]findingID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].analyzer != ids[j].analyzer {
+			return ids[i].analyzer < ids[j].analyzer
+		}
+		return ids[i].key < ids[j].key
+	})
+	return ids
 }
 
 // guideStatsOf renders a cell's guided-exploration statistics, or nil when
@@ -644,6 +771,16 @@ func (s *Summary) AxiomViolations() int {
 		if ts.Validation != nil {
 			n += ts.Validation.Violations
 		}
+	}
+	return n
+}
+
+// FindingCount returns the total number of distinct analyzer findings across
+// all tools (schema v7).
+func (s *Summary) FindingCount() int {
+	n := 0
+	for _, ts := range s.Tools {
+		n += len(ts.Findings)
 	}
 	return n
 }
@@ -808,6 +945,21 @@ func (s *Summary) String() string {
 				ts.Tool, ts.EngineFailures)
 			for _, f := range ts.FailureSamples {
 				out += fmt.Sprintf("  %s\n    repro: %s\n", f.Error, f.Repro.Command())
+			}
+		}
+	}
+	for _, ts := range s.Tools {
+		if len(ts.Analyzers) == 0 {
+			continue
+		}
+		for _, as := range ts.Analyzers {
+			out += fmt.Sprintf("\n%s: analyzer %s: %d distinct finding(s), %d hit(s)\n",
+				ts.Tool, as.Analyzer, as.Distinct, as.Count)
+			for _, f := range ts.Findings {
+				if f.Analyzer != as.Analyzer {
+					continue
+				}
+				out += fmt.Sprintf("  [%s] %s\n    repro: %s\n", f.Program, f.Description, f.Repro.Command())
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package campaign
 import (
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"time"
 
@@ -42,6 +43,12 @@ type CellMetrics struct {
 	// campaign duties observed by the runner's post step, so their counts
 	// track duty executions rather than all executions.
 	PhaseNS [core.NumPhases]*obs.Histogram
+
+	// Findings counts analyzer finding hits, parallel to Spec.Analyzers
+	// (empty for campaigns without analyzers — the default set registers no
+	// instruments and keeps the hot path allocation-free). cellAnalyzer.ix
+	// indexes this slice even when some analyzers were skipped on the cell.
+	Findings []*obs.Counter
 }
 
 // ObserveExec folds one completed execution into the cell's metrics: its
@@ -210,6 +217,10 @@ func (t *Telemetry) bind(spec Spec) {
 			m.PhaseNS[p] = t.reg.Histogram("c11_cell_phase_ns", "per-phase span time per execution (ns)",
 				nsBuckets, lt, lp, obs.Label{Name: "phase", Value: core.Phase(p).String()})
 		}
+		for _, name := range spec.Analyzers {
+			m.Findings = append(m.Findings, t.reg.Counter("c11_analyzer_findings_total",
+				"analyzer finding hits", lt, lp, obs.Label{Name: "analyzer", Value: name}))
+		}
 		return m
 	}
 	t.benchMet = make([][]*CellMetrics, len(spec.Tools))
@@ -296,6 +307,8 @@ type Event struct {
 	Outcome string `json:"outcome,omitempty"`
 	Err     string `json:"error,omitempty"`
 	Repro   string `json:"repro,omitempty"`
+	// Analyzer labels "analyzer_finding" events (schema v7 campaigns).
+	Analyzer string `json:"analyzer,omitempty"`
 
 	// Trigger and File belong to "capture" events (the flight recorder's
 	// manifest entries, re-emitted on the stream so a live consumer sees
@@ -351,7 +364,9 @@ func (t *Telemetry) programOf(j job) string {
 // unitDone folds one completed unit into the campaign-level progress state
 // and emits its events: race_first_seen (per race key new to the unit's tool
 // instance, with the repro triple of the unit's earliest execution showing
-// it), forbidden_outcome, engine_failure, trace_recorded, and cell_end. All
+// it), analyzer_finding (per deduplicated finding, repro flags including the
+// -analyzers selection), forbidden_outcome, engine_failure, trace_recorded,
+// and cell_end. All
 // event contents derive from the fragment — a pure function of the job —
 // so the event set is identical for any worker count; only line order varies.
 func (t *Telemetry) unitDone(wave int, j job, frag *fragment) {
@@ -370,6 +385,16 @@ func (t *Telemetry) unitDone(wave int, j job, frag *fragment) {
 			Tool: toolSpec.Name, Program: program, Litmus: litmus,
 			Key: key, Desc: hit.desc,
 			Seed: t.spec.SeedBase + int64(hit.run), Repro: repro(hit.run)})
+	}
+	for _, id := range sortedFindingIDs(frag.findings) {
+		hit := frag.findings[id]
+		t.emit(Event{Type: "analyzer_finding", Wave: wave,
+			Tool: toolSpec.Name, Program: program, Litmus: litmus,
+			Analyzer: id.analyzer, Key: id.key, Desc: hit.desc, Count: hit.count,
+			Seed: t.spec.SeedBase + int64(hit.run),
+			Repro: harness.Repro{Tool: toolSpec.Name, Program: program,
+				Seed: t.spec.SeedBase + int64(hit.run), Litmus: litmus,
+				Flags: strings.TrimSpace(toolSpec.ReproFlags + " -analyzers " + id.analyzer)}.Command()})
 	}
 	for _, out := range harness.SortedKeys(frag.forbidden) {
 		first := frag.forbidden[out]

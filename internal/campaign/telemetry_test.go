@@ -23,14 +23,18 @@ func eventSpec(t *testing.T, workers int, tel *Telemetry) Spec {
 		Benchmarks: []BenchmarkSpec{
 			benchSpec(t, "ms-queue"),
 			benchSpec(t, "linuxrwlocks"),
+			benchSpec(t, "atomic-counter"),
 		},
 		Litmus: []*litmus.Test{
 			mustLitmus(t, "MP+rlx"),
 			mustLitmus(t, "CoRR"),
 		},
-		Runs:     40,
-		SeedBase: 500,
-		Workers:  workers,
+		// The analyzer pipeline participates in the determinism guarantee:
+		// findings and analyzer_finding events must be sharding-independent.
+		Analyzers: []string{"atomicity", "sc-robustness"},
+		Runs:      40,
+		SeedBase:  500,
+		Workers:   workers,
 		// The same ragged shard size on both sides keeps the unit set
 		// identical; only the order units are processed in may differ.
 		ShardSize: 7,
@@ -152,7 +156,7 @@ func TestInstrumentedDeterminismUnderSharding(t *testing.T) {
 		types[m.Type]++
 	}
 	for _, want := range []string{"campaign_start", "wave_start", "cell_start",
-		"cell_end", "race_first_seen", "wave_end", "campaign_end"} {
+		"cell_end", "race_first_seen", "analyzer_finding", "wave_end", "campaign_end"} {
 		if types[want] == 0 {
 			t.Errorf("no %q event in stream (types: %v)", want, types)
 		}
@@ -182,7 +186,8 @@ func TestInstrumentedDeterminismUnderSharding(t *testing.T) {
 	var prom bytes.Buffer
 	serialTel.Registry().WritePrometheus(&prom)
 	for _, family := range []string{"c11_cell_execs_total", "c11_cell_exec_ns",
-		"c11_campaign_waves_total", "c11_campaign_execs_planned"} {
+		"c11_campaign_waves_total", "c11_campaign_execs_planned",
+		"c11_analyzer_findings_total"} {
 		if !strings.Contains(prom.String(), family) {
 			t.Errorf("metric family %q missing from exposition", family)
 		}

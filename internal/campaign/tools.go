@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"c11tester/internal/analysis"
 	"c11tester/internal/baseline"
 	"c11tester/internal/capi"
 	"c11tester/internal/core"
@@ -211,6 +212,19 @@ func SelectLitmus(sel string) ([]*litmus.Test, error) {
 		tests = append(tests, t)
 	}
 	return tests, nil
+}
+
+// ParseAnalyzers resolves a -analyzers flag value ("all", "none"/"", or a
+// comma-separated name list) into analyzer names. Unknown names surface in
+// Spec.Validate, which also rejects duplicates.
+func ParseAnalyzers(sel string) []string {
+	switch sel {
+	case "none", "":
+		return nil
+	case "all":
+		return analysis.Names()
+	}
+	return SplitList(sel)
 }
 
 // StandardToolNames lists the tools of the paper's evaluation in its order.

@@ -113,6 +113,16 @@ type Env interface {
 	// RandUint64 returns deterministic per-execution randomness for
 	// workloads (seeded by the tool), so runs are reproducible.
 	RandUint64() uint64
+
+	// BeginAtomic and EndAtomic bracket a code block the program intends to
+	// behave atomically, for the atomicity analyzer (conflict-serializability
+	// of marked blocks). They are pure annotations with no memory-model or
+	// scheduling effect: tools that do not analyze atomicity may treat them
+	// as no-ops, and annotated programs execute identically to unannotated
+	// ones. Blocks nest per thread; EndAtomic closes the innermost open
+	// block.
+	BeginAtomic(name string)
+	EndAtomic()
 }
 
 // Program is a complete program under test. Run is the body of the main
@@ -154,6 +164,18 @@ func (a AssertFailure) String() string {
 	return fmt.Sprintf("assertion failed on thread %d: %s", a.TID, a.Message)
 }
 
+// BlockSpan is one BeginAtomic/EndAtomic block instance observed during an
+// execution, identified by the half-open action-sequence range [Begin, End)
+// on thread TID. End == 0 means the block was still open when the execution
+// finished (a missing EndAtomic); analyzers treat such spans as extending to
+// the end of the execution.
+type BlockSpan struct {
+	TID   memmodel.TID
+	Name  string
+	Begin memmodel.SeqNum
+	End   memmodel.SeqNum
+}
+
 // OpStats counts the operations one execution performed, mirroring the
 // paper's Table 3 columns.
 type OpStats struct {
@@ -171,12 +193,14 @@ func (s *OpStats) Add(other OpStats) {
 //
 // Ownership: tools recycle one Result per instance across executions (the
 // engine resets it in place via Reset), so a Result returned by Execute —
-// including its Races/NewRaces/AssertFailures backing arrays — is only valid
-// until the same tool's next Execute call. Consumers that keep anything past
-// that point must copy it (the report values themselves are plain values;
-// copying an element or appending it to a consumer-owned slice is enough).
-// Campaign runners, the trace recorder, and the harness all consume results
-// before re-executing.
+// including its Races/NewRaces/AssertFailures/Blocks backing arrays — is only
+// valid until the same tool's next Execute call. Consumers that keep anything
+// past that point must copy it (the report values themselves are plain
+// values; copying an element or appending it to a consumer-owned slice is
+// enough). Campaign runners, analyzers, the trace recorder, and the harness
+// all consume results before re-executing. Every slice or map field added to
+// Result must be cleared by Reset — TestResetZeroesEveryContainerField
+// enforces this reflectively.
 type Result struct {
 	// Races holds the races observed during this execution (including ones
 	// seen in earlier executions of the same tool instance).
@@ -196,6 +220,10 @@ type Result struct {
 	// record the execution as failed instead of folding it into the
 	// detection statistics.
 	EngineError error
+	// Blocks holds the BeginAtomic/EndAtomic block instances observed this
+	// execution, in Begin order, for the atomicity analyzer. Empty for
+	// programs without annotations.
+	Blocks []BlockSpan
 	// Stats counts the operations performed.
 	Stats OpStats
 }
@@ -213,6 +241,7 @@ func (r *Result) Reset() {
 	r.Races = r.Races[:0]
 	r.NewRaces = r.NewRaces[:0]
 	r.AssertFailures = r.AssertFailures[:0]
+	r.Blocks = r.Blocks[:0]
 	r.Deadlocked = false
 	r.Truncated = false
 	r.EngineError = nil

@@ -1,6 +1,8 @@
 package capi
 
 import (
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -65,6 +67,45 @@ func TestAssertFailureString(t *testing.T) {
 	s := a.String()
 	if !strings.Contains(s, "thread 3") || !strings.Contains(s, "torn read") {
 		t.Errorf("String() = %q", s)
+	}
+}
+
+// TestResetZeroesEveryContainerField checks reflectively that Reset
+// truncates every slice and map field of Result, so adding a per-execution
+// container field without extending Reset fails here instead of leaking one
+// execution's reports into the next (the analyzer pipeline reads these
+// fields after every execution).
+func TestResetZeroesEveryContainerField(t *testing.T) {
+	var res Result
+	v := reflect.ValueOf(&res).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Slice:
+			f.Set(reflect.MakeSlice(f.Type(), 1, 1))
+		case reflect.Map:
+			m := reflect.MakeMap(f.Type())
+			m.SetMapIndex(reflect.Zero(f.Type().Key()), reflect.Zero(f.Type().Elem()))
+			f.Set(m)
+		}
+	}
+	res.Deadlocked, res.Truncated = true, true
+	res.EngineError = errors.New("boom")
+	res.Stats = OpStats{AtomicOps: 1, NormalOps: 2}
+
+	res.Reset()
+
+	for i := 0; i < v.NumField(); i++ {
+		f, name := v.Field(i), v.Type().Field(i).Name
+		switch f.Kind() {
+		case reflect.Slice, reflect.Map:
+			if f.Len() != 0 {
+				t.Errorf("Reset left container field %s with %d element(s); extend Reset", name, f.Len())
+			}
+		}
+	}
+	if res.Deadlocked || res.Truncated || res.EngineError != nil || res.Stats != (OpStats{}) {
+		t.Errorf("Reset left scalar state behind: %+v", res)
 	}
 }
 

@@ -722,6 +722,31 @@ func (e *Engine) nextSeqPeek() memmodel.SeqNum {
 	return e.nextSeq
 }
 
+// beginBlock opens a BeginAtomic block on ts: the span covers every action
+// whose sequence number is assigned from here on (the next assignSeq yields
+// nextSeq+1), until the matching endBlock. Annotations are engine-local
+// bookkeeping, not visible operations — no Action, no scheduling decision —
+// so annotated and unannotated programs produce identical executions.
+func (e *Engine) beginBlock(ts *ThreadState, name string) {
+	e.result.Blocks = append(e.result.Blocks, capi.BlockSpan{
+		TID: ts.ID, Name: name, Begin: e.nextSeq + 1,
+	})
+}
+
+// endBlock closes ts's innermost open block: actions numbered strictly below
+// nextSeq+1 (i.e. everything executed since the matching beginBlock) are in
+// the span. An EndAtomic with no open block is ignored — a harmless
+// annotation bug, not an execution error.
+func (e *Engine) endBlock(ts *ThreadState) {
+	blocks := e.result.Blocks
+	for i := len(blocks) - 1; i >= 0; i-- {
+		if blocks[i].TID == ts.ID && blocks[i].End == 0 {
+			blocks[i].End = e.nextSeq + 1
+			return
+		}
+	}
+}
+
 // NewAction allocates an Action from the engine's execution-lifetime arena,
 // zeroed except for SCIdx, which is -1 (not in the seq_cst order). Memory
 // model plugins must create every per-execution Action through it.

@@ -208,3 +208,11 @@ func (v *env) Assert(cond bool, format string, args ...any) {
 // at a time and are totally ordered by the handoff channels, so the shared
 // source is safe to use here without additional synchronization.
 func (v *env) RandUint64() uint64 { return v.e.Rand().Uint64() }
+
+// BeginAtomic and EndAtomic record block annotations directly on the engine
+// without a dispatch Op: they have no memory-model or scheduling effect, so
+// routing them through the scheduler would only perturb nothing at a handoff
+// cost. Like RandUint64, direct engine access is safe because threads run one
+// at a time, totally ordered by the handoff channels.
+func (v *env) BeginAtomic(name string) { v.e.beginBlock(v.ts, name) }
+func (v *env) EndAtomic()              { v.e.endBlock(v.ts) }

@@ -97,15 +97,24 @@ func InjectedBugs() []Benchmark {
 	return []Benchmark{BuggySeqlock(), BuggyRWLock()}
 }
 
-// All returns every benchmark: the Table 2 data structures followed by the
-// Section 8.1 injected-bug benchmarks.
+// Extras returns workloads outside the paper's evaluation matrix, seeded for
+// the analyzer pipeline rather than for race detection. They are selectable
+// by name (`-bench atomic-counter`) and listed by Names, but excluded from
+// All, so `-bench all` campaigns reproduce the paper's matrix unchanged.
+func Extras() []Benchmark {
+	return []Benchmark{AtomicCounter()}
+}
+
+// All returns every paper benchmark: the Table 2 data structures followed by
+// the Section 8.1 injected-bug benchmarks. Extras are not included.
 func All() []Benchmark {
 	return append(DataStructures(), InjectedBugs()...)
 }
 
-// Names returns the names of all benchmarks, data structures first.
+// Names returns the names of all selectable benchmarks: the paper matrix
+// (data structures first) followed by the extras.
 func Names() []string {
-	all := All()
+	all := append(All(), Extras()...)
 	names := make([]string, len(all))
 	for i, b := range all {
 		names[i] = b.Name
@@ -579,7 +588,39 @@ func MSQueue() Benchmark {
 	}
 }
 
-// ByName returns a named benchmark from either set.
+// AtomicCounter is the seeded workload for the atomicity analyzer: a shared
+// counter incremented by two threads, each increment a marked atomic block
+// (BeginAtomic/EndAtomic) containing an acquire load and a release store of
+// the new value. Every access is atomic, so the program is race-free and no
+// race detector flags it — but the load/store pair is not an atomic RMW, so
+// interleaved blocks lose updates: a classic atomicity violation only
+// conflict-serializability monitoring observes.
+func AtomicCounter() Benchmark {
+	return Benchmark{
+		Name: "atomic-counter",
+		Doc:  "lost-update counter; non-RMW increments in marked atomic blocks (race-free atomicity violation)",
+		New: func() capi.Program {
+			var counter capi.Loc
+			body := func(env capi.Env) {
+				for i := 0; i < 2; i++ {
+					env.BeginAtomic("counter.increment")
+					v := env.Load(counter, acq)
+					env.Yield() // widen the window between load and store
+					env.Store(counter, v+1, rel)
+					env.EndAtomic()
+				}
+			}
+			return capi.Program{Name: "atomic-counter", Run: func(env capi.Env) {
+				counter = env.NewAtomic("counter.value", 0)
+				t1 := env.Spawn("t1", body)
+				body(env)
+				env.Join(t1)
+			}}
+		},
+	}
+}
+
+// ByName returns a named benchmark from any set, including the extras.
 func ByName(name string) (Benchmark, error) {
 	for _, b := range DataStructures() {
 		if b.Name == name {
@@ -587,6 +628,11 @@ func ByName(name string) (Benchmark, error) {
 		}
 	}
 	for _, b := range InjectedBugs() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	for _, b := range Extras() {
 		if b.Name == name {
 			return b, nil
 		}
