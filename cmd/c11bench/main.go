@@ -49,6 +49,7 @@ func run(args []string, out *os.File) int {
 		handoff  = fs.String("handoff", "channel", "scheduler handoff regime: channel, cond, or osthread (Figure 14)")
 		respawn  = fs.Bool("respawn", false, "disable the fiber pool: respawn worker goroutines per execution (Figure 14)")
 		fig14    = fs.Bool("fig14", false, "append the Figure 14 handoff × scheduler matrix over the selected programs")
+		rngSrc   = fs.String("rng", "pcg", "random source behind every tool decision: pcg (O(1) seed) or legacy (math/rand)")
 		compare  = fs.String("compare", "", "diff two perf artifacts: -compare old.json new.json (or old.json,new.json); exits 2 on regression")
 		nsTol    = fs.Float64("ns-tol", 20, "-compare: ns/exec tolerance band in percent (negative disables the timing leg)")
 		allocTol = fs.Float64("alloc-tol", 0, "-compare: allocation tolerance in percent (0 gates bytes/exec and objects/exec exactly)")
@@ -66,10 +67,10 @@ func run(args []string, out *os.File) int {
 		return 1
 	}
 
-	toolOpts := campaign.ToolOptions{Handoff: *handoff, Respawn: *respawn}
+	toolOpts := campaign.ToolOptions{Handoff: *handoff, Respawn: *respawn, RNG: *rngSrc}
 	spec := campaign.PerfSpec{
 		Runs: *runs, Warmup: *warmup, SeedBase: *seed,
-		Handoff: *handoff, Respawn: *respawn,
+		Handoff: *handoff, Respawn: *respawn, RNG: *rngSrc,
 	}
 	if *warmup == 0 {
 		spec.Warmup = -1 // flag 0 means literally none; PerfSpec 0 means default
@@ -118,7 +119,7 @@ func run(args []string, out *os.File) int {
 
 	sum := campaign.RunPerf(spec)
 	if *fig14 {
-		matrix, err := campaign.RunHandoffMatrix(spec, toolNames, campaign.ToolOptions{}, sum)
+		matrix, err := campaign.RunHandoffMatrix(spec, toolNames, campaign.ToolOptions{RNG: *rngSrc}, sum)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "c11bench:", err)
 			return 1

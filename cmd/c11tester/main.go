@@ -28,6 +28,7 @@ import (
 	"c11tester/internal/analysis"
 	"c11tester/internal/campaign"
 	"c11tester/internal/litmus"
+	"c11tester/internal/rng"
 	"c11tester/internal/structures"
 )
 
@@ -51,6 +52,7 @@ func run(args []string, out *os.File) int {
 		quantum   = fs.Int("quantum", 0, "mean scheduling quantum for quantum strategies (0 = default)")
 		maxSteps  = fs.Uint64("max-steps", 0, "per-execution visible-operation cap (0 = default)")
 		faithful  = fs.Bool("faithful-handoff", false, "run tsan11rec on kernel-thread handoff (Figure 14 regime)")
+		rngSrc    = fs.String("rng", "pcg", "random source behind every tool decision: pcg (O(1) seed) or legacy (math/rand, reproduces pre-PCG artifacts)")
 		jsonPath  = fs.String("json", "BENCH_campaign.json", "campaign artifact path ('' disables)")
 		policy    = fs.String("policy", "uniform", "per-cell budget policy: uniform, or converge (stop a cell early once its statistics stabilize and reassign the freed budget)")
 		minExecs  = fs.Int("min-execs", 0, "converge policy: executions per cell before convergence may be declared (0 = default)")
@@ -85,6 +87,7 @@ func run(args []string, out *os.File) int {
 		fmt.Fprintf(out, "benchmarks: %s\n", strings.Join(structures.Names(), " "))
 		fmt.Fprintf(out, "litmus:     %s\n", strings.Join(litmus.Names(), " "))
 		fmt.Fprintf(out, "analyzers:  %s\n", strings.Join(analysis.Names(), " "))
+		fmt.Fprintf(out, "rng-sources: %s\n", strings.Join(rng.Names(), " "))
 		return 0
 	}
 
@@ -99,6 +102,7 @@ func run(args []string, out *os.File) int {
 		QuantumMean:     *quantum,
 		MaxSteps:        *maxSteps,
 		FaithfulHandoff: *faithful,
+		RNG:             *rngSrc,
 	}
 
 	if *record != "" {
@@ -115,6 +119,7 @@ func run(args []string, out *os.File) int {
 	spec := campaign.Spec{
 		Runs: *runs, SeedBase: *seed,
 		Workers: *workers, ShardSize: *shardSz,
+		RNG:          *rngSrc,
 		Policy:       pol,
 		GuideMinFrac: *guideMin, GuideMaxFrac: *guideMax,
 		RecordDir: *record, RecordAll: *recAll,

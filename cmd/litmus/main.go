@@ -39,6 +39,7 @@ func run(args []string, out *os.File) int {
 		minExecs  = fs.Int("min-execs", 0, "converge policy: executions per cell before convergence may be declared (0 = default)")
 		window    = fs.Int("window", 0, "converge policy: trailing window size (0 = default)")
 		epsilon   = fs.Float64("epsilon", 0, "converge policy: max statistic movement per window (0 = default)")
+		rngSrc    = fs.String("rng", "pcg", "random source behind every tool decision: pcg (O(1) seed) or legacy (math/rand)")
 		quiet     = fs.Bool("q", false, "suppress progress lines on stderr")
 		list      = fs.Bool("list", false, "list the litmus suite and exit")
 	)
@@ -63,9 +64,10 @@ func run(args []string, out *os.File) int {
 		return 1
 	}
 	spec := campaign.Spec{Runs: *runs, SeedBase: *seed, Workers: *workers, Policy: pol,
+		RNG:       *rngSrc,
 		Analyzers: campaign.ParseAnalyzers(*analyzers)}
 	for _, name := range campaign.SplitList(*tools) {
-		ts, err := campaign.StandardTool(name, campaign.ToolOptions{})
+		ts, err := campaign.StandardTool(name, campaign.ToolOptions{RNG: *rngSrc})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "litmus:", err)
 			return 1

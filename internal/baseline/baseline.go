@@ -33,6 +33,7 @@ import (
 	"c11tester/internal/capi"
 	"c11tester/internal/core"
 	"c11tester/internal/memmodel"
+	"c11tester/internal/rng"
 	"c11tester/internal/sched"
 )
 
@@ -308,6 +309,9 @@ type Options struct {
 	Handoff string
 	// Respawn disables the scheduler's fiber pool (see sched.Config.Respawn).
 	Respawn bool
+	// RNG selects the random source behind the tool's strategy and workload
+	// draws (rng.PCG default, rng.Legacy for pre-PCG stream reproduction).
+	RNG rng.Kind
 }
 
 // schedConfig resolves the options' scheduler configuration from the tool's
@@ -332,9 +336,10 @@ func NewTsan11(opts Options) *core.Engine {
 	m.SetConservativeSync(!opts.PreciseSync)
 	return core.New("tsan11", m, core.Config{
 		Sched:          opts.schedConfig(sched.Config{}),
-		Strategy:       core.NewQuantumStrategy(mean),
+		Strategy:       core.NewQuantumStrategyKind(opts.RNG, mean),
 		MaxSteps:       opts.MaxSteps,
 		VolatileAcqRel: opts.VolatileAcqRel,
+		RNG:            opts.RNG,
 	})
 }
 
@@ -348,9 +353,12 @@ func NewTsan11rec(opts Options) *core.Engine {
 	if opts.FastHandoff {
 		def = sched.Config{}
 	}
+	// Strategy stays nil: Config.withDefaults builds the default random
+	// strategy on Config.RNG, so the rng source follows the option.
 	return core.New("tsan11rec", m, core.Config{
 		Sched:          opts.schedConfig(def),
 		MaxSteps:       opts.MaxSteps,
 		VolatileAcqRel: opts.VolatileAcqRel,
+		RNG:            opts.RNG,
 	})
 }

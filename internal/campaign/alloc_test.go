@@ -7,6 +7,7 @@ import (
 	"c11tester/internal/capi"
 	"c11tester/internal/core"
 	"c11tester/internal/obs"
+	"c11tester/internal/rng"
 	"c11tester/internal/sched"
 )
 
@@ -23,8 +24,16 @@ import (
 // handoff-wait AND per-phase span measurement on, plus an armed flight
 // recorder fed a digest per execution — so the observability fabric is
 // itself held to the zero-alloc bar the runner's hot path relies on, exactly
-// as a -capture campaign runs it.
+// as a -capture campaign runs it. Both rng sources must hold the bar: the
+// pcg fast path is allocation-free by construction, and the legacy source
+// reuses its materialized math/rand state across re-seeds.
 func TestZeroAllocSteadyState(t *testing.T) {
+	for _, src := range rng.Names() {
+		t.Run(src, func(t *testing.T) { testZeroAllocSteadyState(t, src) })
+	}
+}
+
+func testZeroAllocSteadyState(t *testing.T, rngSource string) {
 	benches, err := SelectBenchmarks("all")
 	if err != nil {
 		t.Fatal(err)
@@ -34,7 +43,7 @@ func TestZeroAllocSteadyState(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, name := range StandardToolNames() {
-		spec, err := StandardTool(name, ToolOptions{})
+		spec, err := StandardTool(name, ToolOptions{RNG: rngSource})
 		if err != nil {
 			t.Fatal(err)
 		}

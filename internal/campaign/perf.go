@@ -10,6 +10,7 @@ import (
 	"c11tester/internal/capi"
 	"c11tester/internal/harness"
 	"c11tester/internal/litmus"
+	"c11tester/internal/rng"
 	"c11tester/internal/sched"
 )
 
@@ -23,9 +24,15 @@ import (
 // (handoff, pooled) and the optional Figure 14 handoff matrix
 // (handoff_matrix): ns/exec and allocation counters for every handoff regime
 // × {pooled, respawn} scheduler combination.
+//
+// Schema v3 (the PCG rng PR) adds the rng-source echo ("rng": pcg or
+// legacy) to the spec: the source changes every decision stream and the
+// work each execution does, so artifacts from different sources are only
+// compared with a warning (like handoff regimes). Pre-v3 artifacts were
+// measured on the legacy source.
 const (
 	PerfSchemaName    = "c11tester/perf"
-	PerfSchemaVersion = 2
+	PerfSchemaVersion = 3
 )
 
 // PerfSpec describes a perf measurement run. Unlike a campaign, it is always
@@ -49,12 +56,14 @@ type PerfSpec struct {
 	// sweeps replay the same seeds), mirroring the campaign runner's seeding
 	// invariant.
 	SeedBase int64
-	// Handoff and Respawn echo the scheduler regime the spec's tools were
-	// built with (ToolOptions.Handoff/Respawn) into the artifact, so two
-	// BENCH_perf.json files are only compared like for like. They do not
-	// themselves configure the tools — the ToolSpec factories do.
+	// Handoff, Respawn, and RNG echo the scheduler regime and random source
+	// the spec's tools were built with (ToolOptions.Handoff/Respawn/RNG)
+	// into the artifact, so two BENCH_perf.json files are only compared like
+	// for like. They do not themselves configure the tools — the ToolSpec
+	// factories do.
 	Handoff string
 	Respawn bool
+	RNG     string
 	// Progress, when non-nil, receives live counters as the sweep runs (cells
 	// planned/done, executions) for a -status-addr server. The per-execution
 	// update is a single atomic add — it never allocates, so the measured
@@ -109,6 +118,9 @@ type PerfSpecInfo struct {
 	SeedBase int64    `json:"seed_base"`
 	Handoff  string   `json:"handoff,omitempty"`
 	Pooled   bool     `json:"pooled,omitempty"`
+	// RNG names the random source (schema v3): "pcg" or "legacy". Pre-v3
+	// artifacts omit it and were measured on the legacy source.
+	RNG string `json:"rng,omitempty"`
 }
 
 // HandoffCell is one aggregated measurement of the Figure 14 handoff matrix:
@@ -155,6 +167,7 @@ func RunPerf(spec PerfSpec) *PerfSummary {
 		Spec: PerfSpecInfo{
 			Runs: spec.Runs, Warmup: spec.Warmup, SeedBase: spec.SeedBase,
 			Handoff: handoffOrDefault(spec.Handoff), Pooled: !spec.Respawn,
+			RNG:   rng.Canonical(spec.RNG),
 			Tools: []string{}, Programs: []string{},
 		},
 	}
@@ -271,6 +284,18 @@ func handoffOrDefault(name string) string {
 	return name
 }
 
+// rngOrDefault resolves the rng source an artifact was measured on: pre-v3
+// artifacts omit the echo and were drawn from the legacy math/rand source.
+func rngOrDefault(name string, schemaVersion int) string {
+	if name == "" {
+		if schemaVersion < 3 {
+			return "legacy"
+		}
+		return rng.Canonical("")
+	}
+	return name
+}
+
 // schedLabel renders the pool dimension of a scheduler regime.
 func schedLabel(pooled bool) string {
 	if pooled {
@@ -359,8 +384,8 @@ func (s *PerfSummary) String() string {
 	if s.SchemaVersion == 1 {
 		schedName = "pre-pool" // v1 artifacts predate the fiber pool
 	}
-	out := fmt.Sprintf("perf: %d tool(s) × %d program(s), %d measured execs/cell (%d warmup), seed base %d, %s handoff (%s), %s\n\n",
-		len(s.Spec.Tools), len(s.Spec.Programs), s.Spec.Runs, s.Spec.Warmup, s.Spec.SeedBase, regime, schedName, s.GoVersion)
+	out := fmt.Sprintf("perf: %d tool(s) × %d program(s), %d measured execs/cell (%d warmup), seed base %d, %s handoff (%s), %s rng, %s\n\n",
+		len(s.Spec.Tools), len(s.Spec.Programs), s.Spec.Runs, s.Spec.Warmup, s.Spec.SeedBase, regime, schedName, rngOrDefault(s.Spec.RNG, s.SchemaVersion), s.GoVersion)
 	tb := &harness.Table{Header: []string{"tool", "execs", "ns/exec", "bytes/exec", "objects/exec", "execs/sec"}}
 	for _, ts := range s.Tools {
 		tb.AddRow(ts.Tool,

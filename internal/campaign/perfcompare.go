@@ -70,6 +70,10 @@ type PerfComparison struct {
 	// the regime, not the code change.
 	RegimeOld string `json:"regime_old,omitempty"`
 	RegimeNew string `json:"regime_new,omitempty"`
+	// RNGOld/New flag random-source skew (schema v3): changing the source
+	// changes every decision stream, so the work measured differs too.
+	RNGOld string `json:"rng_old,omitempty"`
+	RNGNew string `json:"rng_new,omitempty"`
 }
 
 // regimeOf renders a summary's scheduler regime for skew warnings; schema v1
@@ -81,6 +85,12 @@ func regimeOf(s *PerfSummary) string {
 	return handoffOrDefault(s.Spec.Handoff) + "/" + schedLabel(s.Spec.Pooled)
 }
 
+// rngSourceOf resolves the random source a perf artifact was measured on:
+// pre-v3 artifacts predate the echo and were drawn from legacy math/rand.
+func rngSourceOf(s *PerfSummary) string {
+	return rngOrDefault(s.Spec.RNG, s.SchemaVersion)
+}
+
 // ComparePerf diffs two perf artifacts. nsTolPct is the ns/exec tolerance
 // band in percent (e.g. 20 accepts up to 1.2× slower; negative disables the
 // timing leg); allocTolPct is the allocation tolerance in percent (0 gates
@@ -90,6 +100,7 @@ func ComparePerf(old, new *PerfSummary, nsTolPct, allocTolPct float64) *PerfComp
 		NsTolPct: nsTolPct, AllocTolPct: allocTolPct,
 		GoVersionOld: old.GoVersion, GoVersionNew: new.GoVersion,
 		RegimeOld: regimeOf(old), RegimeNew: regimeOf(new),
+		RNGOld: rngSourceOf(old), RNGNew: rngSourceOf(new),
 	}
 	oldTools := map[string]*PerfToolSummary{}
 	for i := range old.Tools {
@@ -162,6 +173,10 @@ func (c *PerfComparison) String() string {
 	if c.RegimeOld != c.RegimeNew && c.RegimeOld != "" && c.RegimeNew != "" {
 		out += fmt.Sprintf("WARNING: scheduler regimes differ (%s vs %s); the comparison measures the regime, not the change\n",
 			c.RegimeOld, c.RegimeNew)
+	}
+	if c.RNGOld != c.RNGNew && c.RNGOld != "" && c.RNGNew != "" {
+		out += fmt.Sprintf("WARNING: rng sources differ (%s vs %s); decision streams and per-exec work are not like for like\n",
+			c.RNGOld, c.RNGNew)
 	}
 	tb := &harness.Table{Header: []string{"tool", "ns/exec old", "ns/exec new", "ratio", "bytes/exec old", "bytes/exec new", "objs/exec old", "objs/exec new"}}
 	for _, d := range c.Tools {

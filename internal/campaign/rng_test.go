@@ -1,0 +1,124 @@
+package campaign
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// stripRNGFlag removes the "-rng legacy" token from every repro triple in
+// the summary, so a -rng legacy run can be compared against an artifact
+// captured before the flag existed (whose repros carry no flags).
+func stripRNGFlag(s *Summary) {
+	strip := func(flags string) string {
+		parts := strings.Fields(strings.ReplaceAll(flags, "-rng legacy", ""))
+		return strings.Join(parts, " ")
+	}
+	for t := range s.Tools {
+		ts := &s.Tools[t]
+		for i := range ts.FailureSamples {
+			ts.FailureSamples[i].Repro.Flags = strip(ts.FailureSamples[i].Repro.Flags)
+		}
+		for i := range ts.Findings {
+			ts.Findings[i].Repro.Flags = strip(ts.Findings[i].Repro.Flags)
+		}
+		for i := range ts.Races {
+			ts.Races[i].Repro.Flags = strip(ts.Races[i].Repro.Flags)
+		}
+		for i := range ts.UnexpectedRaces {
+			ts.UnexpectedRaces[i].Repro.Flags = strip(ts.UnexpectedRaces[i].Repro.Flags)
+		}
+		for l := range ts.Litmus {
+			for i := range ts.Litmus[l].ForbiddenSeen {
+				ts.Litmus[l].ForbiddenSeen[i].Repro.Flags = strip(ts.Litmus[l].ForbiddenSeen[i].Repro.Flags)
+			}
+		}
+	}
+}
+
+// TestLegacyRNGReproducesPrePCGArtifact pins the -rng legacy escape hatch:
+// testdata/legacy_campaign.json was captured by this exact matrix BEFORE the
+// PCG subsystem replaced math/rand as the default decision source. Re-running
+// the matrix on the legacy source must reproduce the artifact byte for byte
+// (in canonical form), proving that every decision stream — strategy picks,
+// reads-from selection, workload values, cond-waiter picks — is untouched by
+// the rewiring. Only the envelope fields this PR itself added are aligned
+// before the comparison: the schema version (v7 → v8), the spec's rng echo,
+// and the "-rng legacy" token in repro flags.
+func TestLegacyRNGReproducesPrePCGArtifact(t *testing.T) {
+	golden, err := LoadSummary("testdata/legacy_campaign.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tools []ToolSpec
+	for _, name := range StandardToolNames() {
+		tools = append(tools, mustTool(t, name, ToolOptions{RNG: "legacy"}))
+	}
+	benches, err := SelectBenchmarks("ms-queue,seqlock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lits, err := SelectLitmus("MP+rlx,SB+sc,CoRR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{
+		Tools: tools, Benchmarks: benches, Litmus: lits,
+		Runs: 40, SeedBase: 1, Workers: 1,
+		RNG: "legacy",
+	}
+	sum := Run(spec)
+
+	g, n := golden.Canonical(), sum.Canonical()
+	g.SchemaVersion = n.SchemaVersion // golden predates the v8 rng echo
+	g.Spec.RNG = "legacy"             // pre-v8 artifacts omit it (and were legacy)
+	stripRNGFlag(n)
+	gj, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nj, err := json.MarshalIndent(n, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gj) != string(nj) {
+		gl, nl := strings.Split(string(gj), "\n"), strings.Split(string(nj), "\n")
+		for i := 0; i < len(gl) && i < len(nl); i++ {
+			if gl[i] != nl[i] {
+				t.Fatalf("-rng legacy campaign diverged from the pre-PCG artifact at line %d:\n  golden: %s\n  got:    %s",
+					i+1, gl[i], nl[i])
+			}
+		}
+		t.Fatalf("-rng legacy campaign diverged from the pre-PCG artifact: lengths %d vs %d lines", len(gl), len(nl))
+	}
+}
+
+// TestRNGSpecValidation pins the flag-surface contract: unknown rng names
+// are rejected at Validate time with a parseable message, and the two
+// canonical names round-trip through a ToolSpec's repro flags (legacy only —
+// the default source adds no flag noise).
+func TestRNGSpecValidation(t *testing.T) {
+	spec := Spec{
+		Tools:      []ToolSpec{mustTool(t, "c11tester", ToolOptions{})},
+		Benchmarks: []BenchmarkSpec{benchSpec(t, "ms-queue")},
+		Runs:       1,
+		RNG:        "mt19937",
+	}
+	if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "mt19937") {
+		t.Fatalf("Validate() = %v, want unknown-rng error naming mt19937", err)
+	}
+	if _, err := StandardTool("c11tester", ToolOptions{RNG: "mt19937"}); err == nil {
+		t.Fatal("StandardTool accepted an unknown rng source")
+	}
+	ts := mustTool(t, "c11tester", ToolOptions{RNG: "legacy"})
+	if !strings.Contains(ts.ReproFlags, "-rng legacy") {
+		t.Fatalf("ReproFlags = %q, want -rng legacy", ts.ReproFlags)
+	}
+	if ts.TraceConfig.RNG != "legacy" {
+		t.Fatalf("TraceConfig.RNG = %q, want legacy", ts.TraceConfig.RNG)
+	}
+	ts = mustTool(t, "c11tester", ToolOptions{RNG: "pcg"})
+	if strings.Contains(ts.ReproFlags, "-rng") || ts.TraceConfig.RNG != "" {
+		t.Fatalf("default source must not be echoed: flags %q, trace rng %q", ts.ReproFlags, ts.TraceConfig.RNG)
+	}
+}

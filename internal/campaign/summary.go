@@ -10,6 +10,7 @@ import (
 	"c11tester/internal/capi"
 	"c11tester/internal/harness"
 	"c11tester/internal/obs"
+	"c11tester/internal/rng"
 	"c11tester/internal/safeio"
 )
 
@@ -50,9 +51,13 @@ import (
 // and the deduplicated finding list ("findings") with one-command repro
 // triples, merged across shards by the same min-by-(cell, seed) winner
 // algebra as races.
+//
+// v8: the rng-source echo ("rng" in the spec): campaigns name the random
+// source their decision streams were drawn from ("pcg", the splitmix-seeded
+// PCG subsystem, or "legacy", math/rand — reproduces pre-v8 artifacts).
 const (
 	SchemaName    = "c11tester/campaign"
-	SchemaVersion = 7
+	SchemaVersion = 8
 )
 
 // SpecInfo echoes the campaign parameters into the summary, making every
@@ -82,6 +87,10 @@ type SpecInfo struct {
 	CaptureSlowNS bool   `json:"capture_slow_ns,omitempty"`
 	// Analyzers echoes the analyzer pipeline composed per cell (schema v7).
 	Analyzers []string `json:"analyzers,omitempty"`
+	// RNG names the random source behind every decision stream (schema v8):
+	// "pcg" (default) or "legacy". Pre-v8 artifacts omit it and were drawn
+	// from the legacy source.
+	RNG string `json:"rng,omitempty"`
 }
 
 // BudgetSummary is the budget accounting of one cell under an adaptive
@@ -449,6 +458,7 @@ func specInfo(spec Spec) SpecInfo {
 		Validate:   spec.ValidateAxioms,
 		CaptureDir: spec.CaptureDir, CaptureSlowNS: spec.CaptureSlowNS,
 		Analyzers: spec.Analyzers,
+		RNG:       rng.Canonical(spec.RNG),
 	}
 	if spec.Guides != nil {
 		info.GuideDir = spec.Guides.Dir()

@@ -11,6 +11,7 @@ import (
 	"c11tester/internal/explore"
 	"c11tester/internal/harness"
 	"c11tester/internal/litmus"
+	"c11tester/internal/rng"
 	"c11tester/internal/sched"
 	"c11tester/internal/structures"
 	"c11tester/internal/trace"
@@ -58,6 +59,9 @@ func (o ToolOptions) reproFlags(tool string) string {
 	if o.MaxSteps != 0 {
 		parts = append(parts, fmt.Sprintf("-max-steps %d", o.MaxSteps))
 	}
+	if r := rng.Canonical(o.RNG); r != "pcg" {
+		parts = append(parts, "-rng "+r)
+	}
 	return strings.Join(parts, " ")
 }
 
@@ -88,6 +92,13 @@ type ToolOptions struct {
 	// thread per execution, see sched.Config.Respawn) — the pre-pool regime,
 	// kept as the second Figure 14 benchmark dimension.
 	Respawn bool
+	// RNG selects the random source behind every decision the tools make
+	// ("pcg" — the default splitmix-seeded PCG — or "legacy", math/rand).
+	// Changing the source changes every scheduling and reads-from decision,
+	// so it is part of the tool identity: repro flags, trace configs, and
+	// the spec digest all carry it, and "legacy" reproduces pre-PCG
+	// artifacts bit for bit.
+	RNG string
 }
 
 // pruneName renders a PruneMode as its -prune flag value ("" for off).
@@ -118,6 +129,9 @@ func (o ToolOptions) traceConfig(tool string) trace.ToolConfig {
 	case "tsan11rec":
 		tc.FaithfulHandoff = o.FaithfulHandoff
 	}
+	if r := rng.Canonical(o.RNG); r != "pcg" {
+		tc.RNG = r
+	}
 	return tc
 }
 
@@ -133,6 +147,7 @@ func StandardToolFromConfig(tc trace.ToolConfig) (ToolSpec, error) {
 		QuantumMean:     tc.QuantumMean,
 		MaxSteps:        tc.MaxSteps,
 		FaithfulHandoff: tc.FaithfulHandoff,
+		RNG:             tc.RNG,
 	})
 }
 
@@ -234,9 +249,13 @@ func StandardToolNames() []string {
 
 // StandardTool builds the ToolSpec for one of the paper's three tools.
 func StandardTool(name string, opts ToolOptions) (ToolSpec, error) {
-	// Validate the handoff override once here; the factories below run on
-	// worker goroutines where an error has nowhere to go.
+	// Validate the handoff and rng overrides once here; the factories below
+	// run on worker goroutines where an error has nowhere to go.
 	if _, err := sched.ParseHandoff(opts.Handoff); err != nil {
+		return ToolSpec{}, err
+	}
+	rngKind, err := rng.Parse(opts.RNG)
+	if err != nil {
 		return ToolSpec{}, err
 	}
 	switch name {
@@ -255,9 +274,9 @@ func StandardTool(name string, opts ToolOptions) (ToolSpec, error) {
 				if mean == 0 {
 					mean = 150
 				}
-				strat = core.NewQuantumStrategy(mean)
+				strat = core.NewQuantumStrategyKind(rngKind, mean)
 			} else {
-				strat = core.NewRandomStrategy()
+				strat = core.NewRandomStrategyKind(rngKind)
 			}
 			schedCfg := sched.MustHandoff(opts.Handoff) // "" is the channel default
 			schedCfg.Respawn = opts.Respawn
@@ -267,6 +286,7 @@ func StandardTool(name string, opts ToolOptions) (ToolSpec, error) {
 				Prune:      opts.Prune,
 				Strategy:   strat,
 				MaxSteps:   opts.MaxSteps,
+				RNG:        rngKind,
 			})
 		}}, nil
 	case "tsan11":
@@ -276,6 +296,7 @@ func StandardTool(name string, opts ToolOptions) (ToolSpec, error) {
 				MaxSteps:    opts.MaxSteps,
 				Handoff:     opts.Handoff,
 				Respawn:     opts.Respawn,
+				RNG:         rngKind,
 			})
 		}}, nil
 	case "tsan11rec":
@@ -285,6 +306,7 @@ func StandardTool(name string, opts ToolOptions) (ToolSpec, error) {
 				FastHandoff: !opts.FaithfulHandoff,
 				Handoff:     opts.Handoff,
 				Respawn:     opts.Respawn,
+				RNG:         rngKind,
 			})
 		}}, nil
 	}

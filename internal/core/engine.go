@@ -14,10 +14,10 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 
 	"c11tester/internal/capi"
 	"c11tester/internal/memmodel"
+	"c11tester/internal/rng"
 	"c11tester/internal/sched"
 )
 
@@ -60,6 +60,11 @@ type Config struct {
 	// StoreBurst enables the consecutive-store scheduling rule of Section 3
 	// (on for C11Tester; the baselines do not have it).
 	StoreBurst bool
+	// RNG selects the random source backing the default strategy and the
+	// workload RNG (Engine.Rand): rng.PCG (the default) or rng.Legacy. A
+	// Strategy supplied explicitly carries its own source; this field still
+	// governs Engine.Rand.
+	RNG rng.Kind
 }
 
 func (c Config) withDefaults() Config {
@@ -73,7 +78,7 @@ func (c Config) withDefaults() Config {
 		c.Window = 64
 	}
 	if c.Strategy == nil {
-		c.Strategy = NewRandomStrategy()
+		c.Strategy = NewRandomStrategyKind(c.RNG)
 	}
 	return c
 }
@@ -108,24 +113,29 @@ type PrefixedStrategy interface {
 	Handoff() (depth, consumed int, diverged bool)
 }
 
-// RandomStrategy is the paper's default plugin: uniform random choices.
-type RandomStrategy struct{ rng *rand.Rand }
+// RandomStrategy is the paper's default plugin: uniform random choices. The
+// rng.Rand is embedded by value, so the decision buffer lives inline and
+// re-seeding allocates nothing; all reseed mechanics (including the legacy
+// source's in-place table reset) live in internal/rng.
+type RandomStrategy struct{ rng rng.Rand }
 
-// NewRandomStrategy returns a RandomStrategy.
-func NewRandomStrategy() *RandomStrategy {
-	return &RandomStrategy{rng: rand.New(rand.NewSource(1))}
+// NewRandomStrategy returns a RandomStrategy on the default rng source.
+func NewRandomStrategy() *RandomStrategy { return NewRandomStrategyKind(rng.PCG) }
+
+// NewRandomStrategyKind returns a RandomStrategy drawing from the given rng
+// source (-rng legacy campaigns reproduce pre-PCG decision streams).
+func NewRandomStrategyKind(k rng.Kind) *RandomStrategy {
+	s := &RandomStrategy{}
+	s.rng.SetKind(k)
+	s.rng.Seed(1)
+	return s
 }
 
-// Seed implements Strategy. The random source is re-seeded in place: that
-// reproduces exactly the state of a fresh rand.New(rand.NewSource(seed))
-// without re-allocating the source's state table on every execution.
-func (s *RandomStrategy) Seed(seed int64) {
-	if s.rng == nil {
-		s.rng = rand.New(rand.NewSource(seed))
-		return
-	}
-	s.rng.Seed(seed)
-}
+// Seed implements Strategy.
+func (s *RandomStrategy) Seed(seed int64) { s.rng.Seed(seed) }
+
+// RNGKind implements rng.Kinded.
+func (s *RandomStrategy) RNGKind() rng.Kind { return s.rng.Kind() }
 
 // PickThread implements Strategy.
 func (s *RandomStrategy) PickThread(ready []*ThreadState) *ThreadState {
@@ -141,30 +151,39 @@ func (s *RandomStrategy) PickIndex(n int) int { return s.rng.Intn(n) }
 // baseline, which does not control scheduling, is represented on the
 // engine's sequentialized substrate (Section 8's single-core configuration).
 type QuantumStrategy struct {
-	rng       *rand.Rand
+	rng       rng.Rand
 	mean      int
 	remaining int
 	current   *ThreadState
 }
 
-// NewQuantumStrategy returns a QuantumStrategy with the given mean quantum.
+// NewQuantumStrategy returns a QuantumStrategy with the given mean quantum,
+// on the default rng source.
 func NewQuantumStrategy(mean int) *QuantumStrategy {
+	return NewQuantumStrategyKind(rng.PCG, mean)
+}
+
+// NewQuantumStrategyKind returns a QuantumStrategy drawing from the given
+// rng source.
+func NewQuantumStrategyKind(k rng.Kind, mean int) *QuantumStrategy {
 	if mean < 1 {
 		mean = 1
 	}
-	return &QuantumStrategy{rng: rand.New(rand.NewSource(1)), mean: mean}
+	s := &QuantumStrategy{mean: mean}
+	s.rng.SetKind(k)
+	s.rng.Seed(1)
+	return s
 }
 
-// Seed implements Strategy (re-seeding in place, like RandomStrategy).
+// Seed implements Strategy.
 func (s *QuantumStrategy) Seed(seed int64) {
-	if s.rng == nil {
-		s.rng = rand.New(rand.NewSource(seed))
-	} else {
-		s.rng.Seed(seed)
-	}
+	s.rng.Seed(seed)
 	s.current = nil
 	s.remaining = 0
 }
+
+// RNGKind implements rng.Kinded.
+func (s *QuantumStrategy) RNGKind() rng.Kind { return s.rng.Kind() }
 
 // PickThread implements Strategy.
 func (s *QuantumStrategy) PickThread(ready []*ThreadState) *ThreadState {
@@ -237,9 +256,10 @@ type Engine struct {
 	scCount int
 	// rng is the workload randomness source behind env.RandUint64, seeded
 	// lazily (rngSeed/rngSeeded): most programs never draw from it, and
-	// re-initializing the ~5KB lagged-Fibonacci state on every execution was
-	// one of the largest remaining per-execution costs after the fiber pool.
-	rng       *rand.Rand
+	// even the PCG source's O(1) reseed is work a program that never draws
+	// does not need. The legacy source's ~5KB lagged-Fibonacci state lives
+	// inside the rng.Rand and is still re-seeded in place when materialized.
+	rng       rng.Rand
 	rngSeed   int64
 	rngSeeded bool
 	result    *capi.Result
@@ -317,7 +337,7 @@ func (e *Engine) Model() MemModel { return e.model }
 // strategy decision.
 func (e *Engine) SetStrategy(s Strategy) {
 	if s == nil {
-		s = NewRandomStrategy()
+		s = NewRandomStrategyKind(e.cfg.RNG)
 	}
 	e.cfg.Strategy = s
 }
@@ -357,20 +377,14 @@ func (e *Engine) Trace() []*Action { return e.trace }
 
 // Rand returns the engine's per-execution random source, materializing it on
 // first use in the execution (the source is a pure function of the execution
-// seed either way).
-func (e *Engine) Rand() *rand.Rand {
+// seed and Config.RNG either way).
+func (e *Engine) Rand() *rng.Rand {
 	if !e.rngSeeded {
-		if e.rng == nil {
-			e.rng = rand.New(rand.NewSource(e.rngSeed))
-		} else {
-			// Re-seeding in place re-initializes the source to the exact
-			// state a fresh rand.New(rand.NewSource(seed)) would have,
-			// without re-allocating its state table.
-			e.rng.Seed(e.rngSeed)
-		}
+		e.rng.SetKind(e.cfg.RNG)
+		e.rng.Seed(e.rngSeed)
 		e.rngSeeded = true
 	}
-	return e.rng
+	return &e.rng
 }
 
 // Strategy returns the engine's exploration strategy.

@@ -1,10 +1,9 @@
 package trace
 
 import (
-	"math/rand"
-
 	"c11tester/internal/core"
 	"c11tester/internal/memmodel"
+	"c11tester/internal/rng"
 )
 
 // Default prefix-depth bounds of a PrefixGuide, as fractions of the recorded
@@ -42,7 +41,7 @@ type PrefixGuide struct {
 	// DefaultGuideMinFrac/DefaultGuideMaxFrac skew-deep range.
 	MinFrac, MaxFrac float64
 
-	depthRng *rand.Rand
+	depthRng rng.Rand
 	depth    int // combined choices to replay this execution
 	ti, ii   int // consumption cursors into sched
 	taken    int // combined choices consumed from the prefix
@@ -92,17 +91,20 @@ func (g *PrefixGuide) Seed(seed int64) {
 		max = min
 	}
 	// A distinct RNG (seed XOR'd with an arbitrary odd constant) keeps the
-	// depth draw from perturbing the inner strategy's choice stream.
-	if g.depthRng == nil {
-		g.depthRng = rand.New(rand.NewSource(seed ^ 0x5bf03635))
-	} else {
-		g.depthRng.Seed(seed ^ 0x5bf03635)
-	}
+	// depth draw from perturbing the inner strategy's choice stream. It
+	// follows the inner strategy's rng source (rng.KindOf), so a -rng legacy
+	// guided campaign stays a pure function of (schedule, seed) with exactly
+	// the pre-PCG depth sequence.
+	g.depthRng.SetKind(rng.KindOf(g.inner))
+	g.depthRng.Seed(seed ^ 0x5bf03635)
 	g.depth = min
 	if max > min {
 		g.depth = min + g.depthRng.Intn(max-min+1)
 	}
 }
+
+// RNGKind implements rng.Kinded, reporting the inner strategy's source.
+func (g *PrefixGuide) RNGKind() rng.Kind { return rng.KindOf(g.inner) }
 
 // handoff permanently switches control to the inner strategy.
 func (g *PrefixGuide) handoff(diverged bool) {

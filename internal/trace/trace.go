@@ -46,6 +46,10 @@ type ToolConfig struct {
 	QuantumMean     int    `json:"quantum_mean,omitempty"`
 	MaxSteps        uint64 `json:"max_steps,omitempty"`
 	FaithfulHandoff bool   `json:"faithful_handoff,omitempty"`
+	// RNG names a non-default random source ("legacy"); empty means the
+	// default PCG source. Replay must rebuild the tool on the same source:
+	// workload draws (env.RandUint64) depend on it.
+	RNG string `json:"rng,omitempty"`
 }
 
 // Schedule is the recorded choice stream of one execution: the thread picked
